@@ -1,0 +1,54 @@
+"""Ablation — epoch length vs mixing time (DESIGN.md, design-choice ablations).
+
+Theorem 1 consumes an epoch length ``M`` at least the mixing time of the
+process, and its bound scales linearly in ``M``; the paper's conclusions
+conjecture that the dependency on the mixing time might be removable.  This
+ablation makes the gap concrete: the *measured* flooding time of a fixed
+edge-MEG does not change when we (artificially) analyse it with longer
+epochs, while the Theorem-1 bound grows linearly with the chosen ``M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.core.bounds import theorem1_bound
+from repro.core.flooding import flooding_time_samples
+from repro.core.stationarity import exact_parameters
+from repro.markov.mixing import mixing_time
+from repro.meg.edge_meg import EdgeMEG
+
+
+def _run_epoch_ablation():
+    n = 100
+    model = EdgeMEG(n, p=1.0 / n, q=0.5)
+    alpha, beta = exact_parameters(model)
+    base_epoch = max(1, mixing_time(model.edge_chain()))
+    measured = float(np.mean(flooding_time_samples(model, 6, rng=0)))
+    rows = []
+    for multiplier in (1, 2, 4, 8):
+        epoch = base_epoch * multiplier
+        rows.append(
+            {
+                "epoch_multiplier": multiplier,
+                "epoch_length": epoch,
+                "measured_mean": measured,
+                "theorem1_bound": theorem1_bound(n, epoch, alpha, beta),
+            }
+        )
+    return rows
+
+
+def test_ablation_epoch_length(benchmark):
+    rows = run_once(benchmark, _run_epoch_ablation)
+    print()
+    for row in rows:
+        print(row)
+
+    bounds = [row["theorem1_bound"] for row in rows]
+    measured = [row["measured_mean"] for row in rows]
+    # The measurement is independent of the analysis epoch...
+    assert len(set(measured)) == 1
+    # ...while the bound grows linearly with it.
+    assert bounds[-1] == bounds[0] * rows[-1]["epoch_multiplier"]

@@ -1,0 +1,72 @@
+"""Extension — the four-state refined edge-MEG of [5] under the Appendix-A bound.
+
+The paper notes its generalised edge-MEG analysis covers arbitrary hidden
+per-edge chains, citing the four-state (stable/volatile x up/down) refinement
+of [5] that the earlier two-state analysis could not handle.  This benchmark
+compares a classic edge-MEG and a four-state edge-MEG with the *same*
+stationary density: the four-state links have longer memory (larger mixing
+time), so flooding is slower, and the general bound — which scales with the
+hidden-chain mixing time — tracks that ordering while the density-only prior
+bound of [10] cannot distinguish the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_utils import run_once
+
+from repro.baselines.edge_meg_bound import classic_edge_meg_prior_bound
+from repro.core.bounds import edge_meg_general_bound
+from repro.core.flooding import flooding_time_samples
+from repro.markov.mixing import mixing_time
+from repro.meg.edge_meg import EdgeMEG, four_state_edge_meg
+
+
+def _run_comparison():
+    n = 100
+    trials = 6
+    # Classic chain with alpha = 0.5 and fast mixing.
+    classic = EdgeMEG(n, p=0.02 / n * n, q=0.02)  # p = q = 0.02 -> alpha = 0.5
+    classic_alpha = classic.stationary_edge_probability()
+    classic_tmix = mixing_time(classic.edge_chain())
+    classic_times = flooding_time_samples(classic, trials, rng=0)
+
+    # Four-state chain with the same stationary density (symmetric up/down)
+    # but long stable periods -> much slower mixing.
+    refined = four_state_edge_meg(n, p_up=0.02, p_down=0.02, p_stabilize=0.05, p_destabilize=0.005)
+    refined_alpha = refined.stationary_edge_probability()
+    # The stable states give the chain long memory: allow the exact mixing-time
+    # search enough head-room (the default cap is sized for small fast chains).
+    refined_tmix = mixing_time(refined.chain, max_steps=20_000)
+    refined_times = flooding_time_samples(refined, trials, rng=0)
+
+    return {
+        "classic_alpha": classic_alpha,
+        "refined_alpha": refined_alpha,
+        "classic_tmix": classic_tmix,
+        "refined_tmix": refined_tmix,
+        "classic_mean": float(np.mean(classic_times)),
+        "refined_mean": float(np.mean(refined_times)),
+        "classic_general_bound": edge_meg_general_bound(n, classic_tmix, classic_alpha),
+        "refined_general_bound": edge_meg_general_bound(n, refined_tmix, refined_alpha),
+        "prior_bound": classic_edge_meg_prior_bound(n, 0.02),
+    }
+
+
+def test_four_state_edge_meg_vs_classic(benchmark):
+    row = run_once(benchmark, _run_comparison)
+    print()
+    for key, value in row.items():
+        print(f"{key}: {value}")
+
+    # Same stationary density by construction.
+    assert abs(row["classic_alpha"] - row["refined_alpha"]) < 0.05
+    # The refined chain mixes much more slowly ...
+    assert row["refined_tmix"] >= 4 * row["classic_tmix"]
+    # ... and dissemination is indeed slower on the refined model.
+    assert row["refined_mean"] >= row["classic_mean"]
+    # The general (mixing-time aware) bound ranks the two models correctly.
+    assert row["refined_general_bound"] > row["classic_general_bound"]
+    # Both measurements respect their bounds.
+    assert row["classic_mean"] <= row["classic_general_bound"]
+    assert row["refined_mean"] <= row["refined_general_bound"]

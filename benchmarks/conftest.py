@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one experiment of DESIGN.md's per-experiment index
+(E1–E10 plus the ablations) at the "small" scale, checks the qualitative
+shape the paper predicts, and records the wall-clock cost via
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Epidemic spreading among agents walking a campus graph (graph mobility models).
+
+Graph mobility models (Section 4.1, Corollaries 5 and 6): agents move over a
+fixed mobility graph — here an 8x8 grid of campus walkway intersections — and
+an infection (or a rumour) is transmitted whenever an infected and a
+susceptible agent meet at the same intersection.
+
+The script compares three settings the paper analyses:
+
+* the random-path model where agents commute along shortest paths between
+  random destinations (the waypoint-on-a-graph of Corollary 5);
+* the plain random walk on the same grid (the rho = 1 model of Corollary 6);
+* the k-augmented grid (shortcut corridors), where the paper's mixing-time
+  driven bound improves on the meeting-time bound of prior work [15].
+
+Run with::
+
+    python examples/campus_epidemic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RandomPathModel, corollary5_bound, corollary6_bound
+from repro.baselines.meeting_time import expected_meeting_time, meeting_time_bound
+from repro.core.flooding import flooding_time_samples
+from repro.core.spreading import si_epidemic
+from repro.graphs.grid import augmented_grid_graph, grid_graph
+from repro.graphs.paths import shortest_path_family
+from repro.graphs.properties import degree_regularity, diameter, path_family_regularity
+from repro.markov.mixing import mixing_time
+from repro.mobility.random_path import GraphRandomWalkMobility
+
+
+def commuting_students(num_agents: int) -> None:
+    print("--- random paths: students commuting along shortest walkway routes ---")
+    campus = grid_graph(6)
+    routes = shortest_path_family(campus)
+    model = RandomPathModel(num_agents, routes, holding_probability=0.25)
+    d = diameter(campus)
+    delta = path_family_regularity(routes)
+    samples = flooding_time_samples(model, 5, rng=0)
+    bound = corollary5_bound(
+        num_agents, mixing_time=d, num_points=campus.number_of_nodes(), delta=delta
+    )
+    print(f"campus: 6x6 grid, diameter {d}, route-family regularity delta = {delta:.2f}")
+    print(f"measured full-infection time: mean {np.mean(samples):.1f} steps")
+    print(f"Corollary 5 bound (constant = 1): {bound:.0f}")
+    print(f"trivial lower bound (diameter): {d}\n")
+
+
+def wandering_visitors(num_agents: int) -> None:
+    print("--- random walks and shortcut corridors (k-augmented grids) ---")
+    print(f"{'k':>3}  {'T_mix':>6}  {'meeting time':>13}  {'measured':>9}  {'Cor. 6 bound':>13}  {'[15] bound':>11}")
+    for k in (1, 2, 3):
+        campus = augmented_grid_graph(6, k)
+        model = GraphRandomWalkMobility(num_agents, campus, holding_probability=0.5)
+        t_mix = mixing_time(model.to_markov_chain())
+        meeting = expected_meeting_time(campus, num_trials=80, rng=k)
+        samples = flooding_time_samples(model, 5, rng=10 + k)
+        bound = corollary6_bound(
+            num_agents, t_mix, campus.number_of_nodes(), degree_regularity(campus)
+        )
+        print(
+            f"{k:>3}  {t_mix:>6}  {meeting:>13.1f}  {np.mean(samples):>9.1f}  "
+            f"{bound:>13.3e}  {meeting_time_bound(meeting, num_agents):>11.1f}"
+        )
+    print(
+        "shortcut corridors cut the walk's mixing time (and the measured spreading\n"
+        "time) sharply, while the meeting time — and hence the prior bound of [15] —\n"
+        "barely moves: this is the paper's improvement on k-augmented grids\n"
+    )
+
+
+def imperfect_transmission(num_agents: int) -> None:
+    print("--- SI epidemic with per-contact infection probability 0.4 ---")
+    campus = grid_graph(6)
+    model = GraphRandomWalkMobility(num_agents, campus, holding_probability=0.5)
+    flood_times = flooding_time_samples(model, 5, rng=20)
+    epidemic_times = []
+    for seed in range(5):
+        result = si_epidemic(model, infection_probability=0.4, rng=30 + seed)
+        epidemic_times.append(result.completion_time)
+    print(f"deterministic transmission: mean {np.mean(flood_times):.1f} steps")
+    print(f"per-contact probability 0.4: mean {np.mean(epidemic_times):.1f} steps")
+    print("imperfect transmission costs only a constant factor (Section 5 reduction)")
+
+
+def main() -> None:
+    num_agents = 72
+    commuting_students(num_agents)
+    wandering_visitors(num_agents)
+    imperfect_transmission(num_agents)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every registered experiment and record the tables.
+
+This is the script that produced the EXPERIMENTS.md checked into the
+repository.  It runs the full registry (E1–E10) at the chosen scale, renders
+each report as a markdown table, and prepends the per-experiment
+"paper claim vs. what we measure" commentary.
+
+Run with::
+
+    python examples/generate_experiments_report.py            # small scale, ~1 minute
+    python examples/generate_experiments_report.py --scale full --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_markdown
+
+# What the paper claims for each experiment and what the reproduction checks.
+PAPER_CLAIMS: dict[str, str] = {
+    "E1": (
+        "**Paper claim (Theorem 1).** Any (M, α, β)-stationary dynamic graph floods in "
+        "O(M (1/(nα) + β)² log² n) w.h.p.  **Measured.** On a sparse stationary edge-MEG "
+        "(α ≈ 1/n, β = 1) the bound dominates every measured point and grows at least as "
+        "fast as the measurement in n; the measured growth is close to logarithmic, i.e. "
+        "the bound's shape is respected with room to spare (its constant is set to 1)."
+    ),
+    "E2": (
+        "**Paper claim (Theorem 3).** A node-MEG with P_NM ≥ 1/poly(n) and P_NM2 ≤ η P_NM² "
+        "floods in O(T_mix (1/(n P_NM) + η)² log³ n).  **Measured.** For the co-location "
+        "node-MEG the exact η is ≈ 1, the bound dominates the measurement at every n, and "
+        "flooding gets faster as the population grows at fixed meeting-space size."
+    ),
+    "E3": (
+        "**Paper claim (Corollary 4 / Section 4.1).** First flooding bound for the random "
+        "waypoint: O((L/v_max)(L²/(n r²) + 1)² log³ n); in the sparse regime L ~ √n, r = Θ(1) "
+        "this is Õ(√n / v_max), almost matching the Ω(√n / v_max) lower bound.  **Measured.** "
+        "The log-log slope of flooding time vs n is ≈ 0.5 and the measured time stays within a "
+        "small constant factor of the trivial lower bound — the bound is tight in shape."
+    ),
+    "E4": (
+        "**Paper claim (Introduction).** The random-walk model is the well-understood baseline "
+        "(prior work gives almost tight Õ(√n) bounds via ad-hoc arguments).  **Measured.** Our "
+        "simulator reproduces the expected behaviour (flooding time grows with the grid side and "
+        "respects the geometric lower bound), validating the harness used for the other models."
+    ),
+    "E5": (
+        "**Paper claim (Corollary 5).** Simple, reversible, δ-regular random-path models flood in "
+        "O(T_mix (|V|/n + δ³)² log³ n); with unique shortest paths on a grid this is O(D polylog n). "
+        "**Measured.** The all-pairs shortest-path family on grids has small δ, the measured "
+        "flooding time grows roughly linearly with the diameter and stays below the bound."
+    ),
+    "E6": (
+        "**Paper claim (Corollary 6).** For random walks on δ-regular graphs the bound is driven by "
+        "the single-walk mixing time, improving on the meeting-time bound of [15] on k-augmented "
+        "grids (mixing time falls ~1/k² while the meeting time stays ~Θ(s log s)).  **Measured.** "
+        "The mixing time drops by a much larger factor than the Monte-Carlo meeting time as k grows, "
+        "and the measured flooding time falls with k — the who-wins comparison goes to the paper."
+    ),
+    "E7": (
+        "**Paper claim (Appendix A).** Generalised edge-MEGs flood in O(T_mix (1/(nα) + 1)² log² n); "
+        "for the classic (p, q) model this is almost tight versus the O(log n / log(1+np)) bound of "
+        "[10] whenever q ≳ np.  **Measured.** Both bounds dominate the measurement, the measured time "
+        "decreases in p, and inside the q ≥ np region the two bounds agree up to a polylog factor."
+    ),
+    "E8": (
+        "**Paper claim (Section 5).** Randomised protocols that transmit to a random subset of "
+        "neighbours reduce to flooding on a virtual dynamic graph with a subset of the edges.  "
+        "**Measured.** Dropping each contact independently with probability 1/2 (push gossip / SI "
+        "epidemic) slows completion by only a small constant factor, as the reduction predicts."
+    ),
+    "E9": (
+        "**Paper claim (Lemmas 9–11).** The per-epoch expansion quantities deg_{i,A}, deg_{A,B} and "
+        "spread_A^T concentrate around their means (Paley–Zygmund / Chernoff machinery).  "
+        "**Measured.** The empirical means track the independent-edge predictions and the lower "
+        "quantiles do not collapse, which is exactly the concentration the proof needs."
+    ),
+    "E10": (
+        "**Paper claim (Fact 2, Lemma 15, Corollary 4).** The abstract density/independence "
+        "conditions reduce to checkable properties: P_NM/P_NM2 for node-MEGs and the positional "
+        "density conditions (a)/(b) for geometric models; the waypoint density satisfies them with "
+        "absolute constants.  **Measured.** The analytic and empirical waypoint densities give "
+        "δ ≈ 2.25 and a constant λ; Monte-Carlo estimates of α and of the pairwise-correlation ratio "
+        "agree with the exact values and sit far below the conservative 17η constant."
+    ),
+}
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+The paper (PODC 2012) is a theory paper: its evaluation consists of the
+flooding-time bounds of Theorem 1, Theorem 3, Corollaries 4–6 and Appendix A,
+together with explicit comparisons against prior bounds ([10] for edge-MEGs,
+[15] for random-walk mobility).  Each experiment below regenerates one of
+those results as a finite-size simulation; the tables were produced by
+`python examples/generate_experiments_report.py` (scale = "{scale}", seed = {seed})
+and the same sweeps run as assertions in `benchmarks/`.
+
+Absolute numbers are not expected to match the paper (which reports none);
+what is reproduced is the *shape* of every claim: which bound dominates,
+how measured flooding times scale, and where the crossovers fall.  Bound
+formulas are evaluated with their implicit constants set to 1.
+
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "EXPERIMENTS.md"),
+    )
+    args = parser.parse_args()
+
+    sections = [HEADER.format(scale=args.scale, seed=args.seed)]
+    for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        print(f"running {experiment_id} ...", flush=True)
+        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        sections.append(PAPER_CLAIMS[experiment_id])
+        sections.append("")
+        sections.append(format_markdown(report))
+        sections.append("")
+    content = "\n".join(sections)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

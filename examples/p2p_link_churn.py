@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Peer-to-peer overlay with link churn: file dissemination on edge-MEGs.
+
+Edge-Markovian evolving graphs model overlays whose links fail and recover
+independently of node mobility (Appendix A of the paper).  The script models
+a P2P swarm whose links churn at different rates and measures how fast a new
+file (or gossip update) reaches every peer:
+
+* the classic two-state edge-MEG (link up / link down) across churn rates,
+  compared against the paper's general bound and the prior bound of [10];
+* a generalised edge-MEG whose links follow a three-state hidden chain
+  (down -> degraded -> up), something the earlier analyses could not handle
+  but the paper's Theorem 1 covers out of the box.
+
+Run with::
+
+    python examples/p2p_link_churn.py
+"""
+
+from __future__ import annotations
+
+from repro import EdgeMEG, GeneralEdgeMEG, edge_meg_general_bound
+from repro.baselines.edge_meg_bound import classic_edge_meg_prior_bound
+from repro.core.bounds import classic_edge_meg_bound
+from repro.core.metrics import flooding_time_statistics
+from repro.markov.builders import birth_death_chain
+from repro.markov.mixing import mixing_time
+
+
+def classic_churn_sweep(n: int) -> None:
+    print(f"--- classic edge-MEG churn sweep (n={n} peers) ---")
+    header = f"{'p (birth)':>10}  {'q (death)':>10}  {'measured':>9}  {'general bound':>14}  {'prior bound [10]':>17}"
+    print(header)
+    for p_mult, q in ((0.5, 0.5), (2.0, 0.5), (2.0, 0.05), (8.0, 0.5)):
+        p = p_mult / n
+        model = EdgeMEG(n, p=p, q=q)
+        summary = flooding_time_statistics(model, num_trials=8, rng=0)
+        print(
+            f"{p:>10.4f}  {q:>10.2f}  {summary.mean:>9.1f}  "
+            f"{classic_edge_meg_bound(n, p, q):>14.1f}  "
+            f"{classic_edge_meg_prior_bound(n, p):>17.1f}"
+        )
+    print(
+        "sticky links (small q) slow dissemination down even at the same density —\n"
+        "the mixing-time factor of the general bound captures exactly that\n"
+    )
+
+
+def degraded_link_overlay(n: int) -> None:
+    print(f"--- generalised edge-MEG: down/degraded/up links (n={n} peers) ---")
+    # Hidden chain: state 0 = down, 1 = degraded, 2 = up; only 'up' carries data.
+    chain = birth_death_chain(
+        probabilities_up=[0.2, 0.3, 0.0], probabilities_down=[0.0, 0.1, 0.2]
+    )
+    model = GeneralEdgeMEG(n, chain, chi=[0, 0, 1])
+    alpha = model.stationary_edge_probability()
+    t_mix = mixing_time(chain)
+    summary = flooding_time_statistics(model, num_trials=8, rng=1)
+    bound = edge_meg_general_bound(n, t_mix, alpha)
+    print(f"stationary probability a link is usable: {alpha:.3f}")
+    print(f"hidden-chain mixing time: {t_mix}")
+    print(f"measured dissemination time: mean {summary.mean:.1f}, max {summary.maximum:.0f}")
+    print(f"Appendix-A bound (constant = 1): {bound:.1f}")
+    print("the three-state churn model is outside the scope of [10] but the")
+    print("paper's independence argument (beta = 1) still applies unchanged")
+
+
+def main() -> None:
+    classic_churn_sweep(n=150)
+    print()
+    degraded_link_overlay(n=80)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Prior-work comparators and trivial lower bounds.
+
+The paper compares its bounds against two earlier results:
+
+* the almost-tight flooding bound ``O(log n / log(1 + n p))`` for the classic
+  edge-MEG of Clementi et al. [10] (Appendix A), and
+* the meeting-time based bound ``O(T* log n)`` of Dimitriou, Nikoletseas and
+  Spirakis [15] for random-walk mobility on general graphs, which Corollary 6
+  improves on k-augmented grids.
+
+It also repeatedly invokes trivial lower bounds (``Omega(D)`` for graph
+models, ``Omega(L / v)`` for geometric ones).  All of these are implemented
+here so the experiments can reproduce both sides of every comparison.
+"""
+
+from repro.baselines.edge_meg_bound import classic_edge_meg_prior_bound
+from repro.baselines.lower_bounds import (
+    diameter_lower_bound,
+    geometric_lower_bound,
+    sparse_waypoint_lower_bound,
+)
+from repro.baselines.meeting_time import (
+    expected_meeting_time,
+    hitting_time_matrix,
+    meeting_time_bound,
+)
+
+__all__ = [
+    "classic_edge_meg_prior_bound",
+    "diameter_lower_bound",
+    "expected_meeting_time",
+    "geometric_lower_bound",
+    "hitting_time_matrix",
+    "meeting_time_bound",
+    "sparse_waypoint_lower_bound",
+]

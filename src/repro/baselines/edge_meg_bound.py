@@ -1,0 +1,63 @@
+"""The prior (almost tight) flooding bound for the classic edge-MEG.
+
+Clementi, Macci, Monti, Pasquale and Silvestri [10] proved that flooding on
+the classic edge-MEG with birth rate ``p`` and death rate ``q`` completes in
+``O(log n / log(1 + n p))`` steps w.h.p. (Eq. 2 in the paper's Appendix A).
+The paper compares its own, more general bound against this one and notes the
+general bound is almost tight whenever ``q ≳ n p``.  Both sides of the
+comparison are implemented: this module provides the prior bound and the
+tightness-region predicate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.mathutils import logn_factor
+from repro.util.validation import require_probability
+
+
+def classic_edge_meg_prior_bound(n: int, p: float) -> float:
+    """The [10] bound ``log n / log(1 + n p)`` (implicit constant set to 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    require_probability(p, "p")
+    if p == 0.0:
+        return float("inf")
+    return logn_factor(n, 1) / math.log2(1.0 + n * p)
+
+
+def general_bound_is_tight(n: int, p: float, q: float) -> bool:
+    """Whether the paper's general bound is almost tight for these parameters.
+
+    Appendix A concludes the general bound matches the [10] bound (up to
+    polylog factors) whenever ``q >= n p``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    require_probability(p, "p")
+    require_probability(q, "q")
+    return q >= n * p
+
+
+def bound_comparison(n: int, p: float, q: float) -> dict:
+    """Both bounds and their ratio for one ``(n, p, q)`` configuration.
+
+    Returns a dict with the prior bound of [10], the paper's general bound
+    (via :func:`repro.core.bounds.classic_edge_meg_bound`), their ratio and
+    the tightness predicate — one row of the Appendix-A comparison table.
+    """
+    from repro.core.bounds import classic_edge_meg_bound
+
+    prior = classic_edge_meg_prior_bound(n, p)
+    general = classic_edge_meg_bound(n, p, q)
+    ratio = general / prior if prior > 0 and math.isfinite(prior) else float("inf")
+    return {
+        "n": n,
+        "p": p,
+        "q": q,
+        "prior_bound": prior,
+        "general_bound": general,
+        "ratio": ratio,
+        "tight_region": general_bound_is_tight(n, p, q),
+    }

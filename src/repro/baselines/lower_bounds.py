@@ -1,0 +1,41 @@
+"""Trivial flooding-time lower bounds used throughout the paper.
+
+* graph mobility models: information needs at least ``Omega(D)`` steps to
+  cross a mobility graph of hop diameter ``D``;
+* geometric models: with transmission radius ``r`` and speed ``v``,
+  information travels at most ``r + v`` distance per step, so crossing a
+  square of side ``L`` needs ``Omega(L / (r + v))`` steps — the paper quotes
+  the ``Omega(L / v)`` form for the constant-radius regime;
+* sparse random waypoint (``L ~ sqrt(n)``, ``r = Theta(1)``): the lower bound
+  becomes ``Omega(sqrt(n) / v_max)``, which the upper bound matches up to a
+  ``log^3 n`` factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import require_positive
+
+
+def diameter_lower_bound(diameter: int) -> float:
+    """``Omega(D)`` for graph mobility models (constant set to 1)."""
+    if diameter < 0:
+        raise ValueError(f"diameter must be >= 0, got {diameter}")
+    return float(diameter)
+
+
+def geometric_lower_bound(side: float, radius: float, speed: float) -> float:
+    """``L / (r + v)`` — steps needed to cross the square at maximum progress."""
+    require_positive(side, "side")
+    require_positive(radius, "radius", strict=False)
+    require_positive(speed, "speed")
+    return side / (radius + speed)
+
+
+def sparse_waypoint_lower_bound(n: int, v_max: float) -> float:
+    """``sqrt(n) / v_max`` — the trivial lower bound in the sparse regime."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    require_positive(v_max, "v_max")
+    return math.sqrt(n) / v_max

@@ -1,0 +1,166 @@
+"""Meeting and hitting times of random walks — the comparator of [15].
+
+Dimitriou, Nikoletseas and Spirakis [15] bound the flooding ("infection")
+time of random-walk mobility on a general graph by ``O(T* log n)`` where
+``T*`` is the meeting time of two independent random walks.  The paper argues
+its Corollary 6 improves on this for graphs (such as k-augmented grids) where
+the single-walk mixing time is much smaller than the meeting time.
+
+This module computes the comparator quantities:
+
+* exact expected hitting times of a single (lazy) random walk, by solving the
+  standard linear system;
+* Monte-Carlo estimates of the meeting time of two independent walks (exact
+  computation would require the product chain, quadratic in ``|V|``);
+* the resulting [15]-style bound ``T* log n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.util.mathutils import logn_factor
+from repro.util.rng import RNGLike, ensure_rng, spawn_rngs
+
+
+def hitting_time_matrix(graph: nx.Graph) -> tuple[np.ndarray, list[Hashable]]:
+    """Exact expected hitting times ``H[i, j]`` of a simple random walk.
+
+    ``H[i, j]`` is the expected number of steps for a walk started at node
+    ``i`` to first reach node ``j``.  Computed column by column from the
+    linear system ``h = 1 + P_{-j} h`` restricted to the non-target states.
+
+    Returns the matrix together with the node ordering used for its indices.
+    """
+    nodes = list(graph.nodes())
+    k = len(nodes)
+    if k == 0:
+        raise ValueError("the graph has no nodes")
+    if k > 1 and not nx.is_connected(graph):
+        raise ValueError("hitting times are infinite on a disconnected graph")
+    index = {node: i for i, node in enumerate(nodes)}
+    transition = np.zeros((k, k))
+    for node in nodes:
+        neighbors = list(graph.neighbors(node))
+        if not neighbors:
+            transition[index[node], index[node]] = 1.0
+            continue
+        share = 1.0 / len(neighbors)
+        for neighbor in neighbors:
+            transition[index[node], index[neighbor]] += share
+    hitting = np.zeros((k, k))
+    identity = np.eye(k - 1) if k > 1 else np.zeros((0, 0))
+    for target in range(k):
+        keep = [i for i in range(k) if i != target]
+        if not keep:
+            continue
+        sub = transition[np.ix_(keep, keep)]
+        rhs = np.ones(len(keep))
+        solution = np.linalg.solve(identity - sub, rhs)
+        for row, i in enumerate(keep):
+            hitting[i, target] = solution[row]
+    return hitting, nodes
+
+
+def max_hitting_time(graph: nx.Graph) -> float:
+    """Maximum expected hitting time over all ordered node pairs."""
+    hitting, _nodes = hitting_time_matrix(graph)
+    return float(hitting.max())
+
+
+def expected_meeting_time(
+    graph: nx.Graph,
+    num_trials: int = 200,
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    worst_case_starts: bool = False,
+) -> float:
+    """Monte-Carlo estimate of the meeting time of two independent random walks.
+
+    Both walks move simultaneously, one uniform-neighbour step each per time
+    step; the meeting time is the first step at which they occupy the same
+    node.  To avoid the parity trap of bipartite graphs (two walks on a grid
+    can never meet if they start on cells of different colour), the walks are
+    lazy with holding probability 1/2 — the standard convention, which changes
+    the meeting time only by a constant factor.
+
+    Parameters
+    ----------
+    graph:
+        The mobility graph.
+    num_trials:
+        Number of independent simulations to average.
+    rng:
+        Seed or generator.
+    max_steps:
+        Per-trial step cap (default ``64 |V|^2``); hitting it raises.
+    worst_case_starts:
+        When true, both walks start from the diametrically opposite pair
+        (approximating the worst case); when false (default), starts are
+        independent and degree-stationary.
+    """
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    nodes = list(graph.nodes())
+    k = len(nodes)
+    if k < 2:
+        raise ValueError("the graph needs at least two nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("meeting times are infinite on a disconnected graph")
+    if max_steps is None:
+        max_steps = 64 * k * k
+    index = {node: i for i, node in enumerate(nodes)}
+    neighbors = [[index[v] for v in graph.neighbors(node)] for node in nodes]
+    degrees = np.array([len(nbrs) for nbrs in neighbors], dtype=float)
+    stationary = degrees / degrees.sum()
+
+    if worst_case_starts:
+        eccentric_pair = _most_distant_pair(graph)
+        start_a, start_b = index[eccentric_pair[0]], index[eccentric_pair[1]]
+
+    times = []
+    for generator in spawn_rngs(rng, num_trials):
+        if worst_case_starts:
+            a, b = start_a, start_b
+        else:
+            a = int(generator.choice(k, p=stationary))
+            b = int(generator.choice(k, p=stationary))
+        steps = 0
+        while a != b:
+            if steps >= max_steps:
+                raise RuntimeError(
+                    f"the two walks did not meet within {max_steps} steps"
+                )
+            if generator.random() >= 0.5:
+                a = neighbors[a][generator.integers(len(neighbors[a]))]
+            if generator.random() >= 0.5:
+                b = neighbors[b][generator.integers(len(neighbors[b]))]
+            steps += 1
+        times.append(steps)
+    return float(np.mean(times))
+
+
+def meeting_time_bound(meeting_time: float, n: int) -> float:
+    """The [15] flooding bound ``T* log n`` (implicit constant set to 1)."""
+    if meeting_time < 0:
+        raise ValueError(f"meeting_time must be >= 0, got {meeting_time}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return meeting_time * logn_factor(n, 1)
+
+
+def _most_distant_pair(graph: nx.Graph) -> tuple[Hashable, Hashable]:
+    """A pair of nodes realising the graph diameter (ties broken arbitrarily)."""
+    best_pair = None
+    best_distance = -1
+    for source, lengths in nx.all_pairs_shortest_path_length(graph):
+        for target, distance in lengths.items():
+            if distance > best_distance:
+                best_distance = distance
+                best_pair = (source, target)
+    assert best_pair is not None
+    return best_pair

@@ -1,0 +1,170 @@
+"""Command-line interface: run experiments and flooding simulations from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro experiments list
+    python -m repro experiments run E3 --scale small --seed 1
+    python -m repro experiments run-all --markdown --output EXPERIMENTS.md
+    python -m repro flood edge-meg --nodes 200 --p 0.0025 --q 0.5 --trials 10
+    python -m repro flood waypoint --nodes 100 --side 10 --radius 1 --speed 1
+    python -m repro flood grid-walk --nodes 64 --grid-side 8 --radius 1
+
+The ``flood`` subcommand reports the measured flooding-time statistics next
+to the paper's bound for the chosen model, mirroring what the examples do in
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.bounds import (
+    classic_edge_meg_bound,
+    corollary6_bound,
+    waypoint_flooding_bound,
+)
+from repro.core.metrics import flooding_time_statistics
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_markdown, format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Information Spreading in Dynamic Graphs' (PODC 2012)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the registered experiments E1-E10"
+    )
+    experiments_sub = experiments.add_subparsers(dest="experiments_command", required=True)
+    experiments_sub.add_parser("list", help="list the registered experiments")
+    run_one = experiments_sub.add_parser("run", help="run a single experiment")
+    run_one.add_argument("experiment_id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
+    run_one.add_argument("--scale", choices=("small", "full"), default="small")
+    run_one.add_argument("--seed", type=int, default=0)
+    run_one.add_argument("--markdown", action="store_true", help="render as markdown")
+    run_all = experiments_sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--scale", choices=("small", "full"), default="small")
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument("--markdown", action="store_true")
+    run_all.add_argument("--output", default=None, help="write the report to a file")
+
+    flood = subparsers.add_parser("flood", help="measure flooding on a chosen model")
+    flood_sub = flood.add_subparsers(dest="model", required=True)
+
+    edge_meg = flood_sub.add_parser("edge-meg", help="classic edge-MEG with birth/death rates")
+    edge_meg.add_argument("--nodes", type=int, default=100)
+    edge_meg.add_argument("--p", type=float, default=0.01, help="edge birth rate")
+    edge_meg.add_argument("--q", type=float, default=0.5, help="edge death rate")
+    edge_meg.add_argument("--trials", type=int, default=10)
+    edge_meg.add_argument("--seed", type=int, default=0)
+
+    waypoint = flood_sub.add_parser("waypoint", help="random waypoint over a square")
+    waypoint.add_argument("--nodes", type=int, default=100)
+    waypoint.add_argument("--side", type=float, default=10.0)
+    waypoint.add_argument("--radius", type=float, default=1.0)
+    waypoint.add_argument("--speed", type=float, default=1.0)
+    waypoint.add_argument("--trials", type=int, default=5)
+    waypoint.add_argument("--seed", type=int, default=0)
+
+    grid_walk = flood_sub.add_parser("grid-walk", help="random walks over a grid mobility graph")
+    grid_walk.add_argument("--nodes", type=int, default=64)
+    grid_walk.add_argument("--grid-side", type=int, default=8)
+    grid_walk.add_argument("--augment-k", type=int, default=1, help="k-augmentation of the grid")
+    grid_walk.add_argument("--trials", type=int, default=5)
+    grid_walk.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    renderer = format_markdown if getattr(args, "markdown", False) else format_table
+    if args.experiments_command == "list":
+        for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+            experiment = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id}: {experiment.title}  [{experiment.paper_reference}]")
+        return 0
+    if args.experiments_command == "run":
+        report = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+        print(renderer(report))
+        return 0
+    # run-all
+    sections = []
+    for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        sections.append(renderer(report))
+    output = "\n\n".join(sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    return 0
+
+
+def _run_flood(args: argparse.Namespace) -> int:
+    if args.model == "edge-meg":
+        from repro.meg.edge_meg import EdgeMEG
+
+        model = EdgeMEG(args.nodes, p=args.p, q=args.q)
+        bound = classic_edge_meg_bound(args.nodes, args.p, args.q)
+        description = f"edge-MEG(n={args.nodes}, p={args.p}, q={args.q})"
+    elif args.model == "waypoint":
+        from repro.mobility.random_waypoint import RandomWaypoint
+
+        model = RandomWaypoint(
+            args.nodes, side=args.side, radius=args.radius, v_min=args.speed
+        )
+        bound = waypoint_flooding_bound(args.nodes, args.side, args.radius, args.speed)
+        description = (
+            f"random waypoint(n={args.nodes}, L={args.side}, r={args.radius}, v={args.speed})"
+        )
+    else:  # grid-walk
+        from repro.graphs.grid import augmented_grid_graph
+        from repro.graphs.properties import degree_regularity
+        from repro.markov.mixing import mixing_time
+        from repro.mobility.random_path import GraphRandomWalkMobility
+
+        graph = augmented_grid_graph(args.grid_side, args.augment_k)
+        model = GraphRandomWalkMobility(args.nodes, graph, holding_probability=0.5)
+        bound = corollary6_bound(
+            args.nodes,
+            mixing_time(model.to_markov_chain()),
+            graph.number_of_nodes(),
+            degree_regularity(graph),
+        )
+        description = (
+            f"grid random walk(n={args.nodes}, side={args.grid_side}, k={args.augment_k})"
+        )
+
+    summary = flooding_time_statistics(model, num_trials=args.trials, rng=args.seed)
+    print(f"model:  {description}")
+    print(f"trials: {summary.count}")
+    print(
+        "flooding time: "
+        f"mean {summary.mean:.1f}, median {summary.median:.1f}, "
+        f"min {summary.minimum:.0f}, max {summary.maximum:.0f}"
+    )
+    print(f"paper bound (constant = 1): {bound:.1f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "flood":
+        return _run_flood(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""The flooding-time bound formulas of the paper.
+
+Each function evaluates the corresponding asymptotic bound *with the implicit
+constant set to 1* (and ``log`` factors clamped at 1 for tiny ``n``), so the
+values are meaningful only up to a constant factor.  The experiments compare
+the *shape* of measured flooding times against these formulas — scaling
+exponents, crossovers and who-wins comparisons — never absolute values.
+
+Implemented bounds
+------------------
+* :func:`theorem1_bound` — ``O(M (1/(n alpha) + beta)^2 log^2 n)`` for any
+  ``(M, alpha, beta)``-stationary dynamic graph;
+* :func:`theorem3_bound` — ``O(T_mix (1/(n P_NM) + eta)^2 log^3 n)`` for
+  node-MEGs;
+* :func:`corollary4_bound` — geometric random-trip models via the positional
+  uniformity parameters ``delta`` and ``lambda``;
+* :func:`waypoint_flooding_bound` — the explicit random-waypoint form
+  ``O((L / v_max) (L^2 / (n r^2) + 1)^2 log^3 n)``;
+* :func:`corollary5_bound` — random-path models, ``O(T_mix (|V|/n + delta^3)^2 log^3 n)``;
+* :func:`corollary6_bound` — random walks on δ-regular graphs,
+  ``O(T_mix (delta^2 |V|/n + delta^7)^2 log^3 n)``;
+* :func:`edge_meg_general_bound` — generalised edge-MEGs,
+  ``O(T_mix (1/(n alpha) + 1)^2 log^2 n)``.
+"""
+
+from __future__ import annotations
+
+from repro.util.mathutils import logn_factor
+from repro.util.validation import require_positive
+
+
+def theorem1_bound(n: int, epoch_length: float, alpha: float, beta: float) -> float:
+    """Theorem 1: ``M (1/(n alpha) + beta)^2 log^2 n``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    epoch_length:
+        The epoch length ``M`` (at least the mixing time of the process).
+    alpha:
+        Lower bound on the stationary edge probability (density condition).
+    beta:
+        Upper bound on the pairwise-correlation ratio (β-independence).
+    """
+    _validate_n(n)
+    require_positive(epoch_length, "epoch_length")
+    require_positive(alpha, "alpha")
+    require_positive(beta, "beta")
+    return epoch_length * (1.0 / (n * alpha) + beta) ** 2 * logn_factor(n, 2)
+
+
+def theorem3_bound(n: int, mixing_time: float, edge_probability: float, eta: float) -> float:
+    """Theorem 3: ``T_mix (1/(n P_NM) + eta)^2 log^3 n`` for node-MEGs."""
+    _validate_n(n)
+    require_positive(mixing_time, "mixing_time")
+    require_positive(edge_probability, "edge_probability")
+    require_positive(eta, "eta")
+    return (
+        mixing_time
+        * (1.0 / (n * edge_probability) + eta) ** 2
+        * logn_factor(n, 3)
+    )
+
+
+def corollary4_bound(
+    n: int,
+    mixing_time: float,
+    delta: float,
+    lam: float,
+    volume: float,
+    radius: float,
+    dimension: int = 2,
+) -> float:
+    """Corollary 4: ``T_mix (delta^2 vol(R) / (lambda n r^d) + delta^6 / lambda^2)^2 log^3 n``."""
+    _validate_n(n)
+    require_positive(mixing_time, "mixing_time")
+    require_positive(delta, "delta")
+    require_positive(lam, "lam")
+    require_positive(volume, "volume")
+    require_positive(radius, "radius")
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    density_term = delta**2 * volume / (lam * n * radius**dimension)
+    correlation_term = delta**6 / lam**2
+    return mixing_time * (density_term + correlation_term) ** 2 * logn_factor(n, 3)
+
+
+def waypoint_flooding_bound(n: int, side: float, radius: float, v_max: float) -> float:
+    """The explicit random-waypoint bound ``(L / v_max)(L^2/(n r^2) + 1)^2 log^3 n``.
+
+    This is the form stated in Section 4.1 after plugging the waypoint's
+    constants (``delta``, ``lambda`` absolute constants, mixing time
+    ``Theta(L / v_max)``) into Corollary 4.
+    """
+    _validate_n(n)
+    require_positive(side, "side")
+    require_positive(radius, "radius")
+    require_positive(v_max, "v_max")
+    return (side / v_max) * (side**2 / (n * radius**2) + 1.0) ** 2 * logn_factor(n, 3)
+
+
+def corollary5_bound(n: int, mixing_time: float, num_points: int, delta: float) -> float:
+    """Corollary 5: ``T_mix (|V|/n + delta^3)^2 log^3 n`` for random-path models."""
+    _validate_n(n)
+    require_positive(mixing_time, "mixing_time")
+    require_positive(delta, "delta")
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    return mixing_time * (num_points / n + delta**3) ** 2 * logn_factor(n, 3)
+
+
+def corollary6_bound(n: int, mixing_time: float, num_points: int, delta: float) -> float:
+    """Corollary 6: ``T_mix (delta^2 |V|/n + delta^7)^2 log^3 n`` for graph random walks."""
+    _validate_n(n)
+    require_positive(mixing_time, "mixing_time")
+    require_positive(delta, "delta")
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    return (
+        mixing_time * (delta**2 * num_points / n + delta**7) ** 2 * logn_factor(n, 3)
+    )
+
+
+def edge_meg_general_bound(n: int, mixing_time: float, alpha: float) -> float:
+    """Appendix A: ``T_mix (1/(n alpha) + 1)^2 log^2 n`` for generalised edge-MEGs.
+
+    Edges evolve independently, so the β-independence condition holds with
+    ``beta = 1`` and Theorem 1 specialises to this form.
+    """
+    _validate_n(n)
+    require_positive(mixing_time, "mixing_time")
+    require_positive(alpha, "alpha")
+    return mixing_time * (1.0 / (n * alpha) + 1.0) ** 2 * logn_factor(n, 2)
+
+
+def classic_edge_meg_bound(n: int, p: float, q: float) -> float:
+    """Appendix A instantiation for the classic edge-MEG with birth/death rates.
+
+    Mixing time ``1/(p+q)`` and stationary edge probability ``p/(p+q)`` give
+    ``(1/(p+q)) ((p+q)/(n p) + 1)^2 log^2 n``.
+    """
+    _validate_n(n)
+    require_positive(p, "p")
+    require_positive(q, "q", strict=False)
+    total = p + q
+    return (1.0 / total) * (total / (n * p) + 1.0) ** 2 * logn_factor(n, 2)
+
+
+def sparse_waypoint_bound(n: int, v_max: float) -> float:
+    """The sparse-regime waypoint bound ``(sqrt(n) / v_max) log^3 n``.
+
+    Obtained from :func:`waypoint_flooding_bound` with ``L ~ sqrt(n)`` and
+    ``r = Theta(1)``; it almost matches the trivial lower bound
+    ``Omega(sqrt(n) / v_max)``.
+    """
+    _validate_n(n)
+    require_positive(v_max, "v_max")
+    return (n**0.5 / v_max) * logn_factor(n, 3)
+
+
+def _validate_n(n: int) -> None:
+    if not isinstance(n, (int,)) or isinstance(n, bool):
+        raise TypeError(f"n must be an int, got {type(n).__name__}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")

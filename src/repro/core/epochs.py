@@ -1,0 +1,171 @@
+"""Epoch-level expansion quantities from the proof of Theorem 1.
+
+The analysis of the paper never looks at individual snapshots; it works at
+*epoch* granularity (every ``M`` steps) and tracks three random variables:
+
+* ``deg^tau_{i,A}`` — the number of nodes of ``A`` adjacent to node ``i`` at
+  epoch ``tau`` (Lemma 9 lower-bounds its median via Paley–Zygmund);
+* ``deg^tau_{A,B}`` — the number of nodes of ``B`` adjacent to *some* node of
+  ``A`` at epoch ``tau`` (Lemma 10);
+* ``spread^{tau,T}_A`` — the number of nodes outside ``A`` that touch ``A`` at
+  least once during the ``T`` epochs following ``tau`` (Lemma 11, the
+  doubling engine of the spreading phase).
+
+The functions here measure those quantities empirically on any dynamic graph,
+so the experiments can check the concentration the lemmas predict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike, spawn_rngs
+
+
+def degree_into_set(process: DynamicGraph, node: int, target_set: Set[int]) -> int:
+    """``deg_{i,A}`` in the *current* snapshot: neighbours of ``node`` inside ``A``."""
+    if node in target_set:
+        raise ValueError("the node must not belong to the target set A")
+    count = 0
+    for a, b in process.current_edges():
+        if a == node and b in target_set:
+            count += 1
+        elif b == node and a in target_set:
+            count += 1
+    return count
+
+
+def set_expansion(process: DynamicGraph, source_set: Set[int], target_set: Set[int]) -> int:
+    """``deg_{A,B}`` in the current snapshot: nodes of ``B`` adjacent to ``A``."""
+    if source_set & target_set:
+        raise ValueError("A and B must be disjoint")
+    reached = process.neighbors_of_set(source_set)
+    return len(reached & target_set)
+
+
+def spread_over_window(
+    process: DynamicGraph,
+    source_set: Set[int],
+    window: int,
+    epoch_length: int = 1,
+) -> int:
+    """``spread^{tau,T}_A`` measured from the process's *current* time.
+
+    Advances the process by ``window * epoch_length`` steps and counts how
+    many nodes outside ``A`` were adjacent to ``A`` in at least one of the
+    ``window`` epoch-boundary snapshots.  The process is left at the final
+    time (callers wanting independent measurements should reset it).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if epoch_length < 1:
+        raise ValueError(f"epoch_length must be >= 1, got {epoch_length}")
+    touched: set[int] = set()
+    for _ in range(window):
+        for _ in range(epoch_length):
+            process.step()
+        touched |= process.neighbors_of_set(source_set)
+    return len(touched - set(source_set))
+
+
+def sample_degree_into_set(
+    process: DynamicGraph,
+    node: int,
+    target_set: Set[int],
+    num_samples: int,
+    epoch_length: int,
+    rng: RNGLike = None,
+) -> list[int]:
+    """Independent samples of ``deg^tau_{i,A}`` at epoch boundaries.
+
+    Each sample resets the process, runs one epoch, and measures the degree —
+    matching the conditional structure ``P(· | E_{<= (tau-1) M})`` of the
+    definition (the epoch boundary is one full epoch after the reset point).
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if epoch_length < 1:
+        raise ValueError(f"epoch_length must be >= 1, got {epoch_length}")
+    samples = []
+    for generator in spawn_rngs(rng, num_samples):
+        process.reset(generator)
+        process.run(epoch_length)
+        samples.append(degree_into_set(process, node, target_set))
+    return samples
+
+
+def sample_set_expansion(
+    process: DynamicGraph,
+    source_set: Set[int],
+    target_set: Set[int],
+    num_samples: int,
+    epoch_length: int,
+    rng: RNGLike = None,
+) -> list[int]:
+    """Independent samples of ``deg^tau_{A,B}`` at epoch boundaries."""
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if epoch_length < 1:
+        raise ValueError(f"epoch_length must be >= 1, got {epoch_length}")
+    samples = []
+    for generator in spawn_rngs(rng, num_samples):
+        process.reset(generator)
+        process.run(epoch_length)
+        samples.append(set_expansion(process, source_set, target_set))
+    return samples
+
+
+def sample_spread(
+    process: DynamicGraph,
+    source_set: Set[int],
+    window: int,
+    num_samples: int,
+    epoch_length: int = 1,
+    rng: RNGLike = None,
+) -> list[int]:
+    """Independent samples of ``spread^{tau,T}_A``."""
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    samples = []
+    for generator in spawn_rngs(rng, num_samples):
+        process.reset(generator)
+        samples.append(
+            spread_over_window(process, source_set, window, epoch_length=epoch_length)
+        )
+    return samples
+
+
+def doubling_window_estimate(
+    process: DynamicGraph,
+    source_set: Set[int],
+    epoch_length: int = 1,
+    max_window: int = 10_000,
+    rng: RNGLike = None,
+) -> int:
+    """Smallest window ``T`` (in epochs) over which ``A`` reaches ``|A|`` new nodes.
+
+    This is the empirical analogue of the quantity Lemma 11 bounds: the
+    number of epochs needed for the informed set to (at least) double.  A
+    single trajectory is used; the process is reset first.
+    """
+    if not source_set:
+        raise ValueError("the source set A must be non-empty")
+    if max_window < 1:
+        raise ValueError(f"max_window must be >= 1, got {max_window}")
+    process.reset(rng)
+    target = len(source_set)
+    touched: set[int] = set()
+    for window in range(1, max_window + 1):
+        for _ in range(epoch_length):
+            process.step()
+        touched |= process.neighbors_of_set(source_set)
+        touched -= set(source_set)
+        if len(touched) >= target:
+            return window
+    raise RuntimeError(
+        f"the set did not double within {max_window} epochs "
+        f"({len(touched)}/{target} new nodes reached)"
+    )

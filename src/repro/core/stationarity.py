@@ -1,0 +1,211 @@
+"""Empirical estimation of the ``(M, alpha, beta)``-stationarity parameters.
+
+A dynamic graph is ``(M, alpha, beta)``-stationary (Section 3 of the paper)
+when, at every epoch boundary ``tau M`` and conditioned on the past up to the
+previous epoch:
+
+1. every edge is present with probability at least ``alpha`` (density
+   condition), and
+2. for all nodes ``i, j`` and node sets ``A``,
+   ``P(e_{i,A} e_{j,A}) <= beta P(e_{i,A}) P(e_{j,A})``
+   (``beta``-independence condition).
+
+For the explicit models in this library (edge-MEGs, node-MEGs with a known
+chain) the parameters are available in closed form; for arbitrary processes
+they can only be *estimated* by Monte-Carlo at epoch boundaries.  Both routes
+are provided here, so an experiment can plug either into the Theorem-1 bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.meg.base import DynamicGraph
+from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
+from repro.meg.node_meg import NodeMEG
+from repro.util.rng import RNGLike, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class StationarityEstimate:
+    """Estimated ``(M, alpha, beta)`` triple of a dynamic-graph process.
+
+    ``alpha`` is a lower estimate of the per-edge probability at epoch
+    boundaries and ``beta`` an upper estimate of the pairwise-correlation
+    ratio; ``num_samples`` records how many epoch samples produced them.
+    """
+
+    epoch_length: int
+    alpha: float
+    beta: float
+    num_samples: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by reports."""
+        return {
+            "epoch_length": self.epoch_length,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "num_samples": self.num_samples,
+        }
+
+
+def exact_parameters(process: DynamicGraph) -> Optional[tuple[float, float]]:
+    """Closed-form ``(alpha, beta)`` for models where they are known exactly.
+
+    * classic and general edge-MEGs: ``alpha`` is the stationary edge
+      probability and ``beta = 1`` because edges are independent;
+    * node-MEGs: ``alpha = P_NM`` and ``beta = 17 eta`` via Lemma 15 (the
+      constant 17 comes from the paper's proof).
+
+    Returns ``None`` when the model is not one of the recognised classes.
+    """
+    if isinstance(process, (EdgeMEG, GeneralEdgeMEG)):
+        return process.stationary_edge_probability(), 1.0
+    if isinstance(process, NodeMEG):
+        return process.edge_probability(), 17.0 * process.eta()
+    return None
+
+
+def estimate_edge_probability(
+    process: DynamicGraph,
+    epoch_length: int,
+    num_samples: int,
+    edges: Optional[Sequence[tuple[int, int]]] = None,
+    rng: RNGLike = None,
+) -> float:
+    """Estimate ``alpha``: the smallest per-edge probability at epoch boundaries.
+
+    Parameters
+    ----------
+    process:
+        The dynamic graph.
+    epoch_length:
+        Number of steps per epoch (use at least the mixing time).
+    num_samples:
+        Number of independent epoch samples.
+    edges:
+        Edges to monitor; defaults to a small deterministic selection
+        (first/last/middle pairs), which suffices for the node- and
+        edge-transitive models of the paper where all edges are exchangeable.
+    rng:
+        Seed or generator.
+    """
+    if epoch_length < 1:
+        raise ValueError(f"epoch_length must be >= 1, got {epoch_length}")
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    n = process.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes to estimate an edge probability")
+    if edges is None:
+        candidates = [(0, 1), (0, n - 1), (n // 2, n // 2 + 1 if n // 2 + 1 < n else 0)]
+        edges = []
+        seen = set()
+        for i, j in candidates:
+            if i == j:
+                continue
+            key = (min(i, j), max(i, j))
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+    hits = {edge: 0 for edge in edges}
+    for generator in spawn_rngs(rng, num_samples):
+        process.reset(generator)
+        process.run(epoch_length)
+        snapshot_edges = {(min(a, b), max(a, b)) for a, b in process.current_edges()}
+        for edge in edges:
+            if edge in snapshot_edges:
+                hits[edge] += 1
+    probabilities = [count / num_samples for count in hits.values()]
+    return min(probabilities)
+
+
+def estimate_beta(
+    process: DynamicGraph,
+    epoch_length: int,
+    num_samples: int,
+    set_size: Optional[int] = None,
+    node_pair: Optional[tuple[int, int]] = None,
+    rng: RNGLike = None,
+) -> float:
+    """Estimate the ``beta``-independence ratio at epoch boundaries.
+
+    Monitors two nodes ``i, j`` and a disjoint target set ``A`` and estimates
+    ``P(e_{i,A} e_{j,A}) / (P(e_{i,A}) P(e_{j,A}))`` over ``num_samples``
+    independent epochs.  When either marginal is estimated as zero the ratio
+    is reported as ``inf`` (no independence information).
+    """
+    if epoch_length < 1:
+        raise ValueError(f"epoch_length must be >= 1, got {epoch_length}")
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    n = process.num_nodes
+    if n < 4:
+        raise ValueError("need at least four nodes to estimate beta")
+    if node_pair is None:
+        i, j = 0, 1
+    else:
+        i, j = node_pair
+        if i == j or not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"invalid node pair {node_pair!r}")
+    if set_size is None:
+        set_size = max(1, (n - 2) // 2)
+    available = [v for v in range(n) if v not in (i, j)]
+    if set_size > len(available):
+        raise ValueError(
+            f"set_size {set_size} too large for {n} nodes excluding the pair"
+        )
+    target_set = set(available[:set_size])
+
+    joint = 0
+    marginal_i = 0
+    marginal_j = 0
+    for generator in spawn_rngs(rng, num_samples):
+        process.reset(generator)
+        process.run(epoch_length)
+        reached = process.neighbors_of_set(target_set)
+        hit_i = i in reached
+        hit_j = j in reached
+        marginal_i += hit_i
+        marginal_j += hit_j
+        joint += hit_i and hit_j
+    if marginal_i == 0 or marginal_j == 0:
+        return float("inf")
+    p_joint = joint / num_samples
+    p_i = marginal_i / num_samples
+    p_j = marginal_j / num_samples
+    if p_joint == 0.0:
+        return 0.0
+    return p_joint / (p_i * p_j)
+
+
+def estimate_stationarity(
+    process: DynamicGraph,
+    epoch_length: int,
+    num_samples: int,
+    rng: RNGLike = None,
+) -> StationarityEstimate:
+    """Estimate the full ``(M, alpha, beta)`` triple of a process.
+
+    For models with closed-form parameters (:func:`exact_parameters`) the
+    exact values are used and only the epoch length is taken from the
+    arguments; otherwise both parameters are estimated by Monte-Carlo.
+    """
+    exact = exact_parameters(process)
+    if exact is not None:
+        alpha, beta = exact
+        return StationarityEstimate(
+            epoch_length=epoch_length, alpha=alpha, beta=beta, num_samples=0
+        )
+    generator = ensure_rng(rng)
+    alpha = estimate_edge_probability(
+        process, epoch_length, num_samples, rng=generator
+    )
+    beta = estimate_beta(process, epoch_length, num_samples, rng=generator)
+    return StationarityEstimate(
+        epoch_length=epoch_length, alpha=alpha, beta=beta, num_samples=num_samples
+    )

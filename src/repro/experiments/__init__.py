@@ -1,0 +1,29 @@
+"""Experiment harness reproducing every analytical result of the paper.
+
+The paper (a PODC theory paper) has no numbered tables or figures; its
+"evaluation" is the set of bounds in Theorem 1, Theorem 3, Corollaries 4–6
+and Appendix A, plus explicit comparisons against prior bounds.  Each of
+those results is reproduced as a registered experiment (E1–E10, see
+DESIGN.md): a parameter sweep that measures empirical flooding times and
+reports them next to the corresponding bound formula and baselines.
+
+* :mod:`repro.experiments.runner` — generic sweep/measurement machinery;
+* :mod:`repro.experiments.registry` — the experiment definitions ``E1``–``E10``;
+* :mod:`repro.experiments.report` — text/markdown table rendering used by the
+  benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport, format_markdown, format_table
+from repro.experiments.runner import SweepMeasurement, measure_flooding_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "SweepMeasurement",
+    "format_markdown",
+    "format_table",
+    "get_experiment",
+    "measure_flooding_sweep",
+    "run_experiment",
+]

@@ -1,0 +1,109 @@
+"""Rendering of experiment results as plain-text and markdown tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of one registered experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registry id (``"E1"`` … ``"E10"``).
+    title:
+        Human-readable title.
+    paper_reference:
+        The theorem/corollary/section of the paper being reproduced.
+    columns:
+        Ordered column names of the result rows.
+    rows:
+        One dict per sweep point (keys are the column names).
+    notes:
+        Free-form remarks: scaling exponents, who-wins verdicts, caveats.
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    columns: Sequence[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append a result row (missing columns are rendered blank)."""
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form remark."""
+        self.notes.append(note)
+
+    def column_values(self, column: str) -> list:
+        """All values of one column, in row order (missing entries skipped)."""
+        return [row[column] for row in self.rows if column in row]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(report: ExperimentReport) -> str:
+    """Render a report as an aligned plain-text table."""
+    columns = list(report.columns)
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, "")) for c in columns] for row in report.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        f"{report.experiment_id}: {report.title}",
+        f"reproduces: {report.paper_reference}",
+        "",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if report.notes:
+        lines.append("")
+        lines.extend(f"note: {note}" for note in report.notes)
+    return "\n".join(lines)
+
+
+def format_markdown(report: ExperimentReport) -> str:
+    """Render a report as a GitHub-flavoured markdown table."""
+    columns = list(report.columns)
+    lines = [
+        f"### {report.experiment_id}: {report.title}",
+        "",
+        f"*Reproduces:* {report.paper_reference}",
+        "",
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in report.rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(c, "")) for c in columns) + " |"
+        )
+    if report.notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in report.notes)
+    return "\n".join(lines)
+
+
+def combine_reports(reports: Iterable[ExperimentReport], markdown: bool = False) -> str:
+    """Concatenate several reports into one document."""
+    renderer = format_markdown if markdown else format_table
+    return "\n\n".join(renderer(report) for report in reports)

@@ -1,0 +1,102 @@
+"""Generic sweep machinery for the experiments.
+
+Every registered experiment follows the same pattern: build a dynamic-graph
+model for each point of a parameter sweep, measure its flooding time over
+several independent trials, and report the summary next to the relevant bound
+formula.  :func:`measure_flooding_sweep` factors out that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.flooding import flooding_time_samples
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike, spawn_rngs
+from repro.util.stats import TrialSummary, summarize, whp_quantile
+
+
+@dataclass(frozen=True)
+class SweepMeasurement:
+    """Flooding-time measurement at one sweep point."""
+
+    parameter: object
+    num_nodes: int
+    summary: TrialSummary
+    whp_value: float
+
+    @property
+    def mean(self) -> float:
+        """Mean flooding time across the trials."""
+        return self.summary.mean
+
+    @property
+    def median(self) -> float:
+        """Median flooding time across the trials."""
+        return self.summary.median
+
+
+def measure_flooding_sweep(
+    model_factory: Callable[[object], DynamicGraph],
+    parameter_values: Sequence,
+    num_trials: int,
+    source: int = 0,
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+) -> list[SweepMeasurement]:
+    """Measure flooding times across a one-dimensional parameter sweep.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable mapping a sweep-parameter value to a fresh dynamic graph.
+    parameter_values:
+        The sweep points.
+    num_trials:
+        Independent flooding trials per sweep point.
+    source:
+        Flooding source node.
+    rng:
+        Seed or generator (each sweep point gets an independent child stream).
+    max_steps:
+        Optional per-trial step cap forwarded to the flooding simulator.
+    """
+    values = list(parameter_values)
+    if not values:
+        raise ValueError("the sweep needs at least one parameter value")
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    measurements = []
+    for value, generator in zip(values, spawn_rngs(rng, len(values))):
+        model = model_factory(value)
+        samples = flooding_time_samples(
+            model, num_trials, source=source, rng=generator, max_steps=max_steps
+        )
+        measurements.append(
+            SweepMeasurement(
+                parameter=value,
+                num_nodes=model.num_nodes,
+                summary=summarize(samples),
+                whp_value=whp_quantile(samples, model.num_nodes),
+            )
+        )
+    return measurements
+
+
+def ratio_spread(measured: Iterable[float], bounds: Iterable[float]) -> float:
+    """Max/min ratio of ``measured[i] / bounds[i]`` across a sweep.
+
+    A bound with the right *shape* keeps this spread small (the measured
+    values track the bound up to a roughly constant factor); a bound with the
+    wrong shape lets it grow with the sweep.  Returns 1.0 for single-point
+    sweeps.
+    """
+    ratios = []
+    for m, b in zip(measured, bounds):
+        if b <= 0:
+            raise ValueError("bound values must be positive")
+        ratios.append(m / b)
+    if not ratios:
+        raise ValueError("need at least one measurement")
+    return max(ratios) / min(ratios)

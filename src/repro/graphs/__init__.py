@@ -1,0 +1,41 @@
+"""Mobility-graph substrate.
+
+The graph mobility models of the paper (random paths, random walks,
+Corollaries 5 and 6) move agents over a fixed *mobility graph* ``H(V, A)``.
+This sub-package builds the graphs used in the paper's discussion — grids,
+k-augmented grids, tori — together with families of feasible paths and the
+structural properties (δ-regularity, diameter, point congestion) that enter
+the bounds.
+"""
+
+from repro.graphs.generators import (
+    complete_mobility_graph,
+    cycle_mobility_graph,
+    path_mobility_graph,
+    torus_graph,
+)
+from repro.graphs.grid import augmented_grid_graph, grid_graph, grid_side_for_points
+from repro.graphs.paths import PathFamily, edge_paths, shortest_path_family
+from repro.graphs.properties import (
+    degree_regularity,
+    diameter,
+    max_point_congestion,
+    path_family_regularity,
+)
+
+__all__ = [
+    "PathFamily",
+    "augmented_grid_graph",
+    "complete_mobility_graph",
+    "cycle_mobility_graph",
+    "degree_regularity",
+    "diameter",
+    "edge_paths",
+    "grid_graph",
+    "grid_side_for_points",
+    "max_point_congestion",
+    "path_family_regularity",
+    "path_mobility_graph",
+    "shortest_path_family",
+    "torus_graph",
+]

@@ -1,0 +1,52 @@
+"""Additional mobility-graph generators used in tests and experiments."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def torus_graph(side: int) -> nx.Graph:
+    """A ``side x side`` torus (grid with periodic boundary conditions)."""
+    if side < 3:
+        raise ValueError(f"a torus needs side >= 3, got {side}")
+    return nx.grid_2d_graph(side, side, periodic=True)
+
+
+def cycle_mobility_graph(length: int) -> nx.Graph:
+    """A cycle of ``length`` points."""
+    if length < 3:
+        raise ValueError(f"a cycle needs at least 3 points, got {length}")
+    return nx.cycle_graph(length)
+
+
+def path_mobility_graph(length: int) -> nx.Graph:
+    """A path (line) of ``length`` points — the 1-D mobility space."""
+    if length < 2:
+        raise ValueError(f"a path needs at least 2 points, got {length}")
+    return nx.path_graph(length)
+
+
+def complete_mobility_graph(num_points: int) -> nx.Graph:
+    """The complete graph on ``num_points`` points (uniform jump space)."""
+    if num_points < 2:
+        raise ValueError(f"a complete graph needs at least 2 points, got {num_points}")
+    return nx.complete_graph(num_points)
+
+
+def star_mobility_graph(num_leaves: int) -> nx.Graph:
+    """A star with one hub and ``num_leaves`` leaves.
+
+    The hub is a maximally "busy crossroad", so shortest-path families on the
+    star are far from δ-regular for small δ — a useful negative example for
+    the δ-regularity condition of Corollary 5.
+    """
+    if num_leaves < 1:
+        raise ValueError(f"a star needs at least 1 leaf, got {num_leaves}")
+    return nx.star_graph(num_leaves)
+
+
+def binary_tree_mobility_graph(depth: int) -> nx.Graph:
+    """A complete binary tree of the given depth (root is another busy crossroad)."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    return nx.balanced_tree(2, depth)

@@ -1,0 +1,113 @@
+"""Grid and k-augmented-grid mobility graphs.
+
+The k-augmented grid is the example the paper uses to show its random-walk
+bound (Corollary 6) beats the meeting-time bound of [15]: take a grid of
+``s`` points and connect every pair of points at hop distance at most ``k``.
+The meeting time stays ``Theta(s log s)`` while the mixing time of a single
+walk drops roughly by a factor ``k**2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import networkx as nx
+
+
+def grid_graph(side: int, periodic: bool = False) -> nx.Graph:
+    """A ``side x side`` grid graph with nodes labelled ``(row, col)``.
+
+    Parameters
+    ----------
+    side:
+        Number of points per dimension (the graph has ``side**2`` points).
+    periodic:
+        When true, opposite borders are identified (torus).
+    """
+    if side < 1:
+        raise ValueError(f"side must be >= 1, got {side}")
+    if side == 1:
+        graph = nx.Graph()
+        graph.add_node((0, 0))
+        return graph
+    return nx.grid_2d_graph(side, side, periodic=periodic)
+
+
+def grid_side_for_points(num_points: int) -> int:
+    """Smallest grid side whose square is at least ``num_points``."""
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    return int(math.ceil(math.sqrt(num_points)))
+
+
+def augmented_grid_graph(side: int, k: int, periodic: bool = False) -> nx.Graph:
+    """The k-augmented grid: grid points joined whenever hop distance <= ``k``.
+
+    For ``k = 1`` this is the plain grid.  Hop distance on the grid is the
+    Manhattan (L1) distance between coordinates (with wrap-around when
+    ``periodic`` is true), which equals the graph distance of the underlying
+    grid graph.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    base = grid_graph(side, periodic=periodic)
+    if k == 1:
+        return base
+    augmented = nx.Graph()
+    augmented.add_nodes_from(base.nodes())
+    nodes = list(base.nodes())
+    for i, (r1, c1) in enumerate(nodes):
+        for (r2, c2) in nodes[i + 1 :]:
+            dr = abs(r1 - r2)
+            dc = abs(c1 - c2)
+            if periodic:
+                dr = min(dr, side - dr)
+                dc = min(dc, side - dc)
+            if 0 < dr + dc <= k:
+                augmented.add_edge((r1, c1), (r2, c2))
+    return augmented
+
+
+def grid_positions(side: int, spacing: float = 1.0) -> dict[tuple[int, int], tuple[float, float]]:
+    """Euclidean coordinates of the grid points (used by geometric models).
+
+    Point ``(row, col)`` is placed at ``(col * spacing, row * spacing)``.
+    """
+    if side < 1:
+        raise ValueError(f"side must be >= 1, got {side}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    return {
+        (row, col): (col * spacing, row * spacing)
+        for row in range(side)
+        for col in range(side)
+    }
+
+
+def manhattan_distance(
+    a: tuple[int, int], b: tuple[int, int], side: int | None = None
+) -> int:
+    """L1 distance between two grid points (wrap-around when ``side`` given)."""
+    dr = abs(a[0] - b[0])
+    dc = abs(a[1] - b[1])
+    if side is not None:
+        if side < 1:
+            raise ValueError(f"side must be >= 1, got {side}")
+        dr = min(dr, side - dr)
+        dc = min(dc, side - dc)
+    return dr + dc
+
+
+def nodes_within_hops(
+    graph: nx.Graph, source, max_hops: int
+) -> set:
+    """All nodes whose graph distance from ``source`` is at most ``max_hops``.
+
+    Used by the graph connection rule where the transmission radius ``r`` is
+    measured in hops of the mobility graph.
+    """
+    if max_hops < 0:
+        raise ValueError(f"max_hops must be >= 0, got {max_hops}")
+    lengths = nx.single_source_shortest_path_length(graph, source, cutoff=max_hops)
+    return set(lengths.keys())

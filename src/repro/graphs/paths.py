@@ -1,0 +1,229 @@
+"""Families of feasible paths for the random-path mobility model.
+
+A random-path model (Section 4.1 of the paper) is a pair ``(H, P)`` where
+``H`` is a mobility graph and ``P`` a family of simple paths in ``H`` with the
+*chaining* property: for every path ``h`` in ``P`` there is a path in ``P``
+starting at the end point of ``h``.  A node travels along a path one edge per
+time step; on reaching the end it picks a uniformly random feasible path from
+that point, and so on.
+
+The relevant structural quantities are:
+
+* ``P(u)`` — the set of feasible paths starting at point ``u``;
+* ``#P(u)`` — the number of feasible paths *passing through* ``u`` (counting
+  positions ``2..len(h)``, i.e. excluding each path's start point);
+* δ-regularity — ``#P(u) <= δ * (sum_v #P(v)) / |V|`` for all ``u``, the
+  "no point is a much busier crossroad than average" condition of
+  Corollary 5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+Point = Hashable
+Path = tuple
+
+
+class PathFamily:
+    """A family of feasible paths over a mobility graph.
+
+    Parameters
+    ----------
+    graph:
+        The mobility graph ``H(V, A)``.
+    paths:
+        An iterable of point sequences.  Each path must have at least two
+        points, consecutive points must be adjacent in ``H``, and no interior
+        point may repeat (the start and end points may coincide, matching the
+        paper's definition of a *simple* feasible path).
+    """
+
+    def __init__(self, graph: nx.Graph, paths: Iterable[Sequence[Point]]) -> None:
+        self._graph = graph
+        normalized: list[Path] = []
+        for path in paths:
+            normalized.append(self._validate_path(graph, tuple(path)))
+        if not normalized:
+            raise ValueError("a path family must contain at least one path")
+        self._paths: tuple[Path, ...] = tuple(normalized)
+
+        self._starting: dict[Point, list[Path]] = defaultdict(list)
+        self._through_count: dict[Point, int] = defaultdict(int)
+        for path in self._paths:
+            self._starting[path[0]].append(path)
+            # #P(u) counts occurrences at positions 2..len(h) (1-indexed), i.e.
+            # every point of the path except its start.
+            for point in path[1:]:
+                self._through_count[point] += 1
+
+        self._check_chaining()
+
+    @staticmethod
+    def _validate_path(graph: nx.Graph, path: Path) -> Path:
+        if len(path) < 2:
+            raise ValueError(f"paths must have at least two points, got {path!r}")
+        for point in path:
+            if point not in graph:
+                raise ValueError(f"path point {point!r} is not in the mobility graph")
+        for a, b in zip(path, path[1:]):
+            if not graph.has_edge(a, b):
+                raise ValueError(
+                    f"consecutive path points {a!r} and {b!r} are not adjacent in H"
+                )
+        interior = path[:-1] if path[0] == path[-1] else path
+        if len(set(interior)) != len(interior):
+            raise ValueError(
+                f"path {path!r} revisits a point, so the family is not simple"
+            )
+        return path
+
+    def _check_chaining(self) -> None:
+        for path in self._paths:
+            end = path[-1]
+            if not self._starting.get(end):
+                raise ValueError(
+                    f"no feasible path starts at point {end!r}, where a path ends; "
+                    "the family violates the chaining property"
+                )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying mobility graph ``H``."""
+        return self._graph
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        """All feasible paths."""
+        return self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths)
+
+    def paths_from(self, point: Point) -> tuple[Path, ...]:
+        """The set ``P(u)`` of feasible paths starting at ``point``."""
+        return tuple(self._starting.get(point, ()))
+
+    def passes_through(self, point: Point) -> int:
+        """``#P(u)`` — number of feasible paths passing through ``point``."""
+        return self._through_count.get(point, 0)
+
+    def congestion_profile(self) -> dict[Point, int]:
+        """``#P(u)`` for every point of the mobility graph (0 when unused)."""
+        return {point: self._through_count.get(point, 0) for point in self._graph.nodes()}
+
+    # ------------------------------------------------------------------ #
+    # structural predicates used by Corollary 5
+    # ------------------------------------------------------------------ #
+    def is_reversible(self) -> bool:
+        """Whether the reverse of every feasible path is also feasible."""
+        path_set = set(self._paths)
+        return all(tuple(reversed(path)) in path_set for path in self._paths)
+
+    def regularity(self) -> float:
+        """The smallest δ for which the family is δ-regular.
+
+        Returns ``inf`` when some point is traversed but the average is zero
+        (which cannot happen for a non-empty family) — in practice this is
+        ``max_u #P(u) / avg_v #P(v)``.
+        """
+        counts = [self._through_count.get(point, 0) for point in self._graph.nodes()]
+        average = sum(counts) / len(counts)
+        if average == 0:
+            return float("inf")
+        return max(counts) / average
+
+    def is_delta_regular(self, delta: float) -> bool:
+        """Whether ``#P(u) <= delta * average`` holds for every point ``u``."""
+        if delta < 1:
+            raise ValueError(f"delta must be >= 1, got {delta}")
+        return self.regularity() <= delta + 1e-12
+
+    def total_states(self) -> int:
+        """Number of states of the induced Markov chain (positions 2..len(h))."""
+        return sum(len(path) - 1 for path in self._paths)
+
+
+def edge_paths(graph: nx.Graph) -> PathFamily:
+    """The path family of all single edges (both orientations).
+
+    With this family the random-path model reduces exactly to the random walk
+    over ``H`` (one hop per step), and ``#P(u)`` equals the degree of ``u``.
+    """
+    if graph.number_of_edges() == 0:
+        raise ValueError("the mobility graph needs at least one edge")
+    paths = []
+    for a, b in graph.edges():
+        paths.append((a, b))
+        paths.append((b, a))
+    return PathFamily(graph, paths)
+
+
+def shortest_path_family(
+    graph: nx.Graph, pairs: Iterable[tuple[Point, Point]] | None = None
+) -> PathFamily:
+    """One shortest path per ordered pair of distinct points (plus reverses).
+
+    This is the basic instance discussed after Corollary 5 ("``H`` is a grid
+    and the feasible paths are the shortest ones").  To keep the family
+    reversible, for every unordered pair one shortest path is computed and
+    both its orientations are included.
+
+    Parameters
+    ----------
+    graph:
+        The mobility graph (must be connected).
+    pairs:
+        Optional restriction to a subset of unordered point pairs; by default
+        all pairs of distinct points are used (quadratic in ``|V|`` — intended
+        for the small/medium graphs of the experiments).
+    """
+    if not nx.is_connected(graph):
+        raise ValueError("the mobility graph must be connected")
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ValueError("the mobility graph needs at least two points")
+    if pairs is None:
+        pair_list = [
+            (nodes[i], nodes[j])
+            for i in range(len(nodes))
+            for j in range(i + 1, len(nodes))
+        ]
+    else:
+        pair_list = []
+        seen = set()
+        for a, b in pairs:
+            if a == b:
+                raise ValueError("pairs must consist of distinct points")
+            key = frozenset((a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            pair_list.append((a, b))
+        if not pair_list:
+            raise ValueError("at least one pair of points is required")
+    paths = []
+    for a, b in pair_list:
+        path = tuple(nx.shortest_path(graph, a, b))
+        paths.append(path)
+        paths.append(tuple(reversed(path)))
+    return PathFamily(graph, paths)
+
+
+def waypoint_path_family(graph: nx.Graph) -> PathFamily:
+    """Alias of :func:`shortest_path_family` over all pairs.
+
+    The "random waypoint over a graph" picks a uniform destination and walks
+    a shortest path to it, which is exactly the all-pairs shortest-path
+    family.
+    """
+    return shortest_path_family(graph)

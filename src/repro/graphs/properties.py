@@ -1,0 +1,66 @@
+"""Structural properties of mobility graphs and path families.
+
+These are the quantities that appear in Corollaries 5 and 6: the graph
+diameter ``D`` (which controls the mixing time of single-shortest-path
+models), degree regularity δ for the random-walk case, and point congestion
+``#P(u)`` statistics for arbitrary path families.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.paths import PathFamily
+
+
+def diameter(graph: nx.Graph) -> int:
+    """Hop diameter of a connected mobility graph."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("the graph has no nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("the graph must be connected to have a finite diameter")
+    if graph.number_of_nodes() == 1:
+        return 0
+    return int(nx.diameter(graph))
+
+
+def degree_regularity(graph: nx.Graph) -> float:
+    """``max degree / min degree`` — the δ of Corollary 6's δ-regular graphs.
+
+    Raises
+    ------
+    ValueError
+        If some vertex is isolated (the ratio would be infinite and the
+        random walk from that vertex is frozen).
+    """
+    degrees = [d for _, d in graph.degree()]
+    if not degrees:
+        raise ValueError("the graph has no nodes")
+    min_degree = min(degrees)
+    if min_degree == 0:
+        raise ValueError("the graph has an isolated vertex (degree 0)")
+    return max(degrees) / min_degree
+
+
+def path_family_regularity(family: PathFamily) -> float:
+    """The smallest δ such that the path family is δ-regular (Corollary 5)."""
+    return family.regularity()
+
+
+def max_point_congestion(family: PathFamily) -> int:
+    """``max_u #P(u)`` — the busiest crossroad of the path family."""
+    profile = family.congestion_profile()
+    return max(profile.values())
+
+
+def average_point_congestion(family: PathFamily) -> float:
+    """``(sum_u #P(u)) / |V|`` — the average crossroad load."""
+    profile = family.congestion_profile()
+    return sum(profile.values()) / len(profile)
+
+
+def is_connected(graph: nx.Graph) -> bool:
+    """Whether the mobility graph is connected (required by most models)."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return nx.is_connected(graph)

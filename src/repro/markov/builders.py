@@ -1,0 +1,212 @@
+"""Constructors for the Markov chains used throughout the paper.
+
+These cover the concrete chains that appear in the models we reproduce:
+
+* the two-state (birth/death) chain driving every edge of the classic
+  edge-MEG of [10] (Appendix A of the paper);
+* random walks (plain and lazy) on arbitrary mobility graphs — the driver of
+  the random-walk mobility model and of Corollary 6;
+* walks on standard topologies (cycle, complete graph) used in tests and in
+  the generalised edge-MEG experiments;
+* uniform/birth-death chains used as simple hidden chains.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.util.validation import require_probability
+
+
+def two_state_chain(p: float, q: float) -> MarkovChain:
+    """The edge chain of the classic edge-MEG: states ``'off'`` and ``'on'``.
+
+    ``p`` is the birth rate (off -> on) and ``q`` the death rate (on -> off).
+    Its stationary distribution is ``(q/(p+q), p/(p+q))`` and its mixing time
+    is ``Theta(1/(p+q))`` — exactly the quantities the Appendix-A bound uses.
+    """
+    require_probability(p, "p")
+    require_probability(q, "q")
+    if p == 0.0 and q == 0.0:
+        raise ValueError("p and q cannot both be zero (the chain would be frozen)")
+    matrix = np.array([[1.0 - p, p], [q, 1.0 - q]])
+    return MarkovChain(matrix, states=("off", "on"))
+
+
+def uniform_chain(num_states: int, states: Sequence[Hashable] | None = None) -> MarkovChain:
+    """A chain that jumps to a uniformly random state at every step.
+
+    Mixing time 1; used as the simplest possible hidden chain (it makes a
+    node-MEG or general edge-MEG behave like an i.i.d. sequence of graphs).
+    """
+    if num_states < 1:
+        raise ValueError(f"num_states must be >= 1, got {num_states}")
+    matrix = np.full((num_states, num_states), 1.0 / num_states)
+    return MarkovChain(matrix, states=states)
+
+
+def birth_death_chain(probabilities_up: Sequence[float], probabilities_down: Sequence[float]) -> MarkovChain:
+    """A birth–death chain on ``0..k-1`` with given up/down probabilities.
+
+    ``probabilities_up[i]`` is the probability of moving ``i -> i+1`` (must be
+    0 for the last state) and ``probabilities_down[i]`` of moving ``i -> i-1``
+    (must be 0 for state 0); the remainder is the holding probability.  Used
+    as an example of a non-trivial hidden edge chain in the generalised
+    edge-MEG experiments.
+    """
+    up = [require_probability(x, "probabilities_up") for x in probabilities_up]
+    down = [require_probability(x, "probabilities_down") for x in probabilities_down]
+    if len(up) != len(down):
+        raise ValueError("up and down probability lists must have equal length")
+    k = len(up)
+    if k < 1:
+        raise ValueError("the chain needs at least one state")
+    if up[-1] != 0.0:
+        raise ValueError("the last state cannot move up")
+    if down[0] != 0.0:
+        raise ValueError("state 0 cannot move down")
+    matrix = np.zeros((k, k))
+    for i in range(k):
+        stay = 1.0 - up[i] - down[i]
+        if stay < -1e-12:
+            raise ValueError(f"up and down probabilities at state {i} exceed 1")
+        matrix[i, i] = max(stay, 0.0)
+        if i + 1 < k:
+            matrix[i, i + 1] = up[i]
+        if i - 1 >= 0:
+            matrix[i, i - 1] = down[i]
+    return MarkovChain(matrix)
+
+
+def four_state_edge_chain(
+    p_up: float,
+    p_down: float,
+    p_stabilize: float,
+    p_destabilize: float,
+) -> MarkovChain:
+    """The four-state per-edge chain of the refined edge-MEG of [5].
+
+    The paper notes that a four-state refinement of the classic on/off edge
+    chain was introduced in [5] to capture *heterogeneous* link behaviour:
+    links that have recently changed state are volatile, links that have kept
+    their state for a while become stable (heavy-tailed inter-contact times).
+    The states are::
+
+        'off-stable'   -- down, unlikely to come up soon
+        'off-volatile' -- down, likely to come up
+        'on-volatile'  -- up, likely to go down
+        'on-stable'    -- up, likely to stay up
+
+    Parameters
+    ----------
+    p_up:
+        Probability that a volatile down link comes up at a step.
+    p_down:
+        Probability that a volatile up link goes down at a step.
+    p_stabilize:
+        Probability that a volatile link (up or down) becomes stable.
+    p_destabilize:
+        Probability that a stable link (up or down) becomes volatile.
+
+    The returned chain pairs with ``chi = (0, 0, 1, 1)`` in
+    :class:`repro.meg.edge_meg.GeneralEdgeMEG`.
+    """
+    for name, value in (
+        ("p_up", p_up),
+        ("p_down", p_down),
+        ("p_stabilize", p_stabilize),
+        ("p_destabilize", p_destabilize),
+    ):
+        require_probability(value, name)
+    if p_up + p_stabilize > 1.0 or p_down + p_stabilize > 1.0:
+        raise ValueError("p_up/p_down plus p_stabilize must not exceed 1")
+    if p_up == 0.0 or p_down == 0.0 or p_destabilize == 0.0:
+        raise ValueError(
+            "p_up, p_down and p_destabilize must be positive for the chain to have "
+            "a unique stationary distribution"
+        )
+    states = ("off-stable", "off-volatile", "on-volatile", "on-stable")
+    matrix = np.array(
+        [
+            # off-stable: wake up into the volatile down state or stay.
+            [1.0 - p_destabilize, p_destabilize, 0.0, 0.0],
+            # off-volatile: come up, calm down into off-stable, or stay.
+            [p_stabilize, 1.0 - p_up - p_stabilize, p_up, 0.0],
+            # on-volatile: go down, calm down into on-stable, or stay.
+            [0.0, p_down, 1.0 - p_down - p_stabilize, p_stabilize],
+            # on-stable: become volatile again or stay.
+            [0.0, 0.0, p_destabilize, 1.0 - p_destabilize],
+        ]
+    )
+    return MarkovChain(matrix, states=states)
+
+
+def random_walk_on_graph(graph: nx.Graph) -> MarkovChain:
+    """Simple random walk on ``graph``: move to a uniformly random neighbour.
+
+    Isolated vertices become absorbing (self-loop with probability 1).  The
+    states of the chain are the graph's node labels.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ValueError("graph must have at least one node")
+    index = {node: i for i, node in enumerate(nodes)}
+    k = len(nodes)
+    matrix = np.zeros((k, k))
+    for node in nodes:
+        neighbors = list(graph.neighbors(node))
+        i = index[node]
+        if not neighbors:
+            matrix[i, i] = 1.0
+            continue
+        share = 1.0 / len(neighbors)
+        for neighbor in neighbors:
+            matrix[i, index[neighbor]] += share
+    return MarkovChain(matrix, states=nodes)
+
+
+def lazy_random_walk(graph: nx.Graph, holding_probability: float = 0.5) -> MarkovChain:
+    """Lazy random walk on ``graph`` (stays put with ``holding_probability``).
+
+    Lazy walks are aperiodic even on bipartite graphs such as grids, so their
+    mixing time is always finite; this is the walk used by the random-walk
+    mobility model in the experiments.
+    """
+    return random_walk_on_graph(graph).lazy(holding_probability)
+
+
+def cycle_walk(length: int, lazy: bool = True) -> MarkovChain:
+    """Random walk on a cycle of ``length`` vertices (lazy by default)."""
+    if length < 3:
+        raise ValueError(f"a cycle needs at least 3 vertices, got {length}")
+    graph = nx.cycle_graph(length)
+    walk = random_walk_on_graph(graph)
+    return walk.lazy() if lazy else walk
+
+
+def complete_graph_walk(num_vertices: int) -> MarkovChain:
+    """Random walk on the complete graph ``K_n`` (jump to a uniform other vertex)."""
+    if num_vertices < 2:
+        raise ValueError(f"the complete graph needs at least 2 vertices, got {num_vertices}")
+    graph = nx.complete_graph(num_vertices)
+    return random_walk_on_graph(graph)
+
+
+def grid_walk(side: int, lazy: bool = True, torus: bool = False) -> MarkovChain:
+    """Random walk on a ``side x side`` grid (or torus), lazy by default.
+
+    This is the positional chain of the random-walk mobility model on the
+    ``m x m`` grid described in the paper's introduction.
+    """
+    if side < 2:
+        raise ValueError(f"grid side must be >= 2, got {side}")
+    if torus:
+        graph = nx.grid_2d_graph(side, side, periodic=True)
+    else:
+        graph = nx.grid_2d_graph(side, side)
+    walk = random_walk_on_graph(graph)
+    return walk.lazy() if lazy else walk

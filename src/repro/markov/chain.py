@@ -1,0 +1,295 @@
+"""A finite Markov chain with explicit transition matrix.
+
+The node-MEG construction of the paper (Section 4) associates to every node
+an independent copy of a finite chain ``M = (S, P)``; the flooding-time bound
+of Theorem 3 then depends on the mixing time of that chain.  This module
+provides the chain object that the rest of the library builds upon.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.util.mathutils import total_variation_distance
+from repro.util.rng import RNGLike, ensure_rng
+
+_STATIONARY_TOL = 1e-10
+
+
+class MarkovChain:
+    """A finite, time-homogeneous Markov chain.
+
+    Parameters
+    ----------
+    transition_matrix:
+        A square row-stochastic matrix ``P`` where ``P[i, j]`` is the
+        probability of moving from state ``i`` to state ``j``.
+    states:
+        Optional hashable labels for the states.  Defaults to ``0..k-1``.
+        Labels are useful when states encode structured information (for
+        example ``(path, position)`` pairs in the random-path model).
+
+    Notes
+    -----
+    The chain does not need to be irreducible or aperiodic to be constructed,
+    but :meth:`stationary_distribution` and the mixing-time helpers raise a
+    ``ValueError`` when a unique stationary distribution does not exist.
+    """
+
+    def __init__(
+        self,
+        transition_matrix: Sequence[Sequence[float]] | np.ndarray,
+        states: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        matrix = np.asarray(transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"transition matrix must be square, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0:
+            raise ValueError("transition matrix must have at least one state")
+        if np.any(matrix < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            bad = int(np.argmax(np.abs(row_sums - 1.0)))
+            raise ValueError(
+                f"row {bad} of the transition matrix sums to {row_sums[bad]:.6f}, not 1"
+            )
+        # Renormalise tiny numerical drift so long products stay stochastic.
+        self._matrix = np.clip(matrix, 0.0, 1.0)
+        self._matrix /= self._matrix.sum(axis=1, keepdims=True)
+
+        k = matrix.shape[0]
+        if states is None:
+            self._states: tuple[Hashable, ...] = tuple(range(k))
+        else:
+            states = tuple(states)
+            if len(states) != k:
+                raise ValueError(
+                    f"got {len(states)} state labels for a {k}-state matrix"
+                )
+            if len(set(states)) != len(states):
+                raise ValueError("state labels must be unique")
+            self._states = states
+        self._index = {state: i for i, state in enumerate(self._states)}
+        self._stationary_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_states(self) -> int:
+        """Number of states of the chain."""
+        return self._matrix.shape[0]
+
+    @property
+    def states(self) -> tuple[Hashable, ...]:
+        """The state labels, in matrix order."""
+        return self._states
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """A copy of the row-stochastic transition matrix."""
+        return self._matrix.copy()
+
+    def state_index(self, state: Hashable) -> int:
+        """Return the row/column index of a state label."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise KeyError(f"unknown state {state!r}") from None
+
+    def transition_probability(self, source: Hashable, target: Hashable) -> float:
+        """Probability of a one-step transition ``source -> target``."""
+        return float(self._matrix[self.state_index(source), self.state_index(target)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MarkovChain(num_states={self.num_states})"
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def is_irreducible(self) -> bool:
+        """Whether every state can reach every other state."""
+        import networkx as nx
+
+        graph = nx.from_numpy_array(
+            (self._matrix > 0).astype(float), create_using=nx.DiGraph
+        )
+        return nx.is_strongly_connected(graph)
+
+    def is_aperiodic(self) -> bool:
+        """Whether the chain is aperiodic (gcd of cycle lengths equals one)."""
+        import networkx as nx
+
+        graph = nx.from_numpy_array(
+            (self._matrix > 0).astype(float), create_using=nx.DiGraph
+        )
+        return nx.is_aperiodic(graph)
+
+    def is_ergodic(self) -> bool:
+        """Whether the chain is both irreducible and aperiodic."""
+        return self.is_irreducible() and self.is_aperiodic()
+
+    def is_reversible(self, atol: float = 1e-9) -> bool:
+        """Whether the chain satisfies detailed balance w.r.t. its stationary law."""
+        pi = self.stationary_distribution()
+        flows = pi[:, None] * self._matrix
+        return bool(np.allclose(flows, flows.T, atol=atol))
+
+    # ------------------------------------------------------------------ #
+    # distributions
+    # ------------------------------------------------------------------ #
+    def stationary_distribution(self) -> np.ndarray:
+        """The unique stationary distribution ``pi`` with ``pi P = pi``.
+
+        Raises
+        ------
+        ValueError
+            If the chain does not admit a unique stationary distribution
+            (for example when it is reducible).
+        """
+        if self._stationary_cache is not None:
+            return self._stationary_cache.copy()
+        # Solve pi (P - I) = 0 with the normalisation sum(pi) = 1 via a
+        # least-squares system; check uniqueness through the eigenvalue
+        # multiplicity of 1.
+        matrix = self._matrix
+        k = self.num_states
+        eigvals = np.linalg.eigvals(matrix.T)
+        ones = np.isclose(eigvals, 1.0, atol=1e-8)
+        if ones.sum() != 1:
+            raise ValueError(
+                "the chain does not have a unique stationary distribution "
+                f"(eigenvalue 1 has multiplicity {int(ones.sum())})"
+            )
+        a = np.vstack([matrix.T - np.eye(k), np.ones((1, k))])
+        b = np.zeros(k + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise ValueError("failed to compute a stationary distribution")
+        pi = pi / total
+        residual = np.abs(pi @ matrix - pi).max()
+        if residual > 1e-6:
+            raise ValueError(
+                f"stationary distribution residual too large ({residual:.2e})"
+            )
+        self._stationary_cache = pi
+        return pi.copy()
+
+    def stationary_probability(self, state: Hashable) -> float:
+        """Stationary probability of a single state label."""
+        return float(self.stationary_distribution()[self.state_index(state)])
+
+    def distribution_after(
+        self, initial: Sequence[float] | np.ndarray, steps: int
+    ) -> np.ndarray:
+        """Distribution after ``steps`` steps starting from ``initial``."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        dist = np.asarray(initial, dtype=float)
+        if dist.shape != (self.num_states,):
+            raise ValueError(
+                f"initial distribution must have length {self.num_states}, "
+                f"got shape {dist.shape}"
+            )
+        if np.any(dist < 0) or not np.isclose(dist.sum(), 1.0, atol=1e-8):
+            raise ValueError("initial distribution must be a probability vector")
+        for _ in range(steps):
+            dist = dist @ self._matrix
+        return dist
+
+    def tv_distance_to_stationarity(
+        self, initial: Sequence[float] | np.ndarray, steps: int
+    ) -> float:
+        """Total-variation distance to ``pi`` after ``steps`` steps from ``initial``."""
+        return total_variation_distance(
+            self.distribution_after(initial, steps), self.stationary_distribution()
+        )
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def step(self, state: Hashable, rng: RNGLike = None) -> Hashable:
+        """Sample the next state from ``state``."""
+        generator = ensure_rng(rng)
+        row = self._matrix[self.state_index(state)]
+        next_index = generator.choice(self.num_states, p=row)
+        return self._states[next_index]
+
+    def step_index(self, state_index: int, rng: np.random.Generator) -> int:
+        """Sample the next state *index* (fast path used by the simulators)."""
+        row = self._matrix[state_index]
+        return int(rng.choice(self.num_states, p=row))
+
+    def sample_stationary(self, rng: RNGLike = None) -> Hashable:
+        """Sample a state label from the stationary distribution."""
+        generator = ensure_rng(rng)
+        pi = self.stationary_distribution()
+        return self._states[int(generator.choice(self.num_states, p=pi))]
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def lazy(self, holding_probability: float = 0.5) -> "MarkovChain":
+        """Return the lazy version ``(1-h) P + h I`` of the chain.
+
+        Lazy chains are aperiodic by construction, which is convenient when
+        the base chain (for example a walk on a bipartite graph) is periodic.
+        """
+        if not 0.0 <= holding_probability < 1.0:
+            raise ValueError(
+                f"holding probability must lie in [0, 1), got {holding_probability}"
+            )
+        matrix = (1.0 - holding_probability) * self._matrix + holding_probability * np.eye(
+            self.num_states
+        )
+        return MarkovChain(matrix, states=self._states)
+
+    def kron_product(self, other: "MarkovChain") -> "MarkovChain":
+        """Product chain of two independent chains (states are label pairs)."""
+        matrix = np.kron(self._matrix, other._matrix)
+        states = tuple((a, b) for a in self._states for b in other._states)
+        return MarkovChain(matrix, states=states)
+
+    @classmethod
+    def from_edge_weights(
+        cls,
+        weights: dict[tuple[Hashable, Hashable], float],
+        states: Optional[Iterable[Hashable]] = None,
+    ) -> "MarkovChain":
+        """Build a chain from a dict of ``(source, target) -> weight`` entries.
+
+        Weights of outgoing edges are normalised per source state.  States
+        with no outgoing weight become absorbing.
+        """
+        if states is None:
+            found: list[Hashable] = []
+            for (src, dst) in weights:
+                if src not in found:
+                    found.append(src)
+                if dst not in found:
+                    found.append(dst)
+            state_list = found
+        else:
+            state_list = list(states)
+        index = {s: i for i, s in enumerate(state_list)}
+        k = len(state_list)
+        matrix = np.zeros((k, k))
+        for (src, dst), weight in weights.items():
+            if weight < 0:
+                raise ValueError(f"negative weight for edge {(src, dst)!r}")
+            matrix[index[src], index[dst]] += weight
+        row_sums = matrix.sum(axis=1)
+        for i in range(k):
+            if row_sums[i] <= 0:
+                matrix[i, i] = 1.0
+            else:
+                matrix[i] /= row_sums[i]
+        return cls(matrix, states=state_list)

@@ -1,0 +1,163 @@
+"""Mixing-time computations for finite Markov chains.
+
+Theorem 1 consumes an epoch length ``M`` that is at least the mixing time of
+the dynamic-graph process, and Theorem 3 consumes the mixing time of the
+per-node chain.  For the explicit finite chains built by this library the
+mixing time can be computed exactly (worst-case total-variation distance over
+deterministic starting states), and bounded via the spectral gap for
+reversible chains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.util.mathutils import total_variation_distance
+
+DEFAULT_EPSILON = 0.25
+
+
+def tv_distance_from_stationarity(chain: MarkovChain, steps: int) -> float:
+    """Worst-case total-variation distance to stationarity after ``steps`` steps.
+
+    The maximum is taken over deterministic (point-mass) initial states, which
+    by convexity is the maximum over all initial distributions.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    pi = chain.stationary_distribution()
+    power = np.linalg.matrix_power(chain.transition_matrix, steps)
+    distances = 0.5 * np.abs(power - pi[None, :]).sum(axis=1)
+    return float(distances.max())
+
+
+def mixing_time(
+    chain: MarkovChain,
+    epsilon: float = DEFAULT_EPSILON,
+    max_steps: Optional[int] = None,
+) -> int:
+    """Exact ``epsilon``-mixing time ``min{t : d(t) <= epsilon}``.
+
+    ``d(t)`` is the worst-case total-variation distance after ``t`` steps.
+    Doubling search keeps the number of matrix powers logarithmic in the
+    answer.
+
+    Raises
+    ------
+    ValueError
+        If ``epsilon`` is not in ``(0, 1)`` or the chain fails to mix within
+        ``max_steps`` steps (default ``16 * num_states**2 + 64``, a safe cap
+        for the chains used in this library).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if max_steps is None:
+        max_steps = 16 * chain.num_states**2 + 64
+
+    if tv_distance_from_stationarity(chain, 0) <= epsilon:
+        return 0
+
+    # Doubling phase: find an upper bound on the mixing time.
+    upper = 1
+    while tv_distance_from_stationarity(chain, upper) > epsilon:
+        upper *= 2
+        if upper > max_steps:
+            raise ValueError(
+                f"chain did not mix to epsilon={epsilon} within {max_steps} steps"
+            )
+    # Binary-search phase on [upper // 2 + 1, upper].
+    low, high = upper // 2, upper
+    while high - low > 1:
+        mid = (low + high) // 2
+        if tv_distance_from_stationarity(chain, mid) <= epsilon:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def spectral_gap(chain: MarkovChain) -> float:
+    """Absolute spectral gap ``1 - max(|lambda_2|, |lambda_k|)``.
+
+    Meaningful primarily for reversible chains, where it controls the
+    relaxation time; for non-reversible chains the value is still returned
+    (based on eigenvalue magnitudes) but should be interpreted with care.
+    """
+    eigvals = np.linalg.eigvals(chain.transition_matrix)
+    magnitudes = np.sort(np.abs(eigvals))[::-1]
+    if magnitudes.size == 1:
+        return 1.0
+    second = float(magnitudes[1])
+    return max(0.0, 1.0 - second)
+
+
+def relaxation_time(chain: MarkovChain) -> float:
+    """Relaxation time ``1 / spectral_gap`` (``inf`` when the gap vanishes)."""
+    gap = spectral_gap(chain)
+    if gap <= 0.0:
+        return math.inf
+    return 1.0 / gap
+
+
+def mixing_time_upper_bound_from_gap(
+    chain: MarkovChain, epsilon: float = DEFAULT_EPSILON
+) -> float:
+    """Classical reversible-chain bound ``t_mix <= t_rel * log(1/(eps*pi_min))``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    pi = chain.stationary_distribution()
+    pi_min = float(pi.min())
+    if pi_min <= 0:
+        return math.inf
+    t_rel = relaxation_time(chain)
+    if math.isinf(t_rel):
+        return math.inf
+    return t_rel * math.log(1.0 / (epsilon * pi_min))
+
+
+def epoch_length_for_accuracy(
+    chain: MarkovChain, accuracy: float, max_steps: Optional[int] = None
+) -> int:
+    """Smallest ``t`` with worst-case TV distance at most ``accuracy``.
+
+    Theorem 3's proof uses epochs of length
+    ``T_mix * log(2n / P_NM^2)`` so that each node's state is within
+    ``P_NM^2 / (2n)`` of stationarity at every epoch boundary.  This helper
+    computes that epoch length exactly for explicit chains.
+    """
+    if not 0.0 < accuracy < 1.0:
+        raise ValueError(f"accuracy must lie in (0, 1), got {accuracy}")
+    return mixing_time(chain, epsilon=accuracy, max_steps=max_steps)
+
+
+def empirical_mixing_time(
+    chain: MarkovChain,
+    epsilon: float = DEFAULT_EPSILON,
+    initial_state: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> int:
+    """Mixing time from one specific starting state instead of the worst case."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if max_steps is None:
+        max_steps = 16 * chain.num_states**2 + 64
+    k = chain.num_states
+    if initial_state is None:
+        initial_state = 0
+    if not 0 <= initial_state < k:
+        raise ValueError(f"initial_state must be in [0, {k}), got {initial_state}")
+    dist = np.zeros(k)
+    dist[initial_state] = 1.0
+    pi = chain.stationary_distribution()
+    matrix = chain.transition_matrix
+    for t in range(max_steps + 1):
+        if total_variation_distance(dist, pi) <= epsilon:
+            return t
+        dist = dist @ matrix
+    raise ValueError(
+        f"chain did not mix from state {initial_state} within {max_steps} steps"
+    )

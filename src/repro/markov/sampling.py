@@ -1,0 +1,106 @@
+"""Trajectory sampling for finite Markov chains.
+
+Node-MEG simulations evolve ``n`` independent copies of the same chain; the
+vectorised helpers here avoid per-node Python loops where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.util.rng import RNGLike, ensure_rng
+
+
+def sample_path(
+    chain: MarkovChain,
+    length: int,
+    initial_state: Optional[Hashable] = None,
+    rng: RNGLike = None,
+) -> list[Hashable]:
+    """Sample a trajectory of ``length`` states (including the initial one).
+
+    When ``initial_state`` is ``None`` the trajectory starts from the
+    stationary distribution, which is how the paper's "stationary MEG"
+    processes are initialised.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    generator = ensure_rng(rng)
+    if initial_state is None:
+        current = chain.state_index(chain.sample_stationary(generator))
+    else:
+        current = chain.state_index(initial_state)
+    cumulative = np.cumsum(chain.transition_matrix, axis=1)
+    path = [current]
+    for _ in range(length - 1):
+        u = generator.random()
+        current = int(np.searchsorted(cumulative[current], u, side="right"))
+        current = min(current, chain.num_states - 1)
+        path.append(current)
+    states = chain.states
+    return [states[i] for i in path]
+
+
+def sample_states(
+    chain: MarkovChain,
+    state_indices: np.ndarray,
+    rng: np.random.Generator,
+    cumulative: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Advance many independent walkers of the same chain by one step.
+
+    Parameters
+    ----------
+    chain:
+        The common chain.
+    state_indices:
+        Integer array of current state indices (one entry per walker).
+    rng:
+        NumPy generator.
+    cumulative:
+        Optional precomputed ``np.cumsum(P, axis=1)`` to avoid recomputing it
+        every step; pass the result of a previous call for speed.
+
+    Returns
+    -------
+    numpy.ndarray
+        The next state index of every walker.
+    """
+    indices = np.asarray(state_indices, dtype=int)
+    if indices.ndim != 1:
+        raise ValueError("state_indices must be a 1-D integer array")
+    if indices.size and (indices.min() < 0 or indices.max() >= chain.num_states):
+        raise ValueError("state index out of range")
+    if cumulative is None:
+        cumulative = np.cumsum(chain.transition_matrix, axis=1)
+    u = rng.random(indices.size)
+    rows = cumulative[indices]
+    nxt = (rows < u[:, None]).sum(axis=1)
+    return np.minimum(nxt, chain.num_states - 1)
+
+
+def sample_stationary_state(
+    chain: MarkovChain, count: int, rng: RNGLike = None
+) -> np.ndarray:
+    """Sample ``count`` i.i.d. state indices from the stationary distribution."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    generator = ensure_rng(rng)
+    pi = chain.stationary_distribution()
+    return generator.choice(chain.num_states, size=count, p=pi)
+
+
+def empirical_state_distribution(
+    chain: MarkovChain, samples: Sequence[Hashable]
+) -> np.ndarray:
+    """Empirical distribution (over matrix order) of observed state labels."""
+    counts = np.zeros(chain.num_states)
+    for state in samples:
+        counts[chain.state_index(state)] += 1
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("cannot build a distribution from zero samples")
+    return counts / total

@@ -1,0 +1,45 @@
+"""Markovian evolving graphs (MEGs).
+
+A dynamic graph ``G([n], {E_t})`` is Markovian when the distribution of the
+snapshot at time ``t`` depends only on the snapshot at time ``t - 1``.  This
+sub-package provides the simulation interface shared by every dynamic-graph
+model in the library (:class:`repro.meg.base.DynamicGraph`) and the concrete
+link-based models studied in the paper:
+
+* :class:`repro.meg.edge_meg.EdgeMEG` — the classic edge-MEG of [10], one
+  independent two-state (birth/death) chain per edge;
+* :class:`repro.meg.edge_meg.GeneralEdgeMEG` — the paper's Appendix-A
+  generalisation, one arbitrary hidden chain per edge plus an on/off map;
+* :class:`repro.meg.node_meg.NodeMEG` — node-MEGs ``NM(n, M, C)``, one
+  independent chain per node plus a symmetric connection map (Section 4);
+* baselines: i.i.d. Erdős–Rényi snapshot sequences, explicit (worst-case)
+  schedules and a rotating T-interval-connected adversary.
+"""
+
+from repro.meg.adversarial import ExplicitScheduleGraph, RotatingSpanningTreeGraph
+from repro.meg.base import DynamicGraph, StaticGraphProcess
+from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG, four_state_edge_meg
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+from repro.meg.node_meg import NodeMEG
+from repro.meg.snapshots import (
+    SnapshotStats,
+    is_t_interval_connected,
+    largest_stable_interval,
+    snapshot_statistics,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeMEG",
+    "ErdosRenyiSequence",
+    "ExplicitScheduleGraph",
+    "GeneralEdgeMEG",
+    "NodeMEG",
+    "RotatingSpanningTreeGraph",
+    "SnapshotStats",
+    "StaticGraphProcess",
+    "four_state_edge_meg",
+    "is_t_interval_connected",
+    "largest_stable_interval",
+    "snapshot_statistics",
+]

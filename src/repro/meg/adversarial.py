@@ -1,0 +1,113 @@
+"""Non-random dynamic graphs: explicit schedules and a T-interval adversary.
+
+The paper's related-work section contrasts its probabilistic setting with the
+worst-case model of Kuhn, Lynch and Oshman [21], where an adversary picks the
+snapshot sequence subject to *T-interval connectivity* (every window of ``T``
+consecutive snapshots shares a connected spanning subgraph).  These classes
+provide deterministic dynamic graphs for tests and for side-by-side
+comparisons with the Markovian models:
+
+* :class:`ExplicitScheduleGraph` replays (and optionally cycles) a given list
+  of snapshots;
+* :class:`RotatingSpanningTreeGraph` is a simple 1-interval-connected
+  adversary that rotates through a family of spanning stars, which is known
+  to slow flooding down to ``Theta(n)`` in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import networkx as nx
+
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike
+from repro.util.validation import require_node_count
+
+
+class ExplicitScheduleGraph(DynamicGraph):
+    """A dynamic graph that replays an explicit sequence of snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        A sequence of :class:`networkx.Graph` objects, all on nodes
+        ``0..n-1``.
+    cycle:
+        When true (default) the schedule repeats after the last snapshot;
+        when false the last snapshot persists forever.
+    """
+
+    def __init__(self, snapshots: Sequence[nx.Graph], cycle: bool = True) -> None:
+        if not snapshots:
+            raise ValueError("at least one snapshot is required")
+        num_nodes = snapshots[0].number_of_nodes()
+        require_node_count(num_nodes)
+        self._edge_lists: list[tuple[tuple[int, int], ...]] = []
+        for index, graph in enumerate(snapshots):
+            if sorted(graph.nodes()) != list(range(num_nodes)):
+                raise ValueError(
+                    f"snapshot {index} is not labelled 0..{num_nodes - 1}"
+                )
+            self._edge_lists.append(
+                tuple((min(a, b), max(a, b)) for a, b in graph.edges() if a != b)
+            )
+        self._num_nodes = num_nodes
+        self._cycle = cycle
+        self._time = 0
+
+    def _schedule_index(self) -> int:
+        if self._cycle:
+            return self._time % len(self._edge_lists)
+        return min(self._time, len(self._edge_lists) - 1)
+
+    def reset(self, rng: RNGLike = None) -> None:
+        del rng  # deterministic process
+        self._time = 0
+
+    def step(self) -> None:
+        self._time += 1
+
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self._edge_lists[self._schedule_index()])
+
+
+class RotatingSpanningTreeGraph(DynamicGraph):
+    """A deterministic 1-interval-connected adversary.
+
+    At time ``t`` the snapshot is a star centred at node ``t mod n``.  Every
+    snapshot is connected (so the process is 1-interval connected), yet the
+    topology changes completely at every step.  Flooding from source ``s``
+    informs exactly one new node (the current centre) per step until the
+    centre index reaches ``s``, at which point every node is informed — so the
+    flooding time is exactly ``min(s + 1, n - 1)``, a deterministic
+    ``Theta(n)`` worst case that illustrates how adversarial schedules can be
+    much slower than stationary random processes of the same density.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self._num_nodes = require_node_count(num_nodes)
+        if num_nodes < 2:
+            raise ValueError("the rotating star needs at least 2 nodes")
+        self._time = 0
+
+    def reset(self, rng: RNGLike = None) -> None:
+        del rng  # deterministic process
+        self._time = 0
+
+    def step(self) -> None:
+        self._time += 1
+
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        center = self._time % self._num_nodes
+        for node in range(self._num_nodes):
+            if node != center:
+                yield (min(center, node), max(center, node))
+
+    def neighbors_of_set(self, nodes) -> set[int]:
+        if not nodes:
+            return set()
+        center = self._time % self._num_nodes
+        if center in nodes:
+            return set(range(self._num_nodes)) - {center}
+        return {center}

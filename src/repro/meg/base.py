@@ -1,0 +1,176 @@
+"""The dynamic-graph simulation interface.
+
+Every model in the library — edge-MEGs, node-MEGs, mobility models — exposes
+the same minimal interface so that the flooding/gossip simulators and the
+stationarity estimators in :mod:`repro.core` work uniformly:
+
+* ``num_nodes`` — the number of nodes ``n`` (nodes are always ``0..n-1``);
+* ``reset(rng)`` — draw the initial snapshot ``G_0`` (stationary models start
+  from their stationary distribution, matching the paper's "stationary MEG"
+  setting) and fix the randomness of the run;
+* ``step()`` — advance the process by one time step;
+* ``current_edges()`` — the edge set of the current snapshot;
+* ``neighbors_of_set(nodes)`` — all nodes adjacent to a given set in the
+  current snapshot (the only query flooding needs; models may override it
+  with something faster than scanning every edge).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+from repro.util.rng import RNGLike, ensure_rng
+
+
+class DynamicGraph(abc.ABC):
+    """Abstract base class of all dynamic-graph processes.
+
+    Subclasses must set ``self._num_nodes`` (or override :attr:`num_nodes`)
+    and implement :meth:`reset`, :meth:`step` and :meth:`current_edges`.
+    """
+
+    _num_nodes: int
+    _time: int = 0
+
+    # ------------------------------------------------------------------ #
+    # core interface
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the dynamic graph."""
+        return self._num_nodes
+
+    @property
+    def time(self) -> int:
+        """Index ``t`` of the current snapshot (0 right after :meth:`reset`)."""
+        return self._time
+
+    @abc.abstractmethod
+    def reset(self, rng: RNGLike = None) -> None:
+        """(Re-)initialise the process, drawing the snapshot at time 0."""
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Advance the process by one time step (produce the next snapshot)."""
+
+    @abc.abstractmethod
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over the edges ``(i, j)`` (i < j) of the current snapshot."""
+
+    # ------------------------------------------------------------------ #
+    # derived helpers (overridable for efficiency)
+    # ------------------------------------------------------------------ #
+    def neighbors_of_set(self, nodes: Set[int]) -> set[int]:
+        """All nodes adjacent, in the current snapshot, to some node in ``nodes``.
+
+        The returned set may include members of ``nodes`` itself; flooding
+        callers union it with the informed set anyway.
+        """
+        reached: set[int] = set()
+        for i, j in self.current_edges():
+            if i in nodes:
+                reached.add(j)
+            if j in nodes:
+                reached.add(i)
+        return reached
+
+    def snapshot(self) -> nx.Graph:
+        """The current snapshot as a :class:`networkx.Graph` on ``0..n-1``."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_nodes))
+        graph.add_edges_from(self.current_edges())
+        return graph
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether the current snapshot contains the edge ``{i, j}``."""
+        self._validate_node(i)
+        self._validate_node(j)
+        if i == j:
+            return False
+        target = (min(i, j), max(i, j))
+        return any((min(a, b), max(a, b)) == target for a, b in self.current_edges())
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node`` in the current snapshot."""
+        self._validate_node(node)
+        return sum(1 for a, b in self.current_edges() if a == node or b == node)
+
+    def edge_count(self) -> int:
+        """Number of edges in the current snapshot."""
+        return sum(1 for _ in self.current_edges())
+
+    def run(self, steps: int) -> None:
+        """Advance the process by ``steps`` time steps."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+
+    def _validate_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range for a graph on {self.num_nodes} nodes"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_nodes={self.num_nodes})"
+
+
+class StaticGraphProcess(DynamicGraph):
+    """A dynamic graph whose snapshot never changes.
+
+    Useful as a degenerate baseline (flooding then completes in exactly the
+    eccentricity of the source) and in unit tests of the flooding machinery.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the static graph must have at least one node")
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            raise ValueError("the static graph must be labelled 0..n-1")
+        self._num_nodes = graph.number_of_nodes()
+        self._edges = tuple(
+            (min(a, b), max(a, b)) for a, b in graph.edges() if a != b
+        )
+        self._adjacency: dict[int, set[int]] = {i: set() for i in range(self._num_nodes)}
+        for a, b in self._edges:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._time = 0
+
+    def reset(self, rng: RNGLike = None) -> None:
+        del rng  # the process is deterministic
+        self._time = 0
+
+    def step(self) -> None:
+        self._time += 1
+
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self._edges)
+
+    def neighbors_of_set(self, nodes: Set[int]) -> set[int]:
+        reached: set[int] = set()
+        for node in nodes:
+            reached |= self._adjacency[node]
+        return reached
+
+
+def edges_from_adjacency_matrix(matrix: np.ndarray) -> list[tuple[int, int]]:
+    """Upper-triangle edge list of a boolean adjacency matrix (helper for models)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got shape {matrix.shape}")
+    rows, cols = np.nonzero(np.triu(matrix, k=1))
+    return list(zip(rows.tolist(), cols.tolist()))
+
+
+def all_pairs(num_nodes: int) -> list[tuple[int, int]]:
+    """All unordered node pairs ``(i, j)`` with ``i < j``."""
+    if num_nodes < 0:
+        raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+    return [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]

@@ -1,0 +1,79 @@
+"""A sequence of independent Erdős–Rényi snapshots.
+
+This is the memoryless baseline studied (for radio broadcast) in [9] and the
+degenerate edge-MEG with ``p + q = 1``: every snapshot is a fresh ``G(n, p)``
+independent of the past.  Its mixing time is 1, so it is the fastest-mixing
+dynamic graph with a given density — a useful reference point in the
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.meg.base import DynamicGraph, all_pairs
+from repro.util.rng import RNGLike, ensure_rng
+from repro.util.validation import require_node_count, require_probability
+
+
+class ErdosRenyiSequence(DynamicGraph):
+    """Independent ``G(n, p)`` snapshots at every time step."""
+
+    def __init__(self, num_nodes: int, p: float) -> None:
+        self._num_nodes = require_node_count(num_nodes)
+        self._p = require_probability(p, "p")
+        self._pairs = np.array(all_pairs(num_nodes), dtype=int).reshape(-1, 2)
+        self._states: Optional[np.ndarray] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._time = 0
+
+    @property
+    def p(self) -> float:
+        """Per-snapshot edge probability."""
+        return self._p
+
+    def stationary_edge_probability(self) -> float:
+        """The stationary edge probability equals ``p`` (snapshots are i.i.d.)."""
+        return self._p
+
+    def _draw(self) -> None:
+        assert self._rng is not None
+        self._states = self._rng.random(self._pairs.shape[0]) < self._p
+
+    def reset(self, rng: RNGLike = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._time = 0
+        self._draw()
+
+    def step(self) -> None:
+        if self._rng is None:
+            raise RuntimeError("call reset() before step()")
+        self._draw()
+        self._time += 1
+
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        if self._states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        for index in np.nonzero(self._states)[0]:
+            i, j = self._pairs[index]
+            yield int(i), int(j)
+
+    def neighbors_of_set(self, nodes) -> set[int]:
+        if self._states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        if not nodes:
+            return set()
+        active = self._pairs[self._states]
+        if active.size == 0:
+            return set()
+        node_array = np.fromiter(nodes, dtype=int)
+        mask_i = np.isin(active[:, 0], node_array)
+        mask_j = np.isin(active[:, 1], node_array)
+        return set(active[mask_i, 1].tolist()) | set(active[mask_j, 0].tolist())
+
+    def edge_count(self) -> int:
+        if self._states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        return int(self._states.sum())

@@ -1,0 +1,211 @@
+"""Snapshot statistics of dynamic graphs.
+
+The paper stresses that its bound applies to processes whose individual
+snapshots are sparse and highly disconnected ("there could be a large subset
+of all nodes that are isolated").  These helpers quantify exactly that:
+average density, fraction of isolated nodes, size of the largest connected
+component, and so on, aggregated over a window of snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """Aggregated statistics over a window of consecutive snapshots."""
+
+    num_nodes: int
+    num_snapshots: int
+    mean_edges: float
+    mean_degree: float
+    mean_isolated_fraction: float
+    mean_largest_component_fraction: float
+    connected_fraction: float
+    empirical_edge_probability: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (used by the experiment reports)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_snapshots": self.num_snapshots,
+            "mean_edges": self.mean_edges,
+            "mean_degree": self.mean_degree,
+            "mean_isolated_fraction": self.mean_isolated_fraction,
+            "mean_largest_component_fraction": self.mean_largest_component_fraction,
+            "connected_fraction": self.connected_fraction,
+            "empirical_edge_probability": self.empirical_edge_probability,
+        }
+
+
+def snapshot_statistics(
+    process: DynamicGraph,
+    num_snapshots: int,
+    rng: RNGLike = None,
+    burn_in: int = 0,
+    reset: bool = True,
+) -> SnapshotStats:
+    """Run ``process`` and aggregate statistics over ``num_snapshots`` snapshots.
+
+    Parameters
+    ----------
+    process:
+        Any dynamic graph.
+    num_snapshots:
+        Number of consecutive snapshots to aggregate.
+    rng:
+        Seed / generator passed to ``process.reset`` when ``reset`` is true.
+    burn_in:
+        Number of initial steps to discard (useful when the process is not
+        started from stationarity).
+    reset:
+        Whether to reset the process first; pass ``False`` to continue an
+        existing run.
+    """
+    if num_snapshots < 1:
+        raise ValueError(f"num_snapshots must be >= 1, got {num_snapshots}")
+    if burn_in < 0:
+        raise ValueError(f"burn_in must be >= 0, got {burn_in}")
+    if reset:
+        process.reset(rng)
+    for _ in range(burn_in):
+        process.step()
+
+    n = process.num_nodes
+    max_edges = n * (n - 1) / 2 if n > 1 else 1.0
+    edge_counts = []
+    isolated_fractions = []
+    largest_component_fractions = []
+    connected_count = 0
+    for index in range(num_snapshots):
+        graph = process.snapshot()
+        edges = graph.number_of_edges()
+        edge_counts.append(edges)
+        degrees = np.array([d for _, d in graph.degree()])
+        isolated_fractions.append(float((degrees == 0).mean()) if n else 0.0)
+        if n > 0:
+            components = list(nx.connected_components(graph))
+            largest = max(len(c) for c in components)
+            largest_component_fractions.append(largest / n)
+            if len(components) == 1:
+                connected_count += 1
+        if index + 1 < num_snapshots:
+            process.step()
+
+    mean_edges = float(np.mean(edge_counts))
+    return SnapshotStats(
+        num_nodes=n,
+        num_snapshots=num_snapshots,
+        mean_edges=mean_edges,
+        mean_degree=float(2.0 * mean_edges / n) if n else 0.0,
+        mean_isolated_fraction=float(np.mean(isolated_fractions)),
+        mean_largest_component_fraction=float(np.mean(largest_component_fractions)),
+        connected_fraction=connected_count / num_snapshots,
+        empirical_edge_probability=float(mean_edges / max_edges),
+    )
+
+
+def is_t_interval_connected(snapshots: list[nx.Graph], interval: int) -> bool:
+    """Whether a snapshot sequence is T-interval connected (Kuhn–Lynch–Oshman [21]).
+
+    The worst-case dynamic-network model the paper contrasts itself with
+    requires that, for every window of ``interval`` consecutive snapshots,
+    the *intersection* of their edge sets contains a connected spanning
+    subgraph.  This checker evaluates that property on an explicit list of
+    snapshots (all on the same node set).
+    """
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1, got {interval}")
+    if len(snapshots) < interval:
+        raise ValueError(
+            f"need at least {interval} snapshots to check {interval}-interval connectivity"
+        )
+    nodes = list(snapshots[0].nodes())
+    for graph in snapshots:
+        if list(graph.nodes()) != nodes:
+            raise ValueError("all snapshots must share the same node set")
+    for start in range(len(snapshots) - interval + 1):
+        window = snapshots[start : start + interval]
+        intersection = nx.Graph()
+        intersection.add_nodes_from(nodes)
+        common = set(
+            (min(a, b), max(a, b)) for a, b in window[0].edges()
+        )
+        for graph in window[1:]:
+            common &= {(min(a, b), max(a, b)) for a, b in graph.edges()}
+        intersection.add_edges_from(common)
+        if len(nodes) > 1 and not nx.is_connected(intersection):
+            return False
+    return True
+
+
+def largest_stable_interval(
+    process: DynamicGraph,
+    num_snapshots: int,
+    rng: RNGLike = None,
+    max_interval: Optional[int] = None,
+) -> int:
+    """Largest ``T`` for which an observed run is T-interval connected.
+
+    Runs the process for ``num_snapshots`` steps and returns the largest
+    ``T <= max_interval`` such that every window of ``T`` consecutive observed
+    snapshots shares a connected spanning subgraph; returns 0 when even single
+    snapshots are disconnected (the typical situation for the paper's sparse
+    MEGs, which is exactly why the worst-case model of [21] does not apply to
+    them).
+    """
+    if num_snapshots < 1:
+        raise ValueError(f"num_snapshots must be >= 1, got {num_snapshots}")
+    if max_interval is None:
+        max_interval = num_snapshots
+    if max_interval < 1:
+        raise ValueError(f"max_interval must be >= 1, got {max_interval}")
+    process.reset(rng)
+    snapshots = []
+    for index in range(num_snapshots):
+        snapshots.append(process.snapshot())
+        if index + 1 < num_snapshots:
+            process.step()
+    best = 0
+    for interval in range(1, min(max_interval, num_snapshots) + 1):
+        if is_t_interval_connected(snapshots, interval):
+            best = interval
+        else:
+            break
+    return best
+
+
+def empirical_edge_probability(
+    process: DynamicGraph,
+    edge: tuple[int, int],
+    num_snapshots: int,
+    rng: RNGLike = None,
+    spacing: int = 1,
+) -> float:
+    """Empirical frequency with which a specific edge appears.
+
+    ``spacing`` decorrelates consecutive observations by stepping the process
+    several times between samples (use roughly the mixing time).
+    """
+    if num_snapshots < 1:
+        raise ValueError(f"num_snapshots must be >= 1, got {num_snapshots}")
+    if spacing < 1:
+        raise ValueError(f"spacing must be >= 1, got {spacing}")
+    i, j = edge
+    process.reset(rng)
+    hits = 0
+    for index in range(num_snapshots):
+        if process.has_edge(i, j):
+            hits += 1
+        if index + 1 < num_snapshots:
+            for _ in range(spacing):
+                process.step()
+    return hits / num_snapshots

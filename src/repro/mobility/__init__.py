@@ -1,0 +1,53 @@
+"""Mobility models realised as dynamic graphs.
+
+The paper's Section 4.1 applies the node-MEG machinery to two families of
+mobility models:
+
+* **geometric models** — agents move in a bounded region of the plane and two
+  agents are connected when their Euclidean distance is at most the
+  transmission radius ``r``.  We implement the random walk on a grid, the
+  random waypoint (the model whose flooding time the paper bounds for the
+  first time), the generic random trip model and the Manhattan waypoint
+  variant of [13];
+* **graph models** — agents move over a fixed mobility graph along feasible
+  paths (the random-path model), with the plain random walk on the graph as
+  the special case where paths are single edges.
+
+All models implement :class:`repro.meg.base.DynamicGraph`, so the flooding
+simulator and the stationarity estimators apply to them directly.
+"""
+
+from repro.mobility.connection import UnitDiskConnection, radius_edges
+from repro.mobility.geometry import SquareRegion, discretize_square
+from repro.mobility.manhattan import ManhattanWaypoint
+from repro.mobility.positional import (
+    empirical_positional_distribution,
+    uniformity_parameters,
+    waypoint_density,
+)
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.random_path import GraphRandomWalkMobility, RandomPathModel
+from repro.mobility.random_trip import RandomTrip, TrajectorySampler
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.waypoint_chain import WaypointChainModel, build_waypoint_chain
+
+__all__ = [
+    "GraphRandomWalkMobility",
+    "ManhattanWaypoint",
+    "RandomDirection",
+    "RandomPathModel",
+    "RandomTrip",
+    "RandomWalkMobility",
+    "RandomWaypoint",
+    "SquareRegion",
+    "TrajectorySampler",
+    "UnitDiskConnection",
+    "WaypointChainModel",
+    "build_waypoint_chain",
+    "discretize_square",
+    "empirical_positional_distribution",
+    "radius_edges",
+    "uniformity_parameters",
+    "waypoint_density",
+]

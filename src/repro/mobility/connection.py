@@ -1,0 +1,82 @@
+"""Geometric connection rules (unit-disk / transmission-radius graphs).
+
+At every time step of a geometric mobility model, two agents are connected
+exactly when their Euclidean distance is at most the transmission radius
+``r``.  These helpers turn an array of agent positions into the corresponding
+snapshot edge set efficiently (k-d tree for large populations, brute force
+for tiny ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.util.validation import require_positive
+
+
+def radius_edges(positions: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """All pairs ``(i, j)``, ``i < j``, with ``||pos_i - pos_j|| <= radius``."""
+    require_positive(radius, "radius", strict=False)
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"positions must be a 2-D array, got shape {pts.shape}")
+    n = pts.shape[0]
+    if n < 2 or radius == 0.0:
+        # radius 0 still connects exactly coincident points; handle via tree too
+        if n < 2:
+            return []
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    return [(int(i), int(j)) for i, j in pairs]
+
+
+def neighbors_within_radius(
+    positions: np.ndarray, sources: Iterable[int], radius: float
+) -> Set[int]:
+    """Indices of all agents within ``radius`` of at least one source agent.
+
+    The result excludes the source indices themselves unless another source
+    happens to be within range of a source.
+    """
+    require_positive(radius, "radius", strict=False)
+    pts = np.asarray(positions, dtype=float)
+    source_list = sorted(set(int(s) for s in sources))
+    if not source_list:
+        return set()
+    for s in source_list:
+        if not 0 <= s < pts.shape[0]:
+            raise ValueError(f"source index {s} out of range")
+    tree = cKDTree(pts)
+    reached: set[int] = set()
+    neighbor_lists = tree.query_ball_point(pts[source_list], r=radius)
+    for neighbors in neighbor_lists:
+        reached.update(int(v) for v in neighbors)
+    return reached - set(source_list)
+
+
+@dataclass(frozen=True)
+class UnitDiskConnection:
+    """The standard geometric connection rule: connected iff distance <= radius."""
+
+    radius: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.radius, "radius", strict=False)
+
+    def edges(self, positions: np.ndarray) -> list[tuple[int, int]]:
+        """Snapshot edge set induced by agent positions."""
+        return radius_edges(positions, self.radius)
+
+    def are_connected(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Whether two individual positions are within the radius."""
+        return float(np.linalg.norm(np.asarray(a) - np.asarray(b))) <= self.radius
+
+    def neighbors_of_set(
+        self, positions: np.ndarray, sources: Iterable[int]
+    ) -> Set[int]:
+        """Agents within the radius of at least one source agent."""
+        return neighbors_within_radius(positions, sources, self.radius)

@@ -1,0 +1,129 @@
+"""Geometric mobility spaces and their discretisation.
+
+The continuous models of the paper (random waypoint, random trip) move agents
+over a square of side length ``L``; Section 4.1 discretises the square by an
+``m x m`` grid of regularly spaced points.  :class:`SquareRegion` captures the
+continuous region together with the quantities appearing in Corollary 4
+(volume, the eroded region ``B_r`` of points whose ``r``-disk stays inside the
+region), and :func:`discretize_square` produces the grid used by the discrete
+realisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SquareRegion:
+    """The axis-aligned square ``[0, side] x [0, side]``.
+
+    This is the mobility space of the standard random waypoint model.  All
+    geometric quantities of Corollary 4 (``vol(R)``, ``vol(B_r)``) are exposed
+    as methods.
+    """
+
+    side: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.side, "side")
+
+    @property
+    def dimension(self) -> int:
+        """The space is two-dimensional."""
+        return 2
+
+    def volume(self) -> float:
+        """Area of the square (``vol(R)`` in Corollary 4)."""
+        return self.side**2
+
+    def diameter(self) -> float:
+        """Euclidean diameter (the diagonal of the square)."""
+        return float(np.sqrt(2.0) * self.side)
+
+    def contains(self, point: np.ndarray | tuple[float, float]) -> bool:
+        """Whether ``point`` lies inside the closed square."""
+        x, y = float(point[0]), float(point[1])
+        return 0.0 <= x <= self.side and 0.0 <= y <= self.side
+
+    def clamp(self, point: np.ndarray) -> np.ndarray:
+        """Project ``point`` onto the square (used to absorb float drift)."""
+        return np.clip(np.asarray(point, dtype=float), 0.0, self.side)
+
+    def eroded_volume(self, radius: float) -> float:
+        """``vol(B_r)`` — area of points whose ``r``-disk stays inside the square.
+
+        ``B_r`` is the concentric square of side ``side - 2 r``; the volume is
+        zero when the radius is at least half the side.
+        """
+        require_positive(radius, "radius", strict=False)
+        inner = self.side - 2.0 * radius
+        if inner <= 0.0:
+            return 0.0
+        return inner**2
+
+    def eroded_fraction(self, radius: float) -> float:
+        """``lambda = vol(B_r) / vol(R)`` for the natural choice ``B = B_r``."""
+        return self.eroded_volume(radius) / self.volume()
+
+    def sample_uniform(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Sample ``count`` uniform points; returns an array of shape (count, 2)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return rng.random((count, 2)) * self.side
+
+    def grid_points(self, resolution: int) -> np.ndarray:
+        """``resolution x resolution`` regularly spaced points covering the square.
+
+        Points are cell centres, i.e. ``((i + 0.5) * side / m, (j + 0.5) * side / m)``,
+        so every grid point is interior — matching the discretisation sketch
+        of Section 4.1.
+        """
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        spacing = self.side / resolution
+        coords = (np.arange(resolution) + 0.5) * spacing
+        xs, ys = np.meshgrid(coords, coords, indexing="ij")
+        return np.column_stack([xs.ravel(), ys.ravel()])
+
+
+def discretize_square(side: float, resolution: int) -> tuple[np.ndarray, float]:
+    """Return ``(points, spacing)`` for an ``m x m`` discretisation of the square.
+
+    ``points`` has shape ``(resolution**2, 2)`` and ``spacing`` is the distance
+    between adjacent grid points.  The level of resolution does not affect the
+    flooding bounds (footnote 3 of the paper) as long as it is fine enough
+    relative to the transmission radius.
+    """
+    region = SquareRegion(side)
+    points = region.grid_points(resolution)
+    spacing = side / resolution
+    return points, spacing
+
+
+def nearest_grid_index(point: np.ndarray, side: float, resolution: int) -> tuple[int, int]:
+    """Index ``(i, j)`` of the grid cell containing ``point``."""
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    region = SquareRegion(side)
+    clamped = region.clamp(point)
+    spacing = side / resolution
+    i = min(int(clamped[0] / spacing), resolution - 1)
+    j = min(int(clamped[1] / spacing), resolution - 1)
+    return i, j
+
+
+def torus_displacement(a: np.ndarray, b: np.ndarray, side: float) -> np.ndarray:
+    """Shortest displacement from ``a`` to ``b`` on the torus of the given side."""
+    require_positive(side, "side")
+    delta = (np.asarray(b, dtype=float) - np.asarray(a, dtype=float)) % side
+    return np.where(delta > side / 2.0, delta - side, delta)
+
+
+def torus_distance(a: np.ndarray, b: np.ndarray, side: float) -> float:
+    """Euclidean distance on the torus (used by periodic variants in tests)."""
+    return float(np.linalg.norm(torus_displacement(a, b, side)))

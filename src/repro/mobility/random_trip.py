@@ -1,0 +1,213 @@
+"""The generic random trip model over a square region.
+
+In the random trip model of Le Boudec and Vojnović [24] every agent
+repeatedly samples a *trip* (a trajectory through the mobility space together
+with the speed profile along it), travels that trip to its end, then samples
+the next trip, independently of all other agents.  The random waypoint and
+the Manhattan waypoint are instances obtained by restricting the family of
+feasible trips.
+
+The implementation discretises time (one position per time step — the same
+discretisation Section 4.1 of the paper uses to turn these continuous models
+into node-MEGs): a concrete model supplies :meth:`TrajectorySampler.sample_leg`,
+which returns the sequence of positions occupied on one trip.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.meg.base import DynamicGraph
+from repro.mobility.connection import UnitDiskConnection
+from repro.mobility.geometry import SquareRegion
+from repro.util.rng import RNGLike, ensure_rng
+from repro.util.validation import require_node_count, require_positive
+
+
+class TrajectorySampler(abc.ABC):
+    """Strategy object that samples one trip (leg) of a random trip model."""
+
+    @abc.abstractmethod
+    def sample_leg(
+        self, position: np.ndarray, region: SquareRegion, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return the positions visited on the next trip, one row per time step.
+
+        The returned array must have shape ``(k, 2)`` with ``k >= 1``; the
+        first row is the position after the first step of the trip (not the
+        current position).
+        """
+
+
+class RandomTrip(DynamicGraph):
+    """A geometric random trip mobility model over a square.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of agents.
+    side:
+        Side length ``L`` of the square mobility region.
+    radius:
+        Transmission radius ``r``; two agents are connected when their
+        Euclidean distance is at most ``r``.
+    sampler:
+        The trip sampler defining the model (waypoint legs, Manhattan legs…).
+    warmup_steps:
+        Number of steps run inside :meth:`reset` before time 0, to bring the
+        process close to its stationary regime (the paper analyses stationary
+        models).  A value around the mixing time ``L / v`` is appropriate.
+    snap_resolution:
+        Optional grid resolution ``m``.  When set, agent positions are snapped
+        to the nearest point of the ``m x m`` discretisation grid after every
+        move — the node-MEG discretisation of Section 4.1.  Footnote 3 of the
+        paper states the resolution does not affect the flooding bound as long
+        as it is fine enough; the resolution-ablation benchmark verifies this
+        by sweeping ``snap_resolution``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        side: float,
+        radius: float,
+        sampler: TrajectorySampler,
+        warmup_steps: int = 0,
+        snap_resolution: Optional[int] = None,
+    ) -> None:
+        self._num_nodes = require_node_count(num_nodes)
+        self._region = SquareRegion(side)
+        require_positive(radius, "radius", strict=False)
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        if snap_resolution is not None and snap_resolution < 1:
+            raise ValueError(
+                f"snap_resolution must be >= 1 when given, got {snap_resolution}"
+            )
+        self._connection = UnitDiskConnection(radius)
+        self._sampler = sampler
+        self._warmup_steps = warmup_steps
+        self._snap_resolution = snap_resolution
+        self._positions: Optional[np.ndarray] = None
+        self._legs: list[list[np.ndarray]] = []
+        self._rng: Optional[np.random.Generator] = None
+        self._edges_cache: Optional[list[tuple[int, int]]] = None
+        self._time = 0
+
+    # ------------------------------------------------------------------ #
+    # model parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def region(self) -> SquareRegion:
+        """The square mobility region."""
+        return self._region
+
+    @property
+    def radius(self) -> float:
+        """The transmission radius ``r``."""
+        return self._connection.radius
+
+    @property
+    def sampler(self) -> TrajectorySampler:
+        """The trip sampler that defines the model."""
+        return self._sampler
+
+    @property
+    def snap_resolution(self) -> Optional[int]:
+        """Grid resolution used to discretise positions (``None`` = continuous)."""
+        return self._snap_resolution
+
+    # ------------------------------------------------------------------ #
+    # process
+    # ------------------------------------------------------------------ #
+    def reset(self, rng: RNGLike = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._time = 0
+        self._positions = self._region.sample_uniform(self._rng, self._num_nodes)
+        self._legs = [[] for _ in range(self._num_nodes)]
+        self._edges_cache = None
+        for _ in range(self._warmup_steps):
+            self._advance()
+        self._time = 0
+
+    def step(self) -> None:
+        if self._positions is None:
+            raise RuntimeError("call reset() before step()")
+        self._advance()
+        self._time += 1
+
+    def _advance(self) -> None:
+        assert self._positions is not None and self._rng is not None
+        for node in range(self._num_nodes):
+            if not self._legs[node]:
+                leg = self._sampler.sample_leg(
+                    self._positions[node], self._region, self._rng
+                )
+                leg = np.asarray(leg, dtype=float)
+                if leg.ndim != 2 or leg.shape[1] != 2 or leg.shape[0] < 1:
+                    raise ValueError(
+                        "sample_leg must return an array of shape (k, 2) with k >= 1"
+                    )
+                self._legs[node] = [self._region.clamp(row) for row in leg]
+            self._positions[node] = self._legs[node].pop(0)
+        if self._snap_resolution is not None:
+            self._positions = self._snap(self._positions)
+        self._edges_cache = None
+
+    def _snap(self, positions: np.ndarray) -> np.ndarray:
+        """Snap positions to the centres of the ``m x m`` discretisation cells."""
+        m = self._snap_resolution
+        assert m is not None
+        spacing = self._region.side / m
+        cells = np.clip(np.floor(positions / spacing), 0, m - 1)
+        return (cells + 0.5) * spacing
+
+    def positions(self) -> np.ndarray:
+        """Current positions of all agents, shape ``(n, 2)``."""
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying positions")
+        return self._positions.copy()
+
+    def current_edges(self) -> Iterator[tuple[int, int]]:
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        if self._edges_cache is None:
+            self._edges_cache = self._connection.edges(self._positions)
+        return iter(self._edges_cache)
+
+    def neighbors_of_set(self, nodes) -> set[int]:
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        if not nodes:
+            return set()
+        return self._connection.neighbors_of_set(self._positions, nodes)
+
+    def edge_count(self) -> int:
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        if self._edges_cache is None:
+            self._edges_cache = self._connection.edges(self._positions)
+        return len(self._edges_cache)
+
+
+def straight_leg(
+    start: np.ndarray, destination: np.ndarray, speed: float
+) -> np.ndarray:
+    """Positions along the straight segment ``start -> destination``.
+
+    The agent covers ``speed`` distance units per time step and the final
+    position is exactly the destination (the last step may be shorter).
+    """
+    require_positive(speed, "speed")
+    start = np.asarray(start, dtype=float)
+    destination = np.asarray(destination, dtype=float)
+    displacement = destination - start
+    distance = float(np.linalg.norm(displacement))
+    if distance == 0.0:
+        return destination[None, :].copy()
+    steps = int(np.ceil(distance / speed))
+    fractions = np.minimum(np.arange(1, steps + 1) * speed / distance, 1.0)
+    return start[None, :] + fractions[:, None] * displacement[None, :]

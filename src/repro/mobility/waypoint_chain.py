@@ -1,0 +1,220 @@
+"""The explicit node-MEG discretisation of the random waypoint (Section 4.1).
+
+Section 4.1 sketches how the continuous random waypoint becomes a node-MEG
+``NM(n, M, C)``: discretise the square with an ``m x m`` grid; a state of the
+per-node chain encodes the current grid cell and the destination cell (and,
+in general, the speed); transitions are deterministic along the straight
+path towards the destination and, on arrival, jump to a uniformly random new
+destination; the connection map links two nodes whenever their cells are
+within the transmission radius.
+
+This module builds that chain *explicitly* for moderate resolutions, so the
+quantities Theorem 3 consumes — the exact mixing time, ``P_NM``, ``P_NM2``
+and ``eta`` — can be computed rather than estimated, and the resulting
+:class:`repro.meg.node_meg.NodeMEG` can be simulated next to the continuous
+model for cross-validation.
+
+The state space has ``m**2 * m**2`` states (current cell x destination
+cell), so resolutions up to ``m ~ 8`` (4096 states) stay comfortable on a
+laptop; that is enough to verify the ``Theta(L / v)`` mixing-time scaling and
+the uniformity constants of Corollary 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.meg.node_meg import NodeMEG
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class WaypointChainModel:
+    """The discretised waypoint chain together with its geometric metadata.
+
+    Attributes
+    ----------
+    chain:
+        The per-node Markov chain; state labels are ``(current, destination)``
+        pairs of cell indices in ``0 .. m**2 - 1``.
+    connection:
+        Symmetric boolean matrix over states: 1 when the two current cells are
+        within the transmission radius.
+    resolution:
+        Grid resolution ``m``.
+    side:
+        Side length ``L`` of the square.
+    radius:
+        Transmission radius ``r``.
+    cells_per_step:
+        How many cells an agent traverses per time step (the discretised
+        speed).
+    """
+
+    chain: MarkovChain
+    connection: np.ndarray
+    resolution: int
+    side: float
+    radius: float
+    cells_per_step: int
+
+    @property
+    def num_cells(self) -> int:
+        """Number of grid cells ``m**2``."""
+        return self.resolution**2
+
+    def cell_center(self, cell: int) -> tuple[float, float]:
+        """Euclidean coordinates of a cell centre."""
+        if not 0 <= cell < self.num_cells:
+            raise ValueError(f"cell {cell} out of range")
+        spacing = self.side / self.resolution
+        row, col = divmod(cell, self.resolution)
+        return ((row + 0.5) * spacing, (col + 0.5) * spacing)
+
+    def to_node_meg(self, num_nodes: int) -> NodeMEG:
+        """Instantiate the node-MEG ``NM(n, M, C)`` for ``num_nodes`` agents."""
+        return NodeMEG(num_nodes, self.chain, self.connection)
+
+    def positional_distribution(self) -> np.ndarray:
+        """Stationary probability that an agent occupies each cell.
+
+        This is the discrete analogue of the waypoint positional density
+        ``F_wp``; it is biased towards the centre of the square, which is the
+        qualitative fact Corollary 4's conditions rest on.
+        """
+        pi = self.chain.stationary_distribution()
+        occupancy = np.zeros(self.num_cells)
+        for probability, (current, _destination) in zip(pi, self.chain.states):
+            occupancy[current] += probability
+        return occupancy
+
+
+def _cell_path(start: int, destination: int, resolution: int) -> list[int]:
+    """Cells visited moving from ``start`` to ``destination`` along the straight segment.
+
+    The path is produced by sampling the segment at half-cell granularity and
+    recording the sequence of distinct cells; it always ends at the
+    destination cell and never repeats a cell consecutively.
+    """
+    if start == destination:
+        return [destination]
+    r0, c0 = divmod(start, resolution)
+    r1, c1 = divmod(destination, resolution)
+    begin = np.array([r0 + 0.5, c0 + 0.5])
+    end = np.array([r1 + 0.5, c1 + 0.5])
+    distance = float(np.linalg.norm(end - begin))
+    samples = max(2, int(math.ceil(distance * 2)) + 1)
+    cells: list[int] = []
+    for fraction in np.linspace(0.0, 1.0, samples):
+        point = begin + fraction * (end - begin)
+        row = min(int(point[0]), resolution - 1)
+        col = min(int(point[1]), resolution - 1)
+        cell = row * resolution + col
+        if not cells or cells[-1] != cell:
+            cells.append(cell)
+    if cells[0] == start:
+        cells = cells[1:]
+    if not cells or cells[-1] != destination:
+        cells.append(destination)
+    return cells
+
+
+def build_waypoint_chain(
+    resolution: int,
+    side: float,
+    radius: float,
+    cells_per_step: int = 1,
+) -> WaypointChainModel:
+    """Build the explicit waypoint chain of Section 4.1.
+
+    Parameters
+    ----------
+    resolution:
+        Grid resolution ``m`` (the chain has ``m**4`` states, keep ``m <= 8``
+        or so).
+    side:
+        Side length ``L`` of the square region.
+    radius:
+        Transmission radius ``r`` (in the same units as ``side``).
+    cells_per_step:
+        Discretised speed: how many cells of the straight path are traversed
+        per time step.  With cell size ``L / m`` this corresponds to a
+        physical speed of ``cells_per_step * L / m`` per step.
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be >= 2, got {resolution}")
+    if resolution > 12:
+        raise ValueError(
+            "resolution > 12 would create more than ~20k states; "
+            "use the continuous RandomWaypoint simulator instead"
+        )
+    require_positive(side, "side")
+    require_positive(radius, "radius", strict=False)
+    if cells_per_step < 1:
+        raise ValueError(f"cells_per_step must be >= 1, got {cells_per_step}")
+
+    num_cells = resolution**2
+    # Precompute, for every (current, destination) pair, the remaining cell path.
+    paths: dict[tuple[int, int], list[int]] = {}
+    for start in range(num_cells):
+        for destination in range(num_cells):
+            paths[(start, destination)] = _cell_path(start, destination, resolution)
+
+    states = [(current, destination) for current in range(num_cells) for destination in range(num_cells)]
+    index = {state: i for i, state in enumerate(states)}
+    matrix = np.zeros((len(states), len(states)))
+
+    for (current, destination), row_index in index.items():
+        if current == destination:
+            # Arrived: pick a fresh uniform destination (possibly the same cell,
+            # in which case the agent pauses for a step — the standard
+            # zero-pause discretisation artefact of one cell).
+            share = 1.0 / num_cells
+            for new_destination in range(num_cells):
+                matrix[row_index, index[(current, new_destination)]] += share
+            continue
+        remaining = paths[(current, destination)]
+        advance = min(cells_per_step, len(remaining))
+        next_cell = remaining[advance - 1]
+        matrix[row_index, index[(next_cell, destination)]] += 1.0
+
+    chain = MarkovChain(matrix, states=states)
+
+    # Connection map: two states are connected when their *current* cells are
+    # within Euclidean distance `radius`.
+    spacing = side / resolution
+    centers = np.array(
+        [((cell // resolution + 0.5) * spacing, (cell % resolution + 0.5) * spacing) for cell in range(num_cells)]
+    )
+    cell_distances = np.linalg.norm(centers[:, None, :] - centers[None, :, :], axis=2)
+    cell_connected = cell_distances <= radius + 1e-12
+    current_of_state = np.array([current for current, _ in states])
+    connection = cell_connected[np.ix_(current_of_state, current_of_state)]
+
+    return WaypointChainModel(
+        chain=chain,
+        connection=connection,
+        resolution=resolution,
+        side=side,
+        radius=radius,
+        cells_per_step=cells_per_step,
+    )
+
+
+def waypoint_chain_mixing_time(model: WaypointChainModel, epsilon: float = 0.25) -> int:
+    """Exact mixing time of the discretised waypoint chain.
+
+    The paper quotes ``Theta(L / v_max)`` for the continuous model; for the
+    discretised chain with speed ``cells_per_step`` cells per step this
+    corresponds to ``Theta(m / cells_per_step)`` steps, which this function
+    verifies exactly for small resolutions.
+    """
+    from repro.markov.mixing import mixing_time
+
+    max_steps = 64 * model.resolution * model.num_cells
+    return mixing_time(model.chain, epsilon=epsilon, max_steps=max_steps)

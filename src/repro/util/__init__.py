@@ -1,0 +1,22 @@
+"""Shared utilities: random-number handling, validation, math and statistics.
+
+These helpers are deliberately dependency-light so every other sub-package can
+use them without import cycles.
+"""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    require_in_range,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "ensure_rng",
+    "require_in_range",
+    "require_positive",
+    "require_probability",
+    "require_type",
+    "spawn_rngs",
+]

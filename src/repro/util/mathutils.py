@@ -1,0 +1,88 @@
+"""Small mathematical helpers shared by the bound formulas and experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def log2_safe(x: float) -> float:
+    """``log2(x)`` that tolerates ``x <= 1`` by clamping to 0.
+
+    The asymptotic bounds in the paper involve ``log n`` factors; for the tiny
+    instances used in unit tests the raw logarithm can be zero or negative,
+    which would make a bound vacuously zero.  Clamping keeps bound values
+    meaningful (and monotone) for all ``n >= 1``.
+    """
+    if x <= 1.0:
+        return 0.0
+    return math.log2(x)
+
+
+def logn_factor(n: int, power: int = 1) -> float:
+    """Return ``max(1, log2 n) ** power`` — the polylog factor of the bounds."""
+    return max(1.0, log2_safe(n)) ** power
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``.
+
+    Used by the experiment harness to check scaling exponents, e.g. that the
+    flooding time of the sparse random waypoint grows like ``n**0.5`` (up to
+    polylog corrections).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if xs.size < 2:
+        raise ValueError("need at least two points to fit a slope")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("all values must be positive for a log-log fit")
+    lx, ly = np.log(xs), np.log(ys)
+    slope, _intercept = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_number(n: int) -> float:
+    """The ``n``-th harmonic number ``H_n = 1 + 1/2 + ... + 1/n``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return float(sum(1.0 / k for k in range(1, n + 1)))
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * sum |p_i - q_i|`` between distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def euclidean_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points given as coordinate sequences."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("points must have the same dimension")
+    return float(np.linalg.norm(a - b))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return max(low, min(high, value))

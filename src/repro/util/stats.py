@@ -1,0 +1,103 @@
+"""Lightweight statistics over repeated simulation trials.
+
+The experiments measure flooding times over many independent trials; these
+helpers summarise those samples (mean, quantiles, confidence intervals) and
+provide the "with high probability" style quantile estimates used when
+comparing to the paper's w.h.p. bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of a sample of repeated measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q90: float
+    q99: float
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (for table rendering)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "q90": self.q90,
+            "q99": self.q99,
+        }
+
+
+def summarize(samples: Sequence[float]) -> TrialSummary:
+    """Compute a :class:`TrialSummary` of ``samples``."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return TrialSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        q90=float(np.quantile(arr, 0.90)),
+        q99=float(np.quantile(arr, 0.99)),
+    )
+
+
+def whp_quantile(samples: Sequence[float], n: int) -> float:
+    """Empirical analogue of a "with high probability" value.
+
+    The paper's bounds hold with probability at least ``1 - 1/n``.  For a
+    finite sample we report the ``1 - 1/n`` quantile (clamped to the largest
+    observation when the sample is small).
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute a quantile of an empty sample")
+    if n < 2:
+        return float(arr.max())
+    level = min(1.0 - 1.0 / n, 1.0)
+    return float(np.quantile(arr, level))
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` — a normal-approximation confidence interval."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    from scipy import stats as scipy_stats
+
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    return mean, mean - z * sem, mean + z * sem
+
+
+def empirical_ccdf(samples: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, P(X >= value))`` — the empirical survival function."""
+    arr = np.sort(np.asarray(list(samples), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot compute a CCDF of an empty sample")
+    values = np.unique(arr)
+    ccdf = np.array([(arr >= v).mean() for v in values])
+    return values, ccdf

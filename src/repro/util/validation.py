@@ -1,0 +1,65 @@
+"""Argument-validation helpers used across the library.
+
+The public API raises early, descriptive errors instead of letting NumPy or
+networkx fail deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a probability in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def require_in_range(
+    value: float,
+    name: str,
+    *,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Raise ``ValueError`` unless ``value`` lies inside the given interval."""
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def require_type(value: Any, name: str, *types: type) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of one of ``types``."""
+    if not isinstance(value, types):
+        expected = ", ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be of type {expected}, got {type(value).__name__}")
+    return value
+
+
+def require_node_count(n: int) -> int:
+    """Validate a node count ``n`` (an integer of at least 1)."""
+    if not isinstance(n, (int,)) or isinstance(n, bool):
+        raise TypeError(f"number of nodes must be an int, got {type(n).__name__}")
+    if n < 1:
+        raise ValueError(f"number of nodes must be >= 1, got {n}")
+    return n

@@ -1,0 +1,37 @@
+"""Shared pytest configuration and fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests straight from a source checkout (before
+# ``pip install -e .``) by putting the src layout on the path.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_edge_meg():
+    """A small, sparse classic edge-MEG used by several test modules."""
+    from repro.meg.edge_meg import EdgeMEG
+
+    return EdgeMEG(40, p=0.05, q=0.5)
+
+
+@pytest.fixture
+def small_grid_graph():
+    """A 4x4 grid mobility graph."""
+    from repro.graphs.grid import grid_graph
+
+    return grid_graph(4)

@@ -1,0 +1,162 @@
+"""Tests for repro.baselines (prior bounds, meeting times, lower bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.edge_meg_bound import (
+    bound_comparison,
+    classic_edge_meg_prior_bound,
+    general_bound_is_tight,
+)
+from repro.baselines.lower_bounds import (
+    diameter_lower_bound,
+    geometric_lower_bound,
+    sparse_waypoint_lower_bound,
+)
+from repro.baselines.meeting_time import (
+    expected_meeting_time,
+    hitting_time_matrix,
+    max_hitting_time,
+    meeting_time_bound,
+)
+from repro.graphs.grid import augmented_grid_graph, grid_graph
+
+
+class TestPriorEdgeMegBound:
+    def test_formula(self):
+        n, p = 100, 0.05
+        assert classic_edge_meg_prior_bound(n, p) == pytest.approx(
+            math.log2(100) / math.log2(1 + 5.0)
+        )
+
+    def test_p_zero_infinite(self):
+        assert classic_edge_meg_prior_bound(100, 0.0) == float("inf")
+
+    def test_decreasing_in_p(self):
+        assert classic_edge_meg_prior_bound(100, 0.001) > classic_edge_meg_prior_bound(
+            100, 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            classic_edge_meg_prior_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            classic_edge_meg_prior_bound(10, 1.5)
+
+    def test_tight_region_predicate(self):
+        assert general_bound_is_tight(100, p=0.001, q=0.5)  # q >= n p = 0.1
+        assert not general_bound_is_tight(100, p=0.01, q=0.5)  # n p = 1 > 0.5
+
+    def test_bound_comparison_row(self):
+        row = bound_comparison(100, p=0.001, q=0.5)
+        assert row["tight_region"] is True
+        assert row["prior_bound"] > 0
+        assert row["general_bound"] > 0
+        assert row["ratio"] == pytest.approx(row["general_bound"] / row["prior_bound"])
+
+
+class TestLowerBounds:
+    def test_diameter(self):
+        assert diameter_lower_bound(7) == 7.0
+        with pytest.raises(ValueError):
+            diameter_lower_bound(-1)
+
+    def test_geometric(self):
+        assert geometric_lower_bound(10.0, 1.0, 1.0) == 5.0
+        with pytest.raises(ValueError):
+            geometric_lower_bound(0.0, 1.0, 1.0)
+
+    def test_sparse_waypoint(self):
+        assert sparse_waypoint_lower_bound(100, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            sparse_waypoint_lower_bound(0, 1.0)
+
+
+class TestHittingTimes:
+    def test_path_graph_known_values(self):
+        # For a path on 2 nodes, hitting time between the two endpoints is 1.
+        hitting, nodes = hitting_time_matrix(nx.path_graph(2))
+        assert hitting[0, 1] == pytest.approx(1.0)
+        assert hitting[1, 0] == pytest.approx(1.0)
+
+    def test_diagonal_zero(self):
+        hitting, _ = hitting_time_matrix(nx.cycle_graph(5))
+        assert all(hitting[i, i] == 0.0 for i in range(5))
+
+    def test_cycle_symmetry(self):
+        hitting, nodes = hitting_time_matrix(nx.cycle_graph(6))
+        # Hitting time between antipodal nodes on C_6 is 9 (k(n-k) with k=3).
+        assert hitting[0, 3] == pytest.approx(9.0)
+        assert hitting[0, 1] == pytest.approx(1 * 5)
+
+    def test_complete_graph(self):
+        hitting, _ = hitting_time_matrix(nx.complete_graph(5))
+        # Expected hitting time on K_n is n - 1.
+        assert hitting[0, 1] == pytest.approx(4.0)
+
+    def test_max_hitting_time_grows_with_size(self):
+        assert max_hitting_time(grid_graph(5)) > max_hitting_time(grid_graph(3))
+
+    def test_disconnected_raises(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            hitting_time_matrix(graph)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hitting_time_matrix(nx.Graph())
+
+
+class TestMeetingTime:
+    def test_positive_and_finite(self):
+        value = expected_meeting_time(grid_graph(4), num_trials=50, rng=0)
+        assert 0 < value < 10_000
+
+    def test_complete_graph_meets_fast(self):
+        value = expected_meeting_time(nx.complete_graph(10), num_trials=100, rng=1)
+        assert value < 30
+
+    def test_larger_grid_takes_longer(self):
+        small = expected_meeting_time(grid_graph(3), num_trials=80, rng=2)
+        large = expected_meeting_time(grid_graph(6), num_trials=80, rng=2)
+        assert large > small
+
+    def test_worst_case_starts_slower_or_equal(self):
+        graph = grid_graph(4)
+        random_starts = expected_meeting_time(graph, num_trials=150, rng=3)
+        worst_starts = expected_meeting_time(
+            graph, num_trials=150, rng=3, worst_case_starts=True
+        )
+        assert worst_starts >= 0.5 * random_starts  # worst-case should not be dramatically faster
+
+    def test_augmented_grid_meeting_time_does_not_collapse(self):
+        # The paper's point: augmenting the grid shrinks the mixing time much
+        # more than the meeting time.  Check the meeting time stays within a
+        # moderate factor while k goes from 1 to 3.
+        base = expected_meeting_time(augmented_grid_graph(5, 1), num_trials=100, rng=4)
+        augmented = expected_meeting_time(augmented_grid_graph(5, 3), num_trials=100, rng=4)
+        assert augmented > base / 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_meeting_time(grid_graph(3), num_trials=0)
+        single = nx.Graph()
+        single.add_node(0)
+        with pytest.raises(ValueError):
+            expected_meeting_time(single)
+        disconnected = nx.Graph()
+        disconnected.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            expected_meeting_time(disconnected)
+
+    def test_meeting_time_bound_formula(self):
+        assert meeting_time_bound(50.0, 256) == pytest.approx(50.0 * 8.0)
+        with pytest.raises(ValueError):
+            meeting_time_bound(-1.0, 10)
+        with pytest.raises(ValueError):
+            meeting_time_bound(1.0, 0)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentsCommands:
+    def test_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1:" in output
+        assert "E10:" in output
+        assert "Corollary" in output
+
+    def test_run_single(self, capsys):
+        assert main(["experiments", "run", "E7", "--scale", "small", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "E7:" in output
+        assert "prior_bound_[10]" in output
+
+    def test_run_single_markdown(self, capsys):
+        assert main(["experiments", "run", "E1", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("### E1:")
+        assert "| n |" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "run", "E99"])
+
+
+class TestFloodCommands:
+    def test_edge_meg(self, capsys):
+        code = main(
+            ["flood", "edge-meg", "--nodes", "60", "--p", "0.03", "--q", "0.5", "--trials", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "edge-MEG(n=60" in output
+        assert "flooding time:" in output
+        assert "paper bound" in output
+
+    def test_waypoint(self, capsys):
+        code = main(
+            ["flood", "waypoint", "--nodes", "40", "--side", "6", "--radius", "1",
+             "--speed", "1", "--trials", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "random waypoint" in output
+
+    def test_grid_walk(self, capsys):
+        code = main(
+            ["flood", "grid-walk", "--nodes", "30", "--grid-side", "4", "--augment-k", "2",
+             "--trials", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "grid random walk" in output
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["flood"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRunAll:
+    def test_run_all_to_file(self, tmp_path, capsys):
+        output_file = tmp_path / "report.md"
+        code = main(
+            ["experiments", "run-all", "--markdown", "--output", str(output_file)]
+        )
+        assert code == 0
+        content = output_file.read_text()
+        # Every experiment section is present.
+        for experiment_id in (f"E{i}" for i in range(1, 11)):
+            assert f"### {experiment_id}:" in content
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Tests for repro.core.bounds (the paper's bound formulas)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    classic_edge_meg_bound,
+    corollary4_bound,
+    corollary5_bound,
+    corollary6_bound,
+    edge_meg_general_bound,
+    sparse_waypoint_bound,
+    theorem1_bound,
+    theorem3_bound,
+    waypoint_flooding_bound,
+)
+from repro.util.mathutils import logn_factor
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        n, epoch, alpha, beta = 64, 10.0, 1.0 / 64, 2.0
+        expected = epoch * (1.0 / (n * alpha) + beta) ** 2 * logn_factor(n, 2)
+        assert theorem1_bound(n, epoch, alpha, beta) == pytest.approx(expected)
+
+    def test_monotone_in_epoch_length(self):
+        assert theorem1_bound(100, 20, 0.01, 1.0) > theorem1_bound(100, 10, 0.01, 1.0)
+
+    def test_monotone_in_beta(self):
+        assert theorem1_bound(100, 10, 0.01, 5.0) > theorem1_bound(100, 10, 0.01, 1.0)
+
+    def test_decreasing_in_alpha(self):
+        assert theorem1_bound(100, 10, 0.001, 1.0) > theorem1_bound(100, 10, 0.1, 1.0)
+
+    def test_log_squared_scaling_when_dense(self):
+        # With alpha = 1 and beta = 1, the bound is M * (1 + 1/n)^2 * log^2 n.
+        assert theorem1_bound(256, 1.0, 1.0, 1.0) == pytest.approx(
+            (1.0 + 1.0 / 256) ** 2 * 8**2
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(0, 1.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            theorem1_bound(10, 0.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            theorem1_bound(10, 1.0, 0.0, 1.0)
+        with pytest.raises(TypeError):
+            theorem1_bound(10.5, 1.0, 0.1, 1.0)
+
+
+class TestTheorem3Bound:
+    def test_formula(self):
+        n, t_mix, p_nm, eta = 128, 5.0, 1.0 / 16, 2.0
+        expected = t_mix * (1.0 / (n * p_nm) + eta) ** 2 * logn_factor(n, 3)
+        assert theorem3_bound(n, t_mix, p_nm, eta) == pytest.approx(expected)
+
+    def test_log_cubed_factor(self):
+        # Theorem 3 carries an extra log factor compared with Theorem 1.
+        t1 = theorem1_bound(256, 1.0, 1.0, 1.0)
+        t3 = theorem3_bound(256, 1.0, 1.0, 1.0)
+        assert t3 == pytest.approx(t1 * logn_factor(256, 1))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem3_bound(10, 1.0, 0.0, 1.0)
+
+
+class TestCorollary4Bound:
+    def test_formula(self):
+        n, t_mix, delta, lam, volume, radius = 100, 10.0, 2.0, 0.5, 100.0, 1.0
+        density = delta**2 * volume / (lam * n * radius**2)
+        expected = t_mix * (density + delta**6 / lam**2) ** 2 * logn_factor(n, 3)
+        assert corollary4_bound(n, t_mix, delta, lam, volume, radius) == pytest.approx(expected)
+
+    def test_dimension_generalises(self):
+        three_d = corollary4_bound(100, 10.0, 2.0, 0.5, 1000.0, 2.0, dimension=3)
+        two_d = corollary4_bound(100, 10.0, 2.0, 0.5, 1000.0, 2.0, dimension=2)
+        assert three_d < two_d  # r^3 > r^2 for r = 2 shrinks the density term
+
+    def test_larger_radius_smaller_bound(self):
+        small_r = corollary4_bound(100, 10.0, 2.0, 0.5, 100.0, 0.5)
+        large_r = corollary4_bound(100, 10.0, 2.0, 0.5, 100.0, 2.0)
+        assert large_r < small_r
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            corollary4_bound(10, 1.0, 1.0, 0.5, 1.0, 1.0, dimension=0)
+
+
+class TestWaypointBound:
+    def test_formula(self):
+        n, side, radius, v = 100, 10.0, 1.0, 2.0
+        expected = (side / v) * (side**2 / (n * radius**2) + 1.0) ** 2 * logn_factor(n, 3)
+        assert waypoint_flooding_bound(n, side, radius, v) == pytest.approx(expected)
+
+    def test_inverse_in_speed(self):
+        slow = waypoint_flooding_bound(100, 10.0, 1.0, 1.0)
+        fast = waypoint_flooding_bound(100, 10.0, 1.0, 4.0)
+        assert fast == pytest.approx(slow / 4.0)
+
+    def test_sparse_regime_scaling(self):
+        # With L = sqrt(n) and r = v = 1, the bound scales ~ sqrt(n) polylog n.
+        values = []
+        for n in (64, 256, 1024):
+            values.append(waypoint_flooding_bound(n, math.sqrt(n), 1.0, 1.0))
+        ratio_1 = values[1] / values[0]
+        ratio_2 = values[2] / values[1]
+        # Growth is roughly a factor 2-4 per 4x increase of n (sqrt * polylog).
+        assert 1.5 < ratio_1 < 6.0
+        assert 1.5 < ratio_2 < 6.0
+
+    def test_sparse_waypoint_helper(self):
+        assert sparse_waypoint_bound(256, 2.0) == pytest.approx(
+            (16.0 / 2.0) * logn_factor(256, 3)
+        )
+
+
+class TestCorollary5And6:
+    def test_corollary5_formula(self):
+        n, t_mix, num_points, delta = 50, 6.0, 25, 1.5
+        expected = t_mix * (25 / 50 + 1.5**3) ** 2 * logn_factor(50, 3)
+        assert corollary5_bound(n, t_mix, num_points, delta) == pytest.approx(expected)
+
+    def test_corollary6_formula(self):
+        n, t_mix, num_points, delta = 50, 6.0, 25, 1.5
+        expected = t_mix * (1.5**2 * 25 / 50 + 1.5**7) ** 2 * logn_factor(50, 3)
+        assert corollary6_bound(n, t_mix, num_points, delta) == pytest.approx(expected)
+
+    def test_corollary6_dominates_corollary5_for_same_delta(self):
+        # The random-walk specialisation pays higher powers of delta.
+        assert corollary6_bound(50, 6.0, 25, 1.5) >= corollary5_bound(50, 6.0, 25, 1.5)
+
+    def test_more_agents_reduce_point_term(self):
+        few = corollary5_bound(10, 6.0, 100, 1.0)
+        many = corollary5_bound(1000, 6.0, 100, 1.0)
+        assert many < few
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            corollary5_bound(10, 1.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            corollary6_bound(10, 1.0, 0, 1.0)
+
+
+class TestEdgeMegBounds:
+    def test_general_formula(self):
+        n, t_mix, alpha = 100, 4.0, 0.02
+        expected = t_mix * (1.0 / (n * alpha) + 1.0) ** 2 * logn_factor(n, 2)
+        assert edge_meg_general_bound(n, t_mix, alpha) == pytest.approx(expected)
+
+    def test_classic_instantiation(self):
+        n, p, q = 100, 0.01, 0.5
+        expected = edge_meg_general_bound(n, 1.0 / (p + q), p / (p + q))
+        assert classic_edge_meg_bound(n, p, q) == pytest.approx(expected)
+
+    def test_classic_bound_decreasing_in_p(self):
+        assert classic_edge_meg_bound(100, 0.001, 0.5) > classic_edge_meg_bound(
+            100, 0.1, 0.5
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            edge_meg_general_bound(10, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            classic_edge_meg_bound(10, 0.0, 0.5)

@@ -1,0 +1,141 @@
+"""Tests for repro.core.epochs (expansion quantities of Lemmas 9-11)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.epochs import (
+    degree_into_set,
+    doubling_window_estimate,
+    sample_degree_into_set,
+    sample_set_expansion,
+    sample_spread,
+    set_expansion,
+    spread_over_window,
+)
+from repro.meg.base import StaticGraphProcess
+from repro.meg.edge_meg import EdgeMEG
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+
+
+@pytest.fixture
+def static_path():
+    process = StaticGraphProcess(nx.path_graph(6))
+    process.reset()
+    return process
+
+
+class TestDegreeIntoSet:
+    def test_static_graph(self, static_path):
+        assert degree_into_set(static_path, 2, {1, 3}) == 2
+        assert degree_into_set(static_path, 0, {1, 2}) == 1
+        assert degree_into_set(static_path, 0, {3, 4}) == 0
+
+    def test_node_in_set_rejected(self, static_path):
+        with pytest.raises(ValueError):
+            degree_into_set(static_path, 1, {1, 2})
+
+    def test_complete_graph_counts_whole_set(self):
+        process = StaticGraphProcess(nx.complete_graph(7))
+        process.reset()
+        assert degree_into_set(process, 0, {1, 2, 3}) == 3
+
+
+class TestSetExpansion:
+    def test_static_graph(self, static_path):
+        assert set_expansion(static_path, {0, 1}, {2, 3}) == 1
+        assert set_expansion(static_path, {2}, {0, 1, 3}) == 2
+
+    def test_disjointness_enforced(self, static_path):
+        with pytest.raises(ValueError):
+            set_expansion(static_path, {0, 1}, {1, 2})
+
+    def test_no_expansion(self, static_path):
+        assert set_expansion(static_path, {0}, {3, 4, 5}) == 0
+
+
+class TestSpreadOverWindow:
+    def test_static_path_spread_grows_with_window(self):
+        process = StaticGraphProcess(nx.path_graph(8))
+        process.reset()
+        small = spread_over_window(process, {0}, window=1)
+        process.reset()
+        large = spread_over_window(process, {0}, window=5)
+        # For a static graph the spread does not grow with the window (the
+        # same neighbour is re-counted), so both equal 1.
+        assert small == large == 1
+
+    def test_dynamic_graph_accumulates(self):
+        model = ErdosRenyiSequence(30, p=0.1)
+        model.reset(0)
+        one = spread_over_window(model, {0}, window=1)
+        model.reset(0)
+        many = spread_over_window(model, {0}, window=15)
+        assert many >= one
+
+    def test_invalid_window(self, static_path):
+        with pytest.raises(ValueError):
+            spread_over_window(static_path, {0}, window=0)
+        with pytest.raises(ValueError):
+            spread_over_window(static_path, {0}, window=1, epoch_length=0)
+
+
+class TestSampling:
+    def test_degree_samples_match_expectation(self):
+        n = 80
+        model = EdgeMEG(n, p=0.1, q=0.1)  # alpha = 0.5
+        target_set = set(range(1, 21))
+        samples = sample_degree_into_set(
+            model, 0, target_set, num_samples=150, epoch_length=3, rng=0
+        )
+        assert np.mean(samples) == pytest.approx(len(target_set) * 0.5, rel=0.15)
+
+    def test_expansion_samples_positive_for_dense_graph(self):
+        model = EdgeMEG(30, p=0.3, q=0.3)
+        samples = sample_set_expansion(
+            model, set(range(10)), set(range(10, 30)), num_samples=40, epoch_length=2, rng=1
+        )
+        assert min(samples) > 0
+
+    def test_spread_samples_monotone_in_window(self):
+        model = EdgeMEG(40, p=0.02, q=0.5)
+        short = sample_spread(model, {0, 1}, window=2, num_samples=30, rng=2)
+        long = sample_spread(model, {0, 1}, window=10, num_samples=30, rng=2)
+        assert np.mean(long) >= np.mean(short)
+
+    def test_invalid_sample_counts(self):
+        model = EdgeMEG(10, p=0.1, q=0.1)
+        with pytest.raises(ValueError):
+            sample_degree_into_set(model, 0, {1}, num_samples=0, epoch_length=1)
+        with pytest.raises(ValueError):
+            sample_set_expansion(model, {0}, {1}, num_samples=1, epoch_length=0)
+        with pytest.raises(ValueError):
+            sample_spread(model, {0}, window=1, num_samples=0)
+
+
+class TestDoublingWindow:
+    def test_dense_graph_doubles_immediately(self):
+        model = ErdosRenyiSequence(40, p=0.5)
+        assert doubling_window_estimate(model, set(range(5)), rng=0) == 1
+
+    def test_sparse_graph_takes_longer(self):
+        sparse = EdgeMEG(60, p=0.2 / 60, q=0.5)
+        dense = EdgeMEG(60, p=10.0 / 60, q=0.5)
+        slow = doubling_window_estimate(sparse, set(range(4)), rng=1)
+        fast = doubling_window_estimate(dense, set(range(4)), rng=1)
+        assert slow >= fast
+
+    def test_empty_set_rejected(self):
+        model = ErdosRenyiSequence(10, p=0.5)
+        with pytest.raises(ValueError):
+            doubling_window_estimate(model, set(), rng=0)
+
+    def test_unreachable_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(2, 3)
+        process = StaticGraphProcess(graph)
+        with pytest.raises(RuntimeError):
+            doubling_window_estimate(process, {0, 1}, max_window=10)

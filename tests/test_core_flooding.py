@@ -1,0 +1,205 @@
+"""Tests for repro.core.flooding."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.flooding import (
+    FloodingResult,
+    flood,
+    flooding_time,
+    flooding_time_samples,
+    informed_fraction_curve,
+    worst_case_flooding_time,
+)
+from repro.meg.adversarial import ExplicitScheduleGraph, RotatingSpanningTreeGraph
+from repro.meg.base import StaticGraphProcess
+from repro.meg.edge_meg import EdgeMEG
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+
+
+class TestFloodOnStaticGraphs:
+    def test_path_graph_flooding_time_is_eccentricity(self):
+        process = StaticGraphProcess(nx.path_graph(6))
+        assert flooding_time(process, source=0) == 5
+        assert flooding_time(process, source=2) == 3
+
+    def test_complete_graph_one_step(self):
+        process = StaticGraphProcess(nx.complete_graph(8))
+        assert flooding_time(process, source=3) == 1
+
+    def test_star_graph(self):
+        process = StaticGraphProcess(nx.star_graph(5))
+        assert flooding_time(process, source=0) == 1
+        assert flooding_time(process, source=1) == 2
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        process = StaticGraphProcess(graph)
+        result = flood(process)
+        assert result.flooding_time == 0
+        assert result.completed
+
+    def test_disconnected_graph_never_completes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        process = StaticGraphProcess(graph)
+        result = flood(process, source=0, max_steps=50)
+        assert not result.completed
+        assert result.final_informed == 2
+
+    def test_flooding_time_raises_when_incomplete(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        process = StaticGraphProcess(graph)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            flooding_time(process, source=0, max_steps=10)
+
+
+class TestFloodingResult:
+    def test_history_monotone(self):
+        process = EdgeMEG(30, p=0.1, q=0.3)
+        result = flood(process, rng=0)
+        history = result.informed_history
+        assert history[0] == 1
+        assert all(a <= b for a, b in zip(history, history[1:]))
+        assert history[-1] == 30
+
+    def test_informed_at_clamps(self):
+        result = FloodingResult(0, 4, (1, 2, 4), 2)
+        assert result.informed_at(0) == 1
+        assert result.informed_at(10) == 4
+        with pytest.raises(ValueError):
+            result.informed_at(-1)
+
+    def test_time_to_fraction(self):
+        result = FloodingResult(0, 10, (1, 3, 6, 10), 3)
+        assert result.time_to_fraction(0.5) == 2
+        assert result.time_to_fraction(1.0) == 3
+        assert result.time_to_fraction(0.05) == 0
+
+    def test_time_to_fraction_invalid(self):
+        result = FloodingResult(0, 10, (1, 10), 1)
+        with pytest.raises(ValueError):
+            result.time_to_fraction(0.0)
+
+    def test_time_to_fraction_unreached(self):
+        result = FloodingResult(0, 10, (1, 2), None)
+        assert result.time_to_fraction(0.9) is None
+
+
+class TestFloodArguments:
+    def test_invalid_source(self):
+        process = EdgeMEG(10, p=0.3, q=0.3)
+        with pytest.raises(ValueError):
+            flood(process, source=10)
+
+    def test_invalid_max_steps(self):
+        process = EdgeMEG(10, p=0.3, q=0.3)
+        with pytest.raises(ValueError):
+            flood(process, max_steps=-1)
+
+    def test_reproducible_with_seed(self):
+        process = EdgeMEG(40, p=0.05, q=0.4)
+        assert flooding_time(process, rng=11) == flooding_time(process, rng=11)
+
+    def test_no_reset_continues_process(self):
+        process = EdgeMEG(20, p=0.3, q=0.3)
+        process.reset(3)
+        process.run(5)
+        time_before = process.time
+        result = flood(process, reset=False)
+        assert result.completed
+        assert process.time > time_before
+
+    def test_flood_uses_current_snapshot_first(self):
+        # The schedule has a complete graph at time 0 and empty graphs after:
+        # flooding must finish in one step because I_1 is built from E_0.
+        complete = nx.complete_graph(5)
+        empty = nx.Graph()
+        empty.add_nodes_from(range(5))
+        process = ExplicitScheduleGraph([complete, empty], cycle=False)
+        assert flooding_time(process, source=0) == 1
+
+
+class TestRepeatedTrials:
+    def test_sample_count(self, small_edge_meg):
+        samples = flooding_time_samples(small_edge_meg, 6, rng=0)
+        assert len(samples) == 6
+        assert all(s >= 1 for s in samples)
+
+    def test_samples_reproducible(self, small_edge_meg):
+        assert flooding_time_samples(small_edge_meg, 4, rng=5) == flooding_time_samples(
+            small_edge_meg, 4, rng=5
+        )
+
+    def test_samples_vary_across_trials(self, small_edge_meg):
+        samples = flooding_time_samples(small_edge_meg, 12, rng=1)
+        assert len(set(samples)) > 1
+
+    def test_invalid_num_trials(self, small_edge_meg):
+        with pytest.raises(ValueError):
+            flooding_time_samples(small_edge_meg, 0)
+
+    def test_worst_case_at_least_single_source(self):
+        process = StaticGraphProcess(nx.path_graph(5))
+        worst = worst_case_flooding_time(process)
+        assert worst == 4  # from an endpoint
+
+    def test_worst_case_with_subset_of_sources(self, small_edge_meg):
+        value = worst_case_flooding_time(small_edge_meg, sources=[0, 1], rng=0)
+        assert value >= 1
+
+    def test_worst_case_empty_sources_rejected(self, small_edge_meg):
+        with pytest.raises(ValueError):
+            worst_case_flooding_time(small_edge_meg, sources=[])
+
+
+class TestInformedFractionCurve:
+    def test_curve_shape(self, small_edge_meg):
+        curve = informed_fraction_curve(small_edge_meg, num_trials=5, rng=0)
+        assert curve[0] == pytest.approx(1 / 40)
+        assert curve[-1] == pytest.approx(1.0)
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_invalid_trials(self, small_edge_meg):
+        with pytest.raises(ValueError):
+            informed_fraction_curve(small_edge_meg, num_trials=0)
+
+
+class TestFloodingOnDynamicBaselines:
+    def test_rotating_star_flooding_time_is_deterministic(self):
+        # One new node (the current star centre) is informed per step until the
+        # centre index reaches the source, at which point everyone is informed:
+        # the flooding time from source s is exactly s + 1.
+        process = RotatingSpanningTreeGraph(12)
+        assert flooding_time(process, source=5) == 6
+        assert flooding_time(process, source=0) == 1
+        # For the last node, all other nodes have already been informed one per
+        # step before the centre ever reaches the source: min(s + 1, n - 1).
+        assert flooding_time(process, source=11) == 11
+
+    def test_iid_erdos_renyi_faster_than_sparse_edge_meg(self):
+        # Same stationary density, but the i.i.d. process mixes in one step and
+        # floods (weakly) faster on average than the sticky edge-MEG.
+        n = 60
+        density = 2.0 / n
+        iid = ErdosRenyiSequence(n, p=density)
+        sticky = EdgeMEG(n, p=density / 10, q=(1 - density) / 10)
+        iid_mean = np.mean(flooding_time_samples(iid, 10, rng=3))
+        sticky_mean = np.mean(flooding_time_samples(sticky, 10, rng=3))
+        assert iid_mean <= sticky_mean
+
+    def test_denser_graphs_flood_faster(self):
+        n = 50
+        sparse = EdgeMEG(n, p=1.0 / n, q=0.5)
+        dense = EdgeMEG(n, p=10.0 / n, q=0.5)
+        sparse_mean = np.mean(flooding_time_samples(sparse, 10, rng=4))
+        dense_mean = np.mean(flooding_time_samples(dense, 10, rng=4))
+        assert dense_mean < sparse_mean

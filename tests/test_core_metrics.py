@@ -1,0 +1,92 @@
+"""Tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.metrics import (
+    PhaseSplit,
+    bound_ratio,
+    flooding_time_statistics,
+    phase_split,
+    whp_flooding_time,
+)
+from repro.meg.base import StaticGraphProcess
+from repro.meg.edge_meg import EdgeMEG
+
+
+class TestFloodingTimeStatistics:
+    def test_static_graph_degenerate_distribution(self):
+        process = StaticGraphProcess(nx.path_graph(5))
+        summary = flooding_time_statistics(process, num_trials=5)
+        assert summary.mean == 4.0
+        assert summary.std == 0.0
+
+    def test_dynamic_graph_statistics(self, small_edge_meg):
+        summary = flooding_time_statistics(small_edge_meg, num_trials=10, rng=0)
+        assert summary.count == 10
+        assert summary.minimum >= 1
+        assert summary.maximum >= summary.median >= summary.minimum
+
+    def test_reproducible(self, small_edge_meg):
+        a = flooding_time_statistics(small_edge_meg, num_trials=5, rng=3)
+        b = flooding_time_statistics(small_edge_meg, num_trials=5, rng=3)
+        assert a == b
+
+
+class TestWhpFloodingTime:
+    def test_at_least_median(self, small_edge_meg):
+        summary = flooding_time_statistics(small_edge_meg, num_trials=15, rng=1)
+        whp = whp_flooding_time(small_edge_meg, num_trials=15, rng=1)
+        assert whp >= summary.median
+
+
+class TestPhaseSplit:
+    def test_phases_sum_to_total(self, small_edge_meg):
+        split = phase_split(small_edge_meg, num_trials=6, rng=2)
+        summary = flooding_time_statistics(small_edge_meg, num_trials=6, rng=2)
+        assert split.total == pytest.approx(summary.mean)
+
+    def test_saturation_nonnegative(self, small_edge_meg):
+        split = phase_split(small_edge_meg, num_trials=6, rng=4)
+        assert split.spreading >= 0
+        assert split.saturation >= 0
+
+    def test_dataclass_total(self):
+        assert PhaseSplit(spreading=3.0, saturation=2.0).total == 5.0
+
+    def test_invalid_trials(self, small_edge_meg):
+        with pytest.raises(ValueError):
+            phase_split(small_edge_meg, num_trials=0)
+
+    def test_incomplete_flooding_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        process = StaticGraphProcess(graph)
+        with pytest.raises(RuntimeError):
+            phase_split(process, num_trials=1, max_steps=10)
+
+
+class TestBoundRatio:
+    def test_simple_ratio(self):
+        assert bound_ratio(5.0, 10.0) == 0.5
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            bound_ratio(5.0, 0.0)
+
+    def test_invalid_measurement(self):
+        with pytest.raises(ValueError):
+            bound_ratio(-1.0, 10.0)
+
+    def test_measured_below_bound_for_edge_meg(self):
+        # Sanity: the Theorem-1 bound (constant 1) should not be smaller than
+        # the measured flooding time by construction of the experiment regime.
+        from repro.core.bounds import classic_edge_meg_bound
+
+        n, p, q = 60, 2.0 / 60, 0.5
+        model = EdgeMEG(n, p=p, q=q)
+        summary = flooding_time_statistics(model, num_trials=8, rng=5)
+        assert bound_ratio(summary.mean, classic_edge_meg_bound(n, p, q)) < 5.0

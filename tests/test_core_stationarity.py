@@ -1,0 +1,119 @@
+"""Tests for repro.core.stationarity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stationarity import (
+    StationarityEstimate,
+    estimate_beta,
+    estimate_edge_probability,
+    estimate_stationarity,
+    exact_parameters,
+)
+from repro.markov.builders import complete_graph_walk, two_state_chain, uniform_chain
+from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+from repro.meg.node_meg import NodeMEG
+
+
+class TestExactParameters:
+    def test_classic_edge_meg(self):
+        alpha, beta = exact_parameters(EdgeMEG(20, p=0.1, q=0.3))
+        assert alpha == pytest.approx(0.25)
+        assert beta == 1.0
+
+    def test_general_edge_meg(self):
+        model = GeneralEdgeMEG(10, uniform_chain(4), chi=[1, 0, 0, 0])
+        alpha, beta = exact_parameters(model)
+        assert alpha == pytest.approx(0.25)
+        assert beta == 1.0
+
+    def test_node_meg_uses_lemma15_constant(self):
+        chain = complete_graph_walk(8)
+        model = NodeMEG(12, chain, np.eye(8, dtype=bool))
+        alpha, beta = exact_parameters(model)
+        assert alpha == pytest.approx(model.edge_probability())
+        assert beta == pytest.approx(17.0 * model.eta())
+
+    def test_unknown_model_returns_none(self):
+        assert exact_parameters(ErdosRenyiSequence(10, p=0.5)) is None
+
+
+class TestEstimateEdgeProbability:
+    def test_matches_stationary_value(self):
+        model = EdgeMEG(20, p=0.2, q=0.2)  # alpha = 0.5
+        estimate = estimate_edge_probability(model, epoch_length=8, num_samples=300, rng=0)
+        assert estimate == pytest.approx(0.5, abs=0.1)
+
+    def test_iid_process(self):
+        model = ErdosRenyiSequence(15, p=0.3)
+        estimate = estimate_edge_probability(model, epoch_length=1, num_samples=300, rng=1)
+        assert estimate == pytest.approx(0.3, abs=0.1)
+
+    def test_custom_edges(self):
+        model = ErdosRenyiSequence(10, p=0.4)
+        estimate = estimate_edge_probability(
+            model, epoch_length=1, num_samples=200, edges=[(2, 7)], rng=2
+        )
+        assert estimate == pytest.approx(0.4, abs=0.12)
+
+    def test_invalid_arguments(self):
+        model = ErdosRenyiSequence(10, p=0.5)
+        with pytest.raises(ValueError):
+            estimate_edge_probability(model, epoch_length=0, num_samples=10)
+        with pytest.raises(ValueError):
+            estimate_edge_probability(model, epoch_length=1, num_samples=0)
+        with pytest.raises(ValueError):
+            estimate_edge_probability(ErdosRenyiSequence(1, p=0.5), 1, 10)
+
+
+class TestEstimateBeta:
+    def test_independent_edges_give_beta_near_one(self):
+        model = ErdosRenyiSequence(30, p=0.1)
+        beta = estimate_beta(model, epoch_length=1, num_samples=800, rng=3)
+        assert beta == pytest.approx(1.0, abs=0.35)
+
+    def test_colocation_node_meg_not_too_correlated(self):
+        chain = complete_graph_walk(6)
+        model = NodeMEG(20, chain, np.eye(6, dtype=bool))
+        beta = estimate_beta(model, epoch_length=2, num_samples=500, rng=4)
+        # Lemma 15 guarantees an upper bound of 17 * eta; the measured value
+        # should be far smaller (and at least some positive correlation-free value).
+        assert 0.0 < beta < 17.0 * model.eta()
+
+    def test_zero_marginal_returns_inf(self):
+        # An (almost) always-empty graph: the target set is never reached.
+        model = ErdosRenyiSequence(10, p=0.0)
+        beta = estimate_beta(model, epoch_length=1, num_samples=20, rng=5)
+        assert beta == float("inf")
+
+    def test_invalid_arguments(self):
+        model = ErdosRenyiSequence(10, p=0.5)
+        with pytest.raises(ValueError):
+            estimate_beta(model, epoch_length=1, num_samples=5, node_pair=(0, 0))
+        with pytest.raises(ValueError):
+            estimate_beta(model, epoch_length=1, num_samples=5, set_size=100)
+        with pytest.raises(ValueError):
+            estimate_beta(ErdosRenyiSequence(3, p=0.5), 1, 5)
+
+
+class TestEstimateStationarity:
+    def test_exact_shortcut_for_edge_meg(self):
+        model = EdgeMEG(20, p=0.1, q=0.3)
+        estimate = estimate_stationarity(model, epoch_length=5, num_samples=10)
+        assert estimate.alpha == pytest.approx(0.25)
+        assert estimate.beta == 1.0
+        assert estimate.num_samples == 0  # no Monte-Carlo needed
+
+    def test_monte_carlo_path_for_unknown_model(self):
+        model = ErdosRenyiSequence(20, p=0.3)
+        estimate = estimate_stationarity(model, epoch_length=1, num_samples=200, rng=0)
+        assert estimate.num_samples == 200
+        assert estimate.alpha == pytest.approx(0.3, abs=0.12)
+
+    def test_as_dict(self):
+        estimate = StationarityEstimate(epoch_length=4, alpha=0.2, beta=1.5, num_samples=10)
+        d = estimate.as_dict()
+        assert d == {"epoch_length": 4, "alpha": 0.2, "beta": 1.5, "num_samples": 10}

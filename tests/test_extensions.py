@@ -1,0 +1,234 @@
+"""Tests for the extension features: multi-source flooding, push-pull gossip,
+random direction mobility, the four-state edge-MEG of [5], and the
+T-interval-connectivity checker."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.flooding import flood, multi_source_flood
+from repro.core.spreading import push_pull_spread
+from repro.markov.builders import four_state_edge_chain
+from repro.markov.mixing import mixing_time
+from repro.meg.base import StaticGraphProcess
+from repro.meg.edge_meg import EdgeMEG, four_state_edge_meg
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+from repro.meg.snapshots import is_t_interval_connected, largest_stable_interval
+from repro.mobility.random_direction import RandomDirection, RandomDirectionSampler, _reflect
+from repro.mobility.geometry import SquareRegion
+
+
+class TestMultiSourceFlood:
+    def test_all_sources_trivially_complete(self):
+        model = ErdosRenyiSequence(10, p=0.3)
+        result = multi_source_flood(model, sources=range(10), rng=0)
+        assert result.flooding_time == 0
+        assert result.informed_history[0] == 10
+
+    def test_faster_than_single_source(self):
+        model = EdgeMEG(80, p=0.02, q=0.5)
+        single = [flood(model, rng=s).flooding_time for s in range(6)]
+        multi = [
+            multi_source_flood(model, sources=[0, 20, 40, 60], rng=s).flooding_time
+            for s in range(6)
+        ]
+        assert np.mean(multi) <= np.mean(single)
+
+    def test_duplicate_sources_collapsed(self):
+        model = ErdosRenyiSequence(12, p=0.4)
+        result = multi_source_flood(model, sources=[3, 3, 3], rng=1)
+        assert result.informed_history[0] == 1
+
+    def test_history_monotone(self):
+        model = EdgeMEG(30, p=0.1, q=0.3)
+        result = multi_source_flood(model, sources=[0, 15], rng=2)
+        history = result.informed_history
+        assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_invalid_sources(self):
+        model = ErdosRenyiSequence(10, p=0.4)
+        with pytest.raises(ValueError):
+            multi_source_flood(model, sources=[])
+        with pytest.raises(ValueError):
+            multi_source_flood(model, sources=[99])
+
+    def test_static_path_from_both_ends(self):
+        process = StaticGraphProcess(nx.path_graph(9))
+        single = flood(process, source=0).flooding_time
+        both_ends = multi_source_flood(process, sources=[0, 8]).flooding_time
+        assert single == 8
+        assert both_ends == 4
+
+
+class TestPushPull:
+    def test_completes_on_dynamic_graph(self, small_edge_meg):
+        result = push_pull_spread(small_edge_meg, rng=0)
+        assert result.completed
+
+    def test_matches_flooding_on_complete_graph_eventually(self):
+        process = StaticGraphProcess(nx.complete_graph(16))
+        result = push_pull_spread(process, rng=1)
+        assert result.completed
+        # Push-pull on the complete graph needs ~log n rounds, more than
+        # flooding's single round but far fewer than n.
+        assert 2 <= result.completion_time <= 16
+
+    def test_slower_than_flooding(self):
+        model = EdgeMEG(60, p=0.08, q=0.5)
+        flood_times = [flood(model, rng=s).flooding_time for s in range(6)]
+        push_pull_times = [push_pull_spread(model, rng=s).completion_time for s in range(6)]
+        assert np.mean(push_pull_times) >= np.mean(flood_times)
+
+    def test_history_monotone(self, small_edge_meg):
+        result = push_pull_spread(small_edge_meg, rng=3)
+        history = result.informed_history
+        assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_invalid_source(self, small_edge_meg):
+        with pytest.raises(ValueError):
+            push_pull_spread(small_edge_meg, source=999)
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = push_pull_spread(StaticGraphProcess(graph))
+        assert result.completion_time == 0
+
+
+class TestRandomDirection:
+    def test_reflect_helper(self):
+        assert _reflect(0.5, 4.0) == pytest.approx(0.5)
+        assert _reflect(4.5, 4.0) == pytest.approx(3.5)
+        assert _reflect(-0.5, 4.0) == pytest.approx(0.5)
+        assert _reflect(8.5, 4.0) == pytest.approx(0.5)
+
+    def test_positions_stay_inside(self):
+        model = RandomDirection(15, side=5.0, radius=1.0, speed=1.0)
+        model.reset(0)
+        for _ in range(25):
+            positions = model.positions()
+            assert positions.min() >= -1e-9
+            assert positions.max() <= 5.0 + 1e-9
+            model.step()
+
+    def test_step_displacement_bounded_by_speed(self):
+        model = RandomDirection(10, side=8.0, radius=1.0, speed=0.7, warmup_steps=0)
+        model.reset(1)
+        before = model.positions()
+        model.step()
+        after = model.positions()
+        # Reflection can only shorten the apparent displacement.
+        assert np.linalg.norm(after - before, axis=1).max() <= 0.7 + 1e-9
+
+    def test_flooding_completes(self):
+        from repro.core.flooding import flooding_time
+
+        model = RandomDirection(40, side=6.0, radius=1.0, speed=1.0)
+        assert flooding_time(model, rng=2) >= 1
+
+    def test_positional_distribution_roughly_uniform(self):
+        from repro.mobility.positional import empirical_positional_distribution
+
+        side = 6.0
+        model = RandomDirection(60, side=side, radius=1.0, speed=1.0)
+        region = SquareRegion(side)
+        density = empirical_positional_distribution(
+            model, region, resolution=3, num_snapshots=150, spacing=2, rng=3
+        )
+        # Unlike the waypoint, no strong centre bias: max/min cell density stays moderate.
+        assert density.max() / max(density.min(), 1e-12) < 4.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomDirectionSampler(speed=0.0)
+        with pytest.raises(ValueError):
+            RandomDirectionSampler(speed=1.0, mean_leg_steps=0.0)
+
+
+class TestFourStateEdgeMeg:
+    def test_chain_states_and_stationarity(self):
+        chain = four_state_edge_chain(0.3, 0.3, 0.2, 0.1)
+        assert chain.states == ("off-stable", "off-volatile", "on-volatile", "on-stable")
+        pi = chain.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert chain.is_ergodic()
+
+    def test_symmetric_parameters_balance_on_off(self):
+        chain = four_state_edge_chain(0.3, 0.3, 0.2, 0.2)
+        pi = chain.stationary_distribution()
+        on_mass = pi[2] + pi[3]
+        assert on_mass == pytest.approx(0.5, abs=1e-8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            four_state_edge_chain(0.0, 0.3, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            four_state_edge_chain(0.9, 0.3, 0.2, 0.1)
+        with pytest.raises(ValueError):
+            four_state_edge_chain(0.3, 0.3, 0.2, 0.0)
+
+    def test_model_floods(self):
+        from repro.core.flooding import flooding_time
+
+        model = four_state_edge_meg(60, p_up=0.1, p_down=0.4, p_stabilize=0.2, p_destabilize=0.1)
+        assert model.stationary_edge_probability() > 0
+        assert flooding_time(model, rng=0) >= 1
+
+    def test_sticky_links_mix_slower_than_classic(self):
+        # Stable states lengthen the link memory, so the four-state chain
+        # mixes slower than a two-state chain with the same up/down rates.
+        from repro.markov.builders import two_state_chain
+
+        classic = two_state_chain(0.3, 0.3)
+        refined = four_state_edge_chain(0.3, 0.3, 0.3, 0.05)
+        assert mixing_time(refined) > mixing_time(classic)
+
+
+class TestTIntervalConnectivity:
+    def _snapshots(self, edge_lists, n=4):
+        graphs = []
+        for edges in edge_lists:
+            graph = nx.Graph()
+            graph.add_nodes_from(range(n))
+            graph.add_edges_from(edges)
+            graphs.append(graph)
+        return graphs
+
+    def test_static_connected_sequence(self):
+        snapshots = self._snapshots([[(0, 1), (1, 2), (2, 3)]] * 5)
+        assert is_t_interval_connected(snapshots, 1)
+        assert is_t_interval_connected(snapshots, 5)
+
+    def test_disconnected_snapshot_fails_even_t1(self):
+        snapshots = self._snapshots([[(0, 1)], [(0, 1), (1, 2), (2, 3)]])
+        assert not is_t_interval_connected(snapshots, 1)
+
+    def test_changing_spanning_trees_break_large_t(self):
+        tree_a = [(0, 1), (1, 2), (2, 3)]
+        tree_b = [(0, 2), (2, 1), (1, 3)]
+        snapshots = self._snapshots([tree_a, tree_b, tree_a, tree_b])
+        assert is_t_interval_connected(snapshots, 1)
+        assert not is_t_interval_connected(snapshots, 2)
+
+    def test_invalid_arguments(self):
+        snapshots = self._snapshots([[(0, 1), (1, 2), (2, 3)]] * 3)
+        with pytest.raises(ValueError):
+            is_t_interval_connected(snapshots, 0)
+        with pytest.raises(ValueError):
+            is_t_interval_connected(snapshots, 10)
+        mismatched = snapshots + [nx.path_graph(5)]
+        with pytest.raises(ValueError):
+            is_t_interval_connected(mismatched, 1)
+
+    def test_sparse_meg_is_not_interval_connected(self):
+        # The paper's sparse MEGs have disconnected snapshots, so the
+        # worst-case T-interval-connectivity framework of [21] cannot
+        # describe them: the largest stable interval is 0.
+        model = EdgeMEG(40, p=1.0 / 40, q=0.5)
+        assert largest_stable_interval(model, num_snapshots=10, rng=0) == 0
+
+    def test_dense_iid_graphs_are_1_interval_connected(self):
+        model = ErdosRenyiSequence(12, p=0.9)
+        assert largest_stable_interval(model, num_snapshots=6, rng=1) >= 1

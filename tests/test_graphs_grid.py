@@ -1,0 +1,189 @@
+"""Tests for repro.graphs.grid and repro.graphs.generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    binary_tree_mobility_graph,
+    complete_mobility_graph,
+    cycle_mobility_graph,
+    path_mobility_graph,
+    star_mobility_graph,
+    torus_graph,
+)
+from repro.graphs.grid import (
+    augmented_grid_graph,
+    grid_graph,
+    grid_positions,
+    grid_side_for_points,
+    manhattan_distance,
+    nodes_within_hops,
+)
+
+
+class TestGridGraph:
+    def test_node_count(self):
+        assert grid_graph(4).number_of_nodes() == 16
+
+    def test_edge_count(self):
+        # An m x m grid has 2 m (m - 1) edges.
+        assert grid_graph(5).number_of_edges() == 2 * 5 * 4
+
+    def test_single_point(self):
+        graph = grid_graph(1)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            grid_graph(0)
+
+    def test_periodic_is_regular(self):
+        graph = grid_graph(4, periodic=True)
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_connected(self):
+        assert nx.is_connected(grid_graph(6))
+
+
+class TestGridSideForPoints:
+    def test_exact_square(self):
+        assert grid_side_for_points(16) == 4
+
+    def test_rounds_up(self):
+        assert grid_side_for_points(17) == 5
+
+    def test_one_point(self):
+        assert grid_side_for_points(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_side_for_points(0)
+
+
+class TestAugmentedGrid:
+    def test_k1_is_plain_grid(self):
+        plain = grid_graph(4)
+        augmented = augmented_grid_graph(4, 1)
+        assert set(plain.edges()) == set(augmented.edges())
+
+    def test_k2_adds_edges(self):
+        plain = grid_graph(4)
+        augmented = augmented_grid_graph(4, 2)
+        assert augmented.number_of_edges() > plain.number_of_edges()
+        # Every plain edge is still there.
+        assert all(augmented.has_edge(*e) for e in plain.edges())
+
+    def test_edges_respect_hop_distance(self):
+        augmented = augmented_grid_graph(5, 2)
+        for (a, b) in augmented.edges():
+            assert manhattan_distance(a, b) <= 2
+
+    def test_diameter_shrinks_with_k(self):
+        d1 = nx.diameter(augmented_grid_graph(6, 1))
+        d3 = nx.diameter(augmented_grid_graph(6, 3))
+        assert d3 < d1
+
+    def test_periodic_wraps(self):
+        augmented = augmented_grid_graph(5, 2, periodic=True)
+        assert augmented.has_edge((0, 0), (4, 0))  # wrap distance 1
+        assert augmented.has_edge((0, 0), (3, 0))  # wrap distance 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            augmented_grid_graph(4, 0)
+
+
+class TestGridPositions:
+    def test_coordinates(self):
+        positions = grid_positions(3, spacing=2.0)
+        assert positions[(0, 0)] == (0.0, 0.0)
+        assert positions[(1, 2)] == (4.0, 2.0)
+
+    def test_count(self):
+        assert len(grid_positions(4)) == 16
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            grid_positions(3, spacing=0.0)
+
+
+class TestManhattanDistance:
+    def test_plain(self):
+        assert manhattan_distance((0, 0), (2, 3)) == 5
+
+    def test_wraparound(self):
+        assert manhattan_distance((0, 0), (4, 0), side=5) == 1
+
+    def test_zero(self):
+        assert manhattan_distance((1, 1), (1, 1)) == 0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            manhattan_distance((0, 0), (1, 1), side=0)
+
+
+class TestNodesWithinHops:
+    def test_zero_hops_is_self(self):
+        graph = grid_graph(3)
+        assert nodes_within_hops(graph, (1, 1), 0) == {(1, 1)}
+
+    def test_one_hop_centre(self):
+        graph = grid_graph(3)
+        ball = nodes_within_hops(graph, (1, 1), 1)
+        assert ball == {(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_large_radius_covers_graph(self):
+        graph = grid_graph(3)
+        assert nodes_within_hops(graph, (0, 0), 10) == set(graph.nodes())
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            nodes_within_hops(grid_graph(3), (0, 0), -1)
+
+
+class TestGenerators:
+    def test_torus_regular(self):
+        graph = torus_graph(4)
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            torus_graph(2)
+
+    def test_cycle(self):
+        graph = cycle_mobility_graph(6)
+        assert graph.number_of_edges() == 6
+
+    def test_path(self):
+        graph = path_mobility_graph(5)
+        assert graph.number_of_edges() == 4
+
+    def test_complete(self):
+        graph = complete_mobility_graph(5)
+        assert graph.number_of_edges() == 10
+
+    def test_star_hub_degree(self):
+        graph = star_mobility_graph(7)
+        degrees = sorted(d for _, d in graph.degree())
+        assert degrees[-1] == 7
+
+    def test_binary_tree_size(self):
+        graph = binary_tree_mobility_graph(3)
+        assert graph.number_of_nodes() == 2**4 - 1
+
+    @pytest.mark.parametrize(
+        "factory,arg",
+        [
+            (cycle_mobility_graph, 2),
+            (path_mobility_graph, 1),
+            (complete_mobility_graph, 1),
+            (star_mobility_graph, 0),
+            (binary_tree_mobility_graph, 0),
+        ],
+    )
+    def test_invalid_sizes(self, factory, arg):
+        with pytest.raises(ValueError):
+            factory(arg)

@@ -1,0 +1,215 @@
+"""Tests for repro.graphs.paths and repro.graphs.properties."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import star_mobility_graph
+from repro.graphs.grid import grid_graph
+from repro.graphs.paths import (
+    PathFamily,
+    edge_paths,
+    shortest_path_family,
+    waypoint_path_family,
+)
+from repro.graphs.properties import (
+    average_point_congestion,
+    degree_regularity,
+    diameter,
+    is_connected,
+    max_point_congestion,
+    path_family_regularity,
+)
+
+
+@pytest.fixture
+def square_cycle():
+    """A 4-cycle mobility graph labelled 0..3."""
+    return nx.cycle_graph(4)
+
+
+class TestPathFamilyValidation:
+    def test_valid_family(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)])
+        assert len(family) == 8
+
+    def test_rejects_short_path(self, square_cycle):
+        with pytest.raises(ValueError, match="two points"):
+            PathFamily(square_cycle, [(0,)])
+
+    def test_rejects_unknown_point(self, square_cycle):
+        with pytest.raises(ValueError, match="not in the mobility graph"):
+            PathFamily(square_cycle, [(0, 99)])
+
+    def test_rejects_non_adjacent_step(self, square_cycle):
+        with pytest.raises(ValueError, match="not adjacent"):
+            PathFamily(square_cycle, [(0, 2)])
+
+    def test_rejects_revisiting_path(self, square_cycle):
+        with pytest.raises(ValueError, match="revisits"):
+            PathFamily(square_cycle, [(0, 1, 0, 3), (3, 0)])
+
+    def test_allows_closed_tour(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1, 2, 3, 0)])
+        assert family.paths == ((0, 1, 2, 3, 0),)
+
+    def test_rejects_empty_family(self, square_cycle):
+        with pytest.raises(ValueError, match="at least one path"):
+            PathFamily(square_cycle, [])
+
+    def test_rejects_broken_chaining(self, square_cycle):
+        # A path ends at 2, but no feasible path starts at 2.
+        with pytest.raises(ValueError, match="chaining"):
+            PathFamily(square_cycle, [(0, 1, 2), (0, 3)])
+
+
+class TestPathFamilyQueries:
+    def test_paths_from(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1), (1, 0), (0, 3), (3, 0)])
+        assert set(family.paths_from(0)) == {(0, 1), (0, 3)}
+        assert family.paths_from(2) == ()
+
+    def test_passes_through_counts_non_start_points(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1, 2), (2, 1, 0), (0, 3), (3, 0)])
+        # Point 1 is traversed by both long paths; point 0 is the end of two paths.
+        assert family.passes_through(1) == 2
+        assert family.passes_through(0) == 2
+        assert family.passes_through(3) == 1
+
+    def test_congestion_profile_covers_all_points(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1), (1, 0)])
+        profile = family.congestion_profile()
+        assert set(profile) == set(square_cycle.nodes())
+        assert profile[2] == 0
+
+    def test_total_states(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1, 2), (2, 1, 0)])
+        # Each path contributes len - 1 = 2 states.
+        assert family.total_states() == 4
+
+    def test_reversibility(self, square_cycle):
+        reversible = PathFamily(square_cycle, [(0, 1), (1, 0)])
+        assert reversible.is_reversible()
+        irreversible = PathFamily(square_cycle, [(0, 1, 2), (2, 3, 0)])
+        assert not irreversible.is_reversible()
+
+    def test_regularity_of_uniform_family(self, square_cycle):
+        family = PathFamily(
+            square_cycle,
+            [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)],
+        )
+        assert family.regularity() == pytest.approx(1.0)
+
+    def test_is_delta_regular(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1), (1, 0)])
+        assert family.is_delta_regular(4.0)
+        assert not family.is_delta_regular(1.0)
+
+    def test_is_delta_regular_invalid_delta(self, square_cycle):
+        family = PathFamily(square_cycle, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            family.is_delta_regular(0.5)
+
+
+class TestEdgePaths:
+    def test_both_orientations(self, small_grid_graph):
+        family = edge_paths(small_grid_graph)
+        assert len(family) == 2 * small_grid_graph.number_of_edges()
+        assert family.is_reversible()
+
+    def test_congestion_equals_degree(self, small_grid_graph):
+        family = edge_paths(small_grid_graph)
+        for node in small_grid_graph.nodes():
+            assert family.passes_through(node) == small_grid_graph.degree(node)
+
+    def test_edgeless_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            edge_paths(graph)
+
+
+class TestShortestPathFamily:
+    def test_all_pairs_count(self):
+        graph = grid_graph(3)
+        family = shortest_path_family(graph)
+        pairs = 9 * 8 // 2
+        assert len(family) == 2 * pairs
+
+    def test_reversible(self):
+        family = shortest_path_family(grid_graph(3))
+        assert family.is_reversible()
+
+    def test_paths_are_shortest(self):
+        graph = grid_graph(3)
+        family = shortest_path_family(graph)
+        for path in family:
+            assert len(path) - 1 == nx.shortest_path_length(graph, path[0], path[-1])
+
+    def test_restricted_pairs(self):
+        graph = grid_graph(3)
+        family = shortest_path_family(graph, pairs=[((0, 0), (2, 2)), ((2, 2), (0, 0))])
+        assert len(family) == 2  # duplicate unordered pair collapses
+
+    def test_identical_pair_rejected(self):
+        with pytest.raises(ValueError):
+            shortest_path_family(grid_graph(3), pairs=[((0, 0), (0, 0))])
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            shortest_path_family(graph)
+
+    def test_waypoint_alias(self):
+        graph = grid_graph(3)
+        assert len(waypoint_path_family(graph)) == len(shortest_path_family(graph))
+
+
+class TestProperties:
+    def test_diameter_grid(self):
+        assert diameter(grid_graph(4)) == 6
+
+    def test_diameter_single_node(self):
+        assert diameter(grid_graph(1)) == 0
+
+    def test_diameter_disconnected_raises(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            diameter(graph)
+
+    def test_degree_regularity_grid(self):
+        assert degree_regularity(grid_graph(4)) == pytest.approx(2.0)
+
+    def test_degree_regularity_regular_graph(self):
+        assert degree_regularity(nx.cycle_graph(6)) == pytest.approx(1.0)
+
+    def test_degree_regularity_isolated_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError):
+            degree_regularity(graph)
+
+    def test_path_family_regularity_star_is_high(self):
+        star = star_mobility_graph(8)
+        family = shortest_path_family(star)
+        # Every leaf-to-leaf shortest path passes through the hub.
+        assert path_family_regularity(family) > 3.0
+
+    def test_congestion_statistics(self):
+        family = edge_paths(grid_graph(3))
+        assert max_point_congestion(family) == 4
+        assert average_point_congestion(family) == pytest.approx(
+            2 * grid_graph(3).number_of_edges() / 9
+        )
+
+    def test_is_connected(self):
+        assert is_connected(grid_graph(3))
+        assert not is_connected(nx.Graph())
+        disconnected = nx.Graph()
+        disconnected.add_edges_from([(0, 1), (2, 3)])
+        assert not is_connected(disconnected)

@@ -1,0 +1,164 @@
+"""Integration tests crossing module boundaries.
+
+These exercise the same pipelines the experiments and examples use:
+model construction -> stationarity parameters -> flooding measurement ->
+bound evaluation -> comparison, for each family of models in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.meeting_time import expected_meeting_time, meeting_time_bound
+from repro.core.bounds import (
+    classic_edge_meg_bound,
+    corollary5_bound,
+    theorem1_bound,
+    theorem3_bound,
+    waypoint_flooding_bound,
+)
+from repro.core.flooding import flooding_time_samples
+from repro.core.metrics import flooding_time_statistics
+from repro.core.stationarity import estimate_stationarity, exact_parameters
+from repro.graphs.grid import augmented_grid_graph, grid_graph
+from repro.graphs.paths import shortest_path_family
+from repro.graphs.properties import diameter, path_family_regularity
+from repro.markov.builders import complete_graph_walk
+from repro.markov.mixing import mixing_time
+from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
+from repro.meg.node_meg import NodeMEG
+from repro.mobility.random_path import GraphRandomWalkMobility, RandomPathModel
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class TestEdgeMegPipeline:
+    def test_theorem1_bound_dominates_measured_time(self):
+        n = 80
+        model = EdgeMEG(n, p=1.0 / n, q=0.5)
+        alpha, beta = exact_parameters(model)
+        epoch = mixing_time(model.edge_chain())
+        measured = flooding_time_statistics(model, num_trials=8, rng=0)
+        bound = theorem1_bound(n, max(epoch, 1), alpha, beta)
+        assert measured.maximum <= bound
+
+    def test_general_edge_meg_with_hidden_chain(self):
+        # A 3-state hidden chain where only the last state switches the edge on.
+        from repro.markov.builders import birth_death_chain
+
+        chain = birth_death_chain([0.4, 0.4, 0.0], [0.0, 0.4, 0.4])
+        n = 50
+        model = GeneralEdgeMEG(n, chain, chi=[0, 0, 1])
+        alpha = model.stationary_edge_probability()
+        assert alpha == pytest.approx(1 / 3, abs=1e-6)
+        measured = flooding_time_statistics(model, num_trials=5, rng=1)
+        assert measured.mean < 10  # dense regime floods very fast
+
+    def test_estimated_and_exact_alpha_agree(self):
+        model = EdgeMEG(30, p=0.2, q=0.2)
+        exact_alpha, _ = exact_parameters(model)
+        estimate = estimate_stationarity(model, epoch_length=6, num_samples=50, rng=2)
+        assert estimate.alpha == pytest.approx(exact_alpha)
+
+
+class TestNodeMegPipeline:
+    def test_theorem3_bound_dominates_measured_time(self):
+        chain = complete_graph_walk(10)
+        n = 50
+        model = NodeMEG(n, chain, np.eye(10, dtype=bool))
+        t_mix = mixing_time(chain)
+        measured = flooding_time_statistics(model, num_trials=8, rng=3)
+        bound = theorem3_bound(n, max(t_mix, 1), model.edge_probability(), max(model.eta(), 1.0))
+        assert measured.maximum <= bound
+
+    def test_more_meeting_points_slow_flooding(self):
+        n = 40
+        few_points = NodeMEG(n, complete_graph_walk(5), np.eye(5, dtype=bool))
+        many_points = NodeMEG(n, complete_graph_walk(40), np.eye(40, dtype=bool))
+        fast = np.mean(flooding_time_samples(few_points, 6, rng=4))
+        slow = np.mean(flooding_time_samples(many_points, 6, rng=4))
+        assert slow >= fast
+
+
+class TestWaypointPipeline:
+    def test_bound_dominates_and_lower_bound_holds(self):
+        n = 60
+        side = math.sqrt(n)
+        model = RandomWaypoint(n, side=side, radius=1.0, v_min=1.0)
+        measured = flooding_time_statistics(model, num_trials=4, rng=5)
+        upper = waypoint_flooding_bound(n, side, 1.0, 1.0)
+        assert measured.maximum <= upper
+        # The trivial lower bound L/(r+v) is loose but must not exceed the
+        # measured mean by more than a small factor.
+        assert measured.mean >= side / 2.0 / 4.0
+
+    def test_faster_nodes_flood_faster(self):
+        n = 50
+        side = math.sqrt(n)
+        slow_model = RandomWaypoint(n, side=side, radius=1.0, v_min=0.5)
+        fast_model = RandomWaypoint(n, side=side, radius=1.0, v_min=2.0)
+        slow = np.mean(flooding_time_samples(slow_model, 4, rng=6))
+        fast = np.mean(flooding_time_samples(fast_model, 4, rng=6))
+        assert fast <= slow
+
+
+class TestGraphMobilityPipeline:
+    def test_corollary5_bound_dominates_random_path_flooding(self):
+        graph = grid_graph(4)
+        family = shortest_path_family(graph)
+        n = 32
+        model = RandomPathModel(n, family, holding_probability=0.25)
+        measured = flooding_time_statistics(model, num_trials=4, rng=7)
+        bound = corollary5_bound(
+            n,
+            mixing_time=max(diameter(graph), 1),
+            num_points=graph.number_of_nodes(),
+            delta=path_family_regularity(family),
+        )
+        assert measured.maximum <= bound
+
+    def test_augmented_grid_floods_faster_than_plain(self):
+        n = 60
+        plain = GraphRandomWalkMobility(n, augmented_grid_graph(6, 1), holding_probability=0.5)
+        augmented = GraphRandomWalkMobility(n, augmented_grid_graph(6, 3), holding_probability=0.5)
+        plain_mean = np.mean(flooding_time_samples(plain, 5, rng=8))
+        augmented_mean = np.mean(flooding_time_samples(augmented, 5, rng=8))
+        assert augmented_mean <= plain_mean
+
+    def test_meeting_time_bound_dominates_measured_flooding(self):
+        # [15]: flooding is O(T* log n); with implicit constant 1 the product
+        # should dominate the measured value on a small grid.
+        graph = grid_graph(5)
+        n = 40
+        model = GraphRandomWalkMobility(n, graph, holding_probability=0.5)
+        measured = flooding_time_statistics(model, num_trials=4, rng=9)
+        meeting = expected_meeting_time(graph, num_trials=100, rng=9)
+        assert measured.mean <= meeting_time_bound(meeting, n) * 3
+
+
+class TestCrossModelComparisons:
+    def test_edge_meg_bound_vs_prior_bound_shapes(self):
+        # Both bounds decrease as p grows, and in the tight region (q >= n p)
+        # the general bound stays within a polylog factor of the prior bound,
+        # matching the Appendix-A discussion.
+        from repro.baselines.edge_meg_bound import classic_edge_meg_prior_bound
+        from repro.util.mathutils import logn_factor
+
+        n, q = 100, 0.5
+        general = [classic_edge_meg_bound(n, p, q) for p in (0.001, 0.01, 0.1)]
+        prior = [classic_edge_meg_prior_bound(n, p) for p in (0.001, 0.01, 0.1)]
+        assert general[0] > general[1] > general[2]
+        assert prior[0] > prior[1] > prior[2]
+        # Tight region: p = 0.001 gives n p = 0.1 <= q.
+        assert general[0] / prior[0] <= 2 * logn_factor(n, 2)
+
+    def test_flooding_monotone_in_radius_for_waypoint(self):
+        n = 40
+        side = 6.0
+        small_r = RandomWaypoint(n, side=side, radius=0.7, v_min=1.0)
+        large_r = RandomWaypoint(n, side=side, radius=2.0, v_min=1.0)
+        slow = np.mean(flooding_time_samples(small_r, 4, rng=10))
+        fast = np.mean(flooding_time_samples(large_r, 4, rng=10))
+        assert fast <= slow

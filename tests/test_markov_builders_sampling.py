@@ -1,0 +1,219 @@
+"""Tests for repro.markov.builders and repro.markov.sampling."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.markov.builders import (
+    birth_death_chain,
+    complete_graph_walk,
+    cycle_walk,
+    grid_walk,
+    lazy_random_walk,
+    random_walk_on_graph,
+    two_state_chain,
+    uniform_chain,
+)
+from repro.markov.sampling import (
+    empirical_state_distribution,
+    sample_path,
+    sample_states,
+    sample_stationary_state,
+)
+
+
+class TestTwoStateChain:
+    def test_states(self):
+        chain = two_state_chain(0.2, 0.3)
+        assert chain.states == ("off", "on")
+
+    def test_stationary_distribution(self):
+        chain = two_state_chain(0.2, 0.3)
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([0.6, 0.4])  # (q, p) / (p + q)
+
+    def test_frozen_chain_rejected(self):
+        with pytest.raises(ValueError):
+            two_state_chain(0.0, 0.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            two_state_chain(1.2, 0.1)
+
+
+class TestUniformChain:
+    def test_mixing_in_one_step(self):
+        chain = uniform_chain(5)
+        assert np.allclose(chain.transition_matrix, 0.2)
+
+    def test_custom_labels(self):
+        chain = uniform_chain(2, states=("a", "b"))
+        assert chain.states == ("a", "b")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            uniform_chain(0)
+
+
+class TestBirthDeathChain:
+    def test_simple_symmetric(self):
+        chain = birth_death_chain([0.5, 0.5, 0.0], [0.0, 0.5, 0.5])
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([1 / 3] * 3)
+
+    def test_holding_probability_computed(self):
+        chain = birth_death_chain([0.3, 0.0], [0.0, 0.1])
+        assert chain.transition_probability(0, 0) == pytest.approx(0.7)
+        assert chain.transition_probability(1, 1) == pytest.approx(0.9)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            birth_death_chain([0.5, 0.0], [0.0])
+
+    def test_last_state_cannot_move_up(self):
+        with pytest.raises(ValueError):
+            birth_death_chain([0.5, 0.5], [0.0, 0.5])
+
+    def test_first_state_cannot_move_down(self):
+        with pytest.raises(ValueError):
+            birth_death_chain([0.5, 0.0], [0.1, 0.5])
+
+    def test_probabilities_exceed_one(self):
+        with pytest.raises(ValueError):
+            birth_death_chain([0.8, 0.5, 0.0], [0.0, 0.6, 0.5])
+
+
+class TestRandomWalkOnGraph:
+    def test_states_are_node_labels(self):
+        graph = nx.path_graph(4)
+        walk = random_walk_on_graph(graph)
+        assert walk.states == tuple(graph.nodes())
+
+    def test_stationary_proportional_to_degree(self):
+        graph = nx.path_graph(3)  # degrees 1, 2, 1
+        pi = random_walk_on_graph(graph).stationary_distribution()
+        assert pi == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_isolated_node_absorbing(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        walk = random_walk_on_graph(graph)
+        assert walk.transition_probability(2, 2) == pytest.approx(1.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            random_walk_on_graph(nx.Graph())
+
+    def test_lazy_walk_aperiodic_on_bipartite(self):
+        graph = nx.path_graph(4)
+        assert not random_walk_on_graph(graph).is_aperiodic()
+        assert lazy_random_walk(graph).is_aperiodic()
+
+
+class TestTopologyWalks:
+    def test_cycle_walk_states(self):
+        assert cycle_walk(7).num_states == 7
+
+    def test_cycle_walk_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_walk(2)
+
+    def test_complete_graph_walk_uniform_stationary(self):
+        pi = complete_graph_walk(6).stationary_distribution()
+        assert pi == pytest.approx([1 / 6] * 6)
+
+    def test_grid_walk_size(self):
+        assert grid_walk(3).num_states == 9
+
+    def test_grid_walk_torus_regular(self):
+        walk = grid_walk(4, torus=True, lazy=False)
+        pi = walk.stationary_distribution()
+        assert pi == pytest.approx([1 / 16] * 16)
+
+    def test_grid_walk_too_small(self):
+        with pytest.raises(ValueError):
+            grid_walk(1)
+
+
+class TestSamplePath:
+    def test_length(self):
+        chain = two_state_chain(0.3, 0.3)
+        path = sample_path(chain, 10, rng=0)
+        assert len(path) == 10
+
+    def test_initial_state_respected(self):
+        chain = two_state_chain(0.3, 0.3)
+        path = sample_path(chain, 5, initial_state="on", rng=0)
+        assert path[0] == "on"
+
+    def test_deterministic_cycle(self):
+        from repro.markov.chain import MarkovChain
+
+        cycle = MarkovChain([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        path = sample_path(cycle, 6, initial_state=0, rng=0)
+        assert path == [0, 1, 2, 0, 1, 2]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            sample_path(uniform_chain(3), 0)
+
+    def test_transitions_have_positive_probability(self):
+        chain = two_state_chain(0.3, 0.4)
+        path = sample_path(chain, 50, rng=1)
+        for a, b in zip(path, path[1:]):
+            assert chain.transition_probability(a, b) > 0
+
+
+class TestSampleStates:
+    def test_vectorised_step_valid_indices(self):
+        chain = uniform_chain(4)
+        rng = np.random.default_rng(0)
+        current = np.zeros(100, dtype=int)
+        nxt = sample_states(chain, current, rng)
+        assert nxt.shape == (100,)
+        assert nxt.min() >= 0 and nxt.max() < 4
+
+    def test_deterministic_chain_vectorised(self):
+        from repro.markov.chain import MarkovChain
+
+        cycle = MarkovChain([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        rng = np.random.default_rng(0)
+        nxt = sample_states(cycle, np.array([0, 1, 2]), rng)
+        assert list(nxt) == [1, 2, 0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            sample_states(uniform_chain(3), np.array([5]), np.random.default_rng(0))
+
+    def test_matches_precomputed_cumulative(self):
+        chain = uniform_chain(5)
+        cumulative = np.cumsum(chain.transition_matrix, axis=1)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        a = sample_states(chain, np.arange(5), rng_a)
+        b = sample_states(chain, np.arange(5), rng_b, cumulative=cumulative)
+        assert np.array_equal(a, b)
+
+
+class TestStationarySampling:
+    def test_sample_count(self):
+        samples = sample_stationary_state(two_state_chain(0.5, 0.5), 40, rng=0)
+        assert samples.shape == (40,)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            sample_stationary_state(uniform_chain(3), -1)
+
+    def test_empirical_distribution_close_to_pi(self):
+        chain = two_state_chain(0.1, 0.4)  # pi = (0.8, 0.2)
+        indices = sample_stationary_state(chain, 4000, rng=1)
+        labels = [chain.states[i] for i in indices]
+        dist = empirical_state_distribution(chain, labels)
+        assert dist == pytest.approx([0.8, 0.2], abs=0.05)
+
+    def test_empirical_distribution_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_state_distribution(uniform_chain(2), [])

@@ -1,0 +1,212 @@
+"""Tests for repro.markov.chain.MarkovChain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+
+
+@pytest.fixture
+def two_state():
+    return MarkovChain([[0.9, 0.1], [0.4, 0.6]], states=("off", "on"))
+
+
+@pytest.fixture
+def cycle3():
+    return MarkovChain([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+
+
+class TestConstruction:
+    def test_valid_matrix(self, two_state):
+        assert two_state.num_states == 2
+        assert two_state.states == ("off", "on")
+
+    def test_default_integer_states(self):
+        chain = MarkovChain(np.eye(3))
+        assert chain.states == (0, 1, 2)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MarkovChain([[0.5, 0.5]])
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError, match="sums to"):
+            MarkovChain([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovChain([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.zeros((0, 0)))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(ValueError, match="state labels"):
+            MarkovChain(np.eye(2), states=("a",))
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="unique"):
+            MarkovChain(np.eye(2), states=("a", "a"))
+
+    def test_transition_matrix_is_copy(self, two_state):
+        matrix = two_state.transition_matrix
+        matrix[0, 0] = 0.0
+        assert two_state.transition_matrix[0, 0] == pytest.approx(0.9)
+
+
+class TestAccessors:
+    def test_state_index(self, two_state):
+        assert two_state.state_index("off") == 0
+        assert two_state.state_index("on") == 1
+
+    def test_unknown_state_raises(self, two_state):
+        with pytest.raises(KeyError):
+            two_state.state_index("missing")
+
+    def test_transition_probability(self, two_state):
+        assert two_state.transition_probability("off", "on") == pytest.approx(0.1)
+        assert two_state.transition_probability("on", "off") == pytest.approx(0.4)
+
+
+class TestStructure:
+    def test_two_state_ergodic(self, two_state):
+        assert two_state.is_irreducible()
+        assert two_state.is_aperiodic()
+        assert two_state.is_ergodic()
+
+    def test_cycle_periodic(self, cycle3):
+        assert cycle3.is_irreducible()
+        assert not cycle3.is_aperiodic()
+        assert not cycle3.is_ergodic()
+
+    def test_identity_not_irreducible(self):
+        chain = MarkovChain(np.eye(2))
+        assert not chain.is_irreducible()
+
+    def test_two_state_reversible(self, two_state):
+        assert two_state.is_reversible()
+
+    def test_non_reversible_chain(self):
+        # A biased cycle on three states is irreducible but not reversible.
+        chain = MarkovChain(
+            [[0.0, 0.9, 0.1], [0.1, 0.0, 0.9], [0.9, 0.1, 0.0]]
+        )
+        assert chain.is_irreducible()
+        assert not chain.is_reversible()
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self, two_state):
+        pi = two_state.stationary_distribution()
+        # p = 0.1, q = 0.4 -> pi = (0.8, 0.2)
+        assert pi == pytest.approx([0.8, 0.2])
+
+    def test_sums_to_one(self, two_state):
+        assert two_state.stationary_distribution().sum() == pytest.approx(1.0)
+
+    def test_invariance(self, two_state):
+        pi = two_state.stationary_distribution()
+        assert pi @ two_state.transition_matrix == pytest.approx(pi)
+
+    def test_reducible_chain_raises(self):
+        chain = MarkovChain(np.eye(3))
+        with pytest.raises(ValueError, match="unique stationary"):
+            chain.stationary_distribution()
+
+    def test_stationary_probability_by_label(self, two_state):
+        assert two_state.stationary_probability("off") == pytest.approx(0.8)
+
+    def test_uniform_for_doubly_stochastic(self, cycle3):
+        assert cycle3.stationary_distribution() == pytest.approx([1 / 3] * 3)
+
+
+class TestDistributionEvolution:
+    def test_zero_steps_identity(self, two_state):
+        initial = np.array([1.0, 0.0])
+        assert two_state.distribution_after(initial, 0) == pytest.approx(initial)
+
+    def test_one_step(self, two_state):
+        dist = two_state.distribution_after(np.array([1.0, 0.0]), 1)
+        assert dist == pytest.approx([0.9, 0.1])
+
+    def test_converges_to_stationary(self, two_state):
+        dist = two_state.distribution_after(np.array([0.0, 1.0]), 200)
+        assert dist == pytest.approx(two_state.stationary_distribution(), abs=1e-9)
+
+    def test_rejects_bad_distribution(self, two_state):
+        with pytest.raises(ValueError):
+            two_state.distribution_after(np.array([0.6, 0.6]), 1)
+
+    def test_rejects_negative_steps(self, two_state):
+        with pytest.raises(ValueError):
+            two_state.distribution_after(np.array([1.0, 0.0]), -1)
+
+    def test_tv_distance_decreases(self, two_state):
+        initial = np.array([0.0, 1.0])
+        d1 = two_state.tv_distance_to_stationarity(initial, 1)
+        d5 = two_state.tv_distance_to_stationarity(initial, 5)
+        assert d5 <= d1
+
+
+class TestSimulation:
+    def test_step_returns_valid_state(self, two_state):
+        assert two_state.step("off", rng=0) in ("off", "on")
+
+    def test_step_deterministic_chain(self, cycle3):
+        assert cycle3.step(0, rng=0) == 1
+        assert cycle3.step(1, rng=0) == 2
+        assert cycle3.step(2, rng=0) == 0
+
+    def test_step_index_fast_path(self, cycle3):
+        rng = np.random.default_rng(0)
+        assert cycle3.step_index(0, rng) == 1
+
+    def test_sample_stationary_frequency(self, two_state):
+        rng = np.random.default_rng(7)
+        samples = [two_state.sample_stationary(rng) for _ in range(2000)]
+        fraction_off = samples.count("off") / len(samples)
+        assert fraction_off == pytest.approx(0.8, abs=0.05)
+
+
+class TestComposition:
+    def test_lazy_preserves_stationary(self, two_state):
+        lazy = two_state.lazy(0.5)
+        assert lazy.stationary_distribution() == pytest.approx(
+            two_state.stationary_distribution()
+        )
+
+    def test_lazy_adds_self_loops(self, cycle3):
+        lazy = cycle3.lazy(0.5)
+        assert lazy.transition_probability(0, 0) == pytest.approx(0.5)
+        assert lazy.is_aperiodic()
+
+    def test_lazy_invalid_holding(self, two_state):
+        with pytest.raises(ValueError):
+            two_state.lazy(1.0)
+
+    def test_kron_product_states(self, two_state):
+        product = two_state.kron_product(two_state)
+        assert product.num_states == 4
+        assert ("off", "on") in product.states
+
+    def test_kron_product_stationary_is_product(self, two_state):
+        product = two_state.kron_product(two_state)
+        pi = two_state.stationary_distribution()
+        expected = np.kron(pi, pi)
+        assert product.stationary_distribution() == pytest.approx(expected)
+
+    def test_from_edge_weights(self):
+        chain = MarkovChain.from_edge_weights({("a", "b"): 1.0, ("b", "a"): 2.0, ("b", "b"): 2.0})
+        assert chain.transition_probability("a", "b") == pytest.approx(1.0)
+        assert chain.transition_probability("b", "a") == pytest.approx(0.5)
+
+    def test_from_edge_weights_absorbing_state(self):
+        chain = MarkovChain.from_edge_weights({("a", "b"): 1.0}, states=["a", "b"])
+        assert chain.transition_probability("b", "b") == pytest.approx(1.0)
+
+    def test_from_edge_weights_negative_raises(self):
+        with pytest.raises(ValueError):
+            MarkovChain.from_edge_weights({("a", "b"): -1.0})

@@ -1,0 +1,156 @@
+"""Tests for repro.markov.mixing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.markov.builders import (
+    complete_graph_walk,
+    cycle_walk,
+    two_state_chain,
+    uniform_chain,
+)
+from repro.markov.chain import MarkovChain
+from repro.markov.mixing import (
+    empirical_mixing_time,
+    epoch_length_for_accuracy,
+    mixing_time,
+    mixing_time_upper_bound_from_gap,
+    relaxation_time,
+    spectral_gap,
+    tv_distance_from_stationarity,
+)
+
+
+class TestTvDistance:
+    def test_zero_steps_from_point_mass(self):
+        chain = two_state_chain(0.1, 0.4)
+        d0 = tv_distance_from_stationarity(chain, 0)
+        # Worst case at t=0 is 1 - min(pi) = 1 - 0.2 = 0.8.
+        assert d0 == pytest.approx(0.8)
+
+    def test_decreasing_in_steps(self):
+        chain = two_state_chain(0.2, 0.3)
+        distances = [tv_distance_from_stationarity(chain, t) for t in range(6)]
+        assert all(a >= b - 1e-12 for a, b in zip(distances, distances[1:]))
+
+    def test_uniform_chain_mixes_in_one_step(self):
+        chain = uniform_chain(8)
+        assert tv_distance_from_stationarity(chain, 1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_steps_raise(self):
+        with pytest.raises(ValueError):
+            tv_distance_from_stationarity(uniform_chain(3), -1)
+
+
+class TestMixingTime:
+    def test_uniform_chain(self):
+        assert mixing_time(uniform_chain(10)) == 1
+
+    def test_two_state_known_scale(self):
+        # Mixing time of the two-state chain is Theta(1 / (p + q)).
+        fast = mixing_time(two_state_chain(0.4, 0.4))
+        slow = mixing_time(two_state_chain(0.04, 0.04))
+        assert slow > fast
+        assert slow == pytest.approx(10 * fast, rel=0.6)
+
+    def test_epsilon_monotone(self):
+        chain = two_state_chain(0.05, 0.05)
+        loose = mixing_time(chain, epsilon=0.4)
+        tight = mixing_time(chain, epsilon=0.05)
+        assert tight >= loose
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            mixing_time(uniform_chain(3), epsilon=0.0)
+
+    def test_periodic_chain_raises(self):
+        periodic = MarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="did not mix"):
+            mixing_time(periodic, max_steps=64)
+
+    def test_already_stationary_returns_zero(self):
+        # A one-state chain is already stationary.
+        chain = MarkovChain([[1.0]])
+        assert mixing_time(chain) == 0
+
+    def test_cycle_walk_grows_with_length(self):
+        small = mixing_time(cycle_walk(5))
+        large = mixing_time(cycle_walk(15))
+        assert large > small
+
+    def test_complete_graph_walk_mixes_fast(self):
+        assert mixing_time(complete_graph_walk(20)) <= 2
+
+
+class TestSpectralGap:
+    def test_uniform_chain_gap_is_one(self):
+        assert spectral_gap(uniform_chain(6)) == pytest.approx(1.0)
+
+    def test_gap_in_unit_interval(self):
+        gap = spectral_gap(two_state_chain(0.3, 0.2))
+        assert 0.0 < gap <= 1.0
+
+    def test_two_state_closed_form(self):
+        # Second eigenvalue of the two-state chain is 1 - p - q.
+        gap = spectral_gap(two_state_chain(0.1, 0.2))
+        assert gap == pytest.approx(0.3)
+
+    def test_periodic_chain_zero_gap(self):
+        periodic = MarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        assert spectral_gap(periodic) == pytest.approx(0.0)
+
+    def test_relaxation_time_inverse(self):
+        chain = two_state_chain(0.1, 0.2)
+        assert relaxation_time(chain) == pytest.approx(1.0 / 0.3)
+
+    def test_relaxation_time_infinite_for_periodic(self):
+        periodic = MarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        assert math.isinf(relaxation_time(periodic))
+
+
+class TestGapBound:
+    def test_upper_bounds_actual_mixing_time(self):
+        chain = two_state_chain(0.05, 0.1)
+        actual = mixing_time(chain)
+        bound = mixing_time_upper_bound_from_gap(chain)
+        assert bound >= actual
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            mixing_time_upper_bound_from_gap(uniform_chain(3), epsilon=2.0)
+
+
+class TestEpochLength:
+    def test_matches_mixing_time_definition(self):
+        chain = two_state_chain(0.1, 0.1)
+        assert epoch_length_for_accuracy(chain, 0.25) == mixing_time(chain, 0.25)
+
+    def test_smaller_accuracy_longer_epoch(self):
+        chain = two_state_chain(0.1, 0.1)
+        assert epoch_length_for_accuracy(chain, 0.01) >= epoch_length_for_accuracy(
+            chain, 0.25
+        )
+
+    def test_invalid_accuracy(self):
+        with pytest.raises(ValueError):
+            epoch_length_for_accuracy(uniform_chain(3), 0.0)
+
+
+class TestEmpiricalMixingTime:
+    def test_at_most_worst_case(self):
+        chain = two_state_chain(0.1, 0.3)
+        worst = mixing_time(chain)
+        for start in range(chain.num_states):
+            assert empirical_mixing_time(chain, initial_state=start) <= worst
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            empirical_mixing_time(uniform_chain(3), initial_state=5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            empirical_mixing_time(uniform_chain(3), epsilon=1.5)

@@ -1,0 +1,186 @@
+"""Tests for repro.meg.erdos_renyi, repro.meg.adversarial and repro.meg.snapshots."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.meg.adversarial import ExplicitScheduleGraph, RotatingSpanningTreeGraph
+from repro.meg.edge_meg import EdgeMEG
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+from repro.meg.snapshots import empirical_edge_probability, snapshot_statistics
+
+
+class TestErdosRenyiSequence:
+    def test_density(self):
+        model = ErdosRenyiSequence(30, p=0.3)
+        model.reset(0)
+        counts = [model.edge_count()]
+        for _ in range(100):
+            model.step()
+            counts.append(model.edge_count())
+        assert np.mean(counts) / (30 * 29 / 2) == pytest.approx(0.3, abs=0.05)
+
+    def test_snapshots_independent(self):
+        model = ErdosRenyiSequence(20, p=0.5)
+        model.reset(1)
+        first = set(model.current_edges())
+        model.step()
+        second = set(model.current_edges())
+        assert first != second
+
+    def test_p_zero_always_empty(self):
+        model = ErdosRenyiSequence(10, p=0.0)
+        model.reset(0)
+        model.run(5)
+        assert model.edge_count() == 0
+
+    def test_p_one_always_complete(self):
+        model = ErdosRenyiSequence(10, p=1.0)
+        model.reset(0)
+        model.run(3)
+        assert model.edge_count() == 45
+
+    def test_stationary_edge_probability(self):
+        assert ErdosRenyiSequence(10, p=0.25).stationary_edge_probability() == 0.25
+
+    def test_step_before_reset_raises(self):
+        model = ErdosRenyiSequence(5, p=0.5)
+        with pytest.raises(RuntimeError):
+            model.step()
+
+    def test_neighbors_of_set(self):
+        model = ErdosRenyiSequence(15, p=0.4)
+        model.reset(3)
+        informed = {2, 9}
+        fast = model.neighbors_of_set(informed)
+        slow = set()
+        for i, j in model.current_edges():
+            if i in informed:
+                slow.add(j)
+            if j in informed:
+                slow.add(i)
+        assert fast == slow
+
+
+class TestExplicitScheduleGraph:
+    def _snapshots(self):
+        a = nx.Graph()
+        a.add_nodes_from(range(4))
+        a.add_edges_from([(0, 1), (2, 3)])
+        b = nx.Graph()
+        b.add_nodes_from(range(4))
+        b.add_edges_from([(1, 2)])
+        return [a, b]
+
+    def test_replays_schedule(self):
+        model = ExplicitScheduleGraph(self._snapshots())
+        model.reset()
+        assert set(model.current_edges()) == {(0, 1), (2, 3)}
+        model.step()
+        assert set(model.current_edges()) == {(1, 2)}
+
+    def test_cycles_by_default(self):
+        model = ExplicitScheduleGraph(self._snapshots())
+        model.reset()
+        model.run(2)
+        assert set(model.current_edges()) == {(0, 1), (2, 3)}
+
+    def test_no_cycle_freezes_last(self):
+        model = ExplicitScheduleGraph(self._snapshots(), cycle=False)
+        model.reset()
+        model.run(10)
+        assert set(model.current_edges()) == {(1, 2)}
+
+    def test_requires_snapshot(self):
+        with pytest.raises(ValueError):
+            ExplicitScheduleGraph([])
+
+    def test_requires_consistent_labels(self):
+        good = nx.path_graph(4)
+        bad = nx.Graph()
+        bad.add_edge(10, 11)
+        with pytest.raises(ValueError):
+            ExplicitScheduleGraph([good, bad])
+
+    def test_reset_restarts_schedule(self):
+        model = ExplicitScheduleGraph(self._snapshots())
+        model.reset()
+        model.run(3)
+        model.reset()
+        assert set(model.current_edges()) == {(0, 1), (2, 3)}
+
+
+class TestRotatingSpanningTree:
+    def test_star_centre_rotates(self):
+        model = RotatingSpanningTreeGraph(5)
+        model.reset()
+        assert set(model.current_edges()) == {(0, 1), (0, 2), (0, 3), (0, 4)}
+        model.step()
+        assert (1, 2) in set(model.current_edges())
+
+    def test_every_snapshot_connected(self):
+        model = RotatingSpanningTreeGraph(6)
+        model.reset()
+        for _ in range(10):
+            assert nx.is_connected(model.snapshot())
+            model.step()
+
+    def test_neighbors_of_set_with_centre(self):
+        model = RotatingSpanningTreeGraph(5)
+        model.reset()
+        assert model.neighbors_of_set({0}) == {1, 2, 3, 4}
+        assert model.neighbors_of_set({3}) == {0}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RotatingSpanningTreeGraph(1)
+
+
+class TestSnapshotStatistics:
+    def test_dense_process_connected(self):
+        model = ErdosRenyiSequence(20, p=0.5)
+        stats = snapshot_statistics(model, num_snapshots=20, rng=0)
+        assert stats.num_nodes == 20
+        assert stats.connected_fraction > 0.9
+        assert stats.mean_isolated_fraction < 0.05
+        assert stats.empirical_edge_probability == pytest.approx(0.5, abs=0.1)
+
+    def test_sparse_process_disconnected(self):
+        model = EdgeMEG(60, p=0.25 / 60, q=0.5)
+        stats = snapshot_statistics(model, num_snapshots=30, rng=1)
+        # The paper's point: sparse snapshots have many isolated nodes.
+        assert stats.mean_isolated_fraction > 0.3
+        assert stats.connected_fraction == 0.0
+
+    def test_mean_degree_consistency(self):
+        model = ErdosRenyiSequence(15, p=0.4)
+        stats = snapshot_statistics(model, num_snapshots=25, rng=2)
+        assert stats.mean_degree == pytest.approx(2 * stats.mean_edges / 15)
+
+    def test_as_dict_keys(self):
+        model = ErdosRenyiSequence(10, p=0.2)
+        stats = snapshot_statistics(model, num_snapshots=5, rng=0)
+        assert "mean_edges" in stats.as_dict()
+
+    def test_invalid_arguments(self):
+        model = ErdosRenyiSequence(10, p=0.2)
+        with pytest.raises(ValueError):
+            snapshot_statistics(model, num_snapshots=0)
+        with pytest.raises(ValueError):
+            snapshot_statistics(model, num_snapshots=5, burn_in=-1)
+
+    def test_empirical_edge_probability_matches_stationary(self):
+        model = EdgeMEG(12, p=0.3, q=0.3)
+        estimate = empirical_edge_probability(
+            model, edge=(0, 1), num_snapshots=400, rng=3, spacing=4
+        )
+        assert estimate == pytest.approx(0.5, abs=0.08)
+
+    def test_empirical_edge_probability_invalid(self):
+        model = EdgeMEG(12, p=0.3, q=0.3)
+        with pytest.raises(ValueError):
+            empirical_edge_probability(model, edge=(0, 1), num_snapshots=0)
+        with pytest.raises(ValueError):
+            empirical_edge_probability(model, edge=(0, 1), num_snapshots=5, spacing=0)

@@ -1,0 +1,202 @@
+"""Tests for repro.meg.edge_meg (classic and generalised edge-MEGs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.builders import birth_death_chain, two_state_chain, uniform_chain
+from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
+
+
+class TestEdgeMEGConstruction:
+    def test_valid(self):
+        model = EdgeMEG(10, p=0.1, q=0.2)
+        assert model.num_nodes == 10
+        assert model.p == 0.1
+        assert model.q == 0.2
+
+    def test_stationary_edge_probability(self):
+        assert EdgeMEG(5, p=0.1, q=0.3).stationary_edge_probability() == pytest.approx(0.25)
+
+    def test_rejects_frozen_chain(self):
+        with pytest.raises(ValueError):
+            EdgeMEG(5, p=0.0, q=0.0)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            EdgeMEG(5, p=1.5, q=0.1)
+
+    def test_rejects_invalid_initial_probability(self):
+        with pytest.raises(ValueError):
+            EdgeMEG(5, p=0.1, q=0.1, initial_edge_probability=2.0)
+
+    def test_edge_chain_matches_parameters(self):
+        chain = EdgeMEG(5, p=0.1, q=0.3).edge_chain()
+        assert chain.transition_probability("off", "on") == pytest.approx(0.1)
+        assert chain.transition_probability("on", "off") == pytest.approx(0.3)
+
+    def test_step_before_reset_raises(self):
+        model = EdgeMEG(5, p=0.1, q=0.1)
+        with pytest.raises(RuntimeError):
+            model.step()
+        with pytest.raises(RuntimeError):
+            list(model.current_edges())
+
+
+class TestEdgeMEGDynamics:
+    def test_reset_is_reproducible(self):
+        model = EdgeMEG(20, p=0.2, q=0.2)
+        model.reset(5)
+        first = set(model.current_edges())
+        model.reset(5)
+        assert set(model.current_edges()) == first
+
+    def test_different_seeds_differ(self):
+        model = EdgeMEG(20, p=0.5, q=0.5)
+        model.reset(1)
+        a = set(model.current_edges())
+        model.reset(2)
+        b = set(model.current_edges())
+        assert a != b
+
+    def test_empty_start(self):
+        model = EdgeMEG(10, p=0.1, q=0.1, initial_edge_probability=0.0)
+        model.reset(0)
+        assert model.edge_count() == 0
+
+    def test_full_start(self):
+        model = EdgeMEG(10, p=0.1, q=0.1, initial_edge_probability=1.0)
+        model.reset(0)
+        assert model.edge_count() == 45
+
+    def test_p_one_fills_graph(self):
+        model = EdgeMEG(8, p=1.0, q=0.0, initial_edge_probability=0.0)
+        model.reset(0)
+        model.step()
+        assert model.edge_count() == 28
+
+    def test_q_one_empties_graph(self):
+        model = EdgeMEG(8, p=0.0, q=1.0, initial_edge_probability=1.0)
+        model.reset(0)
+        model.step()
+        assert model.edge_count() == 0
+
+    def test_stationary_density_matches(self):
+        model = EdgeMEG(30, p=0.2, q=0.2)
+        model.reset(3)
+        counts = []
+        for _ in range(200):
+            counts.append(model.edge_count())
+            model.step()
+        total_pairs = 30 * 29 / 2
+        assert np.mean(counts) / total_pairs == pytest.approx(0.5, abs=0.05)
+
+    def test_time_counter(self):
+        model = EdgeMEG(5, p=0.5, q=0.5)
+        model.reset(0)
+        model.run(7)
+        assert model.time == 7
+
+    def test_neighbors_of_set_matches_generic(self):
+        model = EdgeMEG(15, p=0.3, q=0.3)
+        model.reset(9)
+        informed = {0, 3, 7}
+        fast = model.neighbors_of_set(informed)
+        slow = set()
+        for i, j in model.current_edges():
+            if i in informed:
+                slow.add(j)
+            if j in informed:
+                slow.add(i)
+        assert fast == slow
+
+    def test_edges_are_canonical_pairs(self):
+        model = EdgeMEG(10, p=0.5, q=0.1)
+        model.reset(2)
+        for i, j in model.current_edges():
+            assert 0 <= i < j < 10
+
+
+class TestGeneralEdgeMEG:
+    def test_two_state_equivalence_of_alpha(self):
+        chain = two_state_chain(0.1, 0.3)
+        model = GeneralEdgeMEG(10, chain, chi=lambda s: s == "on")
+        assert model.stationary_edge_probability() == pytest.approx(0.25)
+
+    def test_chi_as_sequence(self):
+        chain = uniform_chain(4)
+        model = GeneralEdgeMEG(6, chain, chi=[0, 1, 1, 0])
+        assert model.stationary_edge_probability() == pytest.approx(0.5)
+
+    def test_chi_all_zero_rejected(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError, match="every state to 0"):
+            GeneralEdgeMEG(5, chain, chi=[0, 0, 0])
+
+    def test_chi_wrong_length_rejected(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError):
+            GeneralEdgeMEG(5, chain, chi=[1, 0])
+
+    def test_invalid_initial_distribution(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError):
+            GeneralEdgeMEG(5, chain, chi=[1, 0, 0], initial_distribution=[0.5, 0.5, 0.5])
+
+    def test_step_before_reset_raises(self):
+        model = GeneralEdgeMEG(5, uniform_chain(2), chi=[0, 1])
+        with pytest.raises(RuntimeError):
+            model.step()
+
+    def test_reproducible(self):
+        chain = birth_death_chain([0.4, 0.4, 0.0], [0.0, 0.4, 0.4])
+        model = GeneralEdgeMEG(12, chain, chi=[0, 0, 1])
+        model.reset(11)
+        first = set(model.current_edges())
+        model.reset(11)
+        assert set(model.current_edges()) == first
+
+    def test_empirical_density_matches_alpha(self):
+        chain = birth_death_chain([0.5, 0.5, 0.0], [0.0, 0.5, 0.5])
+        model = GeneralEdgeMEG(20, chain, chi=[0, 0, 1])
+        alpha = model.stationary_edge_probability()
+        model.reset(7)
+        counts = []
+        for _ in range(300):
+            counts.append(model.edge_count())
+            model.step()
+        total_pairs = 20 * 19 / 2
+        assert np.mean(counts) / total_pairs == pytest.approx(alpha, abs=0.05)
+
+    def test_deterministic_on_chain_keeps_all_edges(self):
+        # A chain frozen in the 'on' state keeps every edge forever.
+        from repro.markov.chain import MarkovChain
+
+        frozen = MarkovChain([[1.0, 0.0], [0.0, 1.0]], states=("on", "off"))
+        model = GeneralEdgeMEG(
+            6, frozen, chi=lambda s: s == "on", initial_distribution=[1.0, 0.0]
+        )
+        model.reset(0)
+        model.run(5)
+        assert model.edge_count() == 15
+
+    def test_neighbors_of_set(self):
+        chain = two_state_chain(0.5, 0.5)
+        model = GeneralEdgeMEG(10, chain, chi=lambda s: s == "on")
+        model.reset(4)
+        informed = {0, 1}
+        fast = model.neighbors_of_set(informed)
+        slow = set()
+        for i, j in model.current_edges():
+            if i in informed:
+                slow.add(j)
+            if j in informed:
+                slow.add(i)
+        assert fast == slow
+
+    def test_chi_flags_copy(self):
+        model = GeneralEdgeMEG(5, uniform_chain(2), chi=[0, 1])
+        flags = model.chi_flags()
+        flags[0] = True
+        assert not model.chi_flags()[0]

@@ -1,0 +1,169 @@
+"""Tests for repro.meg.node_meg.NodeMEG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.builders import complete_graph_walk, two_state_chain, uniform_chain
+from repro.meg.node_meg import NodeMEG
+
+
+@pytest.fixture
+def colocation_meg():
+    """Agents on the complete graph of 8 meeting points, linked when co-located."""
+    chain = complete_graph_walk(8)
+    return NodeMEG(20, chain, np.eye(8, dtype=bool))
+
+
+class TestConstruction:
+    def test_connection_callable(self):
+        chain = uniform_chain(4)
+        model = NodeMEG(6, chain, lambda a, b: a == b)
+        assert model.connection_matrix().trace() == 4
+
+    def test_connection_matrix_must_be_symmetric(self):
+        chain = uniform_chain(3)
+        matrix = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=bool)
+        with pytest.raises(ValueError, match="symmetric"):
+            NodeMEG(5, chain, matrix)
+
+    def test_connection_matrix_wrong_shape(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError, match="shape"):
+            NodeMEG(5, chain, np.eye(4, dtype=bool))
+
+    def test_all_zero_connection_rejected(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError, match="identically 0"):
+            NodeMEG(5, chain, np.zeros((3, 3), dtype=bool))
+
+    def test_invalid_initial_distribution(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError):
+            NodeMEG(5, chain, np.eye(3, dtype=bool), initial_distribution=[1.0, 1.0, 1.0])
+
+    def test_callable_symmetrised(self):
+        chain = uniform_chain(3)
+        # An asymmetric callable is evaluated only on ordered pairs (i <= j)
+        # and mirrored, so the resulting matrix is symmetric by construction.
+        model = NodeMEG(4, chain, lambda a, b: a <= b)
+        matrix = model.connection_matrix()
+        assert np.array_equal(matrix, matrix.T)
+
+
+class TestStationaryQuantities:
+    def test_colocation_edge_probability(self, colocation_meg):
+        # P_NM = sum_x pi(x)^2 = 1/8 for the uniform stationary distribution.
+        assert colocation_meg.edge_probability() == pytest.approx(1 / 8)
+
+    def test_colocation_shared_neighbor_probability(self, colocation_meg):
+        # P_NM2 = sum_x pi(x)^3 = 1/64.
+        assert colocation_meg.shared_neighbor_probability() == pytest.approx(1 / 64)
+
+    def test_eta_for_colocation(self, colocation_meg):
+        # eta = P_NM2 / P_NM^2 = (1/64) / (1/64) = 1.
+        assert colocation_meg.eta() == pytest.approx(1.0)
+
+    def test_eta_at_least_one(self):
+        # For any node-MEG, Jensen gives P_NM2 >= P_NM^2, so eta >= 1.
+        chain = two_state_chain(0.1, 0.4)
+        model = NodeMEG(6, chain, np.array([[True, False], [False, True]]))
+        assert model.eta() >= 1.0 - 1e-9
+
+    def test_complete_connection_gives_probability_one(self):
+        chain = uniform_chain(3)
+        model = NodeMEG(5, chain, np.ones((3, 3), dtype=bool))
+        assert model.edge_probability() == pytest.approx(1.0)
+        assert model.eta() == pytest.approx(1.0)
+
+    def test_state_connection_probability(self, colocation_meg):
+        q = colocation_meg.state_connection_probability()
+        assert q == pytest.approx(np.full(8, 1 / 8))
+
+    def test_fact2_invariance_under_node_choice(self, colocation_meg):
+        # Fact 2: the quantities do not depend on which nodes are considered —
+        # they are functions of the chain and C only, so two models differing
+        # only in n give the same P_NM and P_NM2.
+        chain = complete_graph_walk(8)
+        other = NodeMEG(50, chain, np.eye(8, dtype=bool))
+        assert other.edge_probability() == pytest.approx(colocation_meg.edge_probability())
+        assert other.shared_neighbor_probability() == pytest.approx(
+            colocation_meg.shared_neighbor_probability()
+        )
+
+
+class TestDynamics:
+    def test_reset_reproducible(self, colocation_meg):
+        colocation_meg.reset(3)
+        first = set(colocation_meg.current_edges())
+        states_first = colocation_meg.node_states()
+        colocation_meg.reset(3)
+        assert set(colocation_meg.current_edges()) == first
+        assert np.array_equal(colocation_meg.node_states(), states_first)
+
+    def test_step_before_reset_raises(self, colocation_meg):
+        with pytest.raises(RuntimeError):
+            colocation_meg.step()
+        with pytest.raises(RuntimeError):
+            colocation_meg.node_states()
+
+    def test_edges_match_connection_of_states(self, colocation_meg):
+        colocation_meg.reset(5)
+        states = colocation_meg.node_states()
+        expected = {
+            (i, j)
+            for i in range(20)
+            for j in range(i + 1, 20)
+            if states[i] == states[j]
+        }
+        assert set(colocation_meg.current_edges()) == expected
+
+    def test_no_self_loops(self, colocation_meg):
+        colocation_meg.reset(1)
+        assert all(i != j for i, j in colocation_meg.current_edges())
+
+    def test_step_changes_states(self, colocation_meg):
+        colocation_meg.reset(2)
+        before = colocation_meg.node_states()
+        colocation_meg.step()
+        after = colocation_meg.node_states()
+        assert not np.array_equal(before, after)
+        assert colocation_meg.time == 1
+
+    def test_node_state_labels(self):
+        chain = two_state_chain(0.5, 0.5)
+        model = NodeMEG(4, chain, np.ones((2, 2), dtype=bool))
+        model.reset(0)
+        labels = model.node_state_labels()
+        assert len(labels) == 4
+        assert set(labels) <= {"off", "on"}
+
+    def test_neighbors_of_set_matches_edges(self, colocation_meg):
+        colocation_meg.reset(8)
+        informed = {0, 5, 12}
+        fast = colocation_meg.neighbors_of_set(informed)
+        slow = set()
+        for i, j in colocation_meg.current_edges():
+            if i in informed:
+                slow.add(j)
+            if j in informed:
+                slow.add(i)
+        assert fast == slow
+
+    def test_edge_count_consistency(self, colocation_meg):
+        colocation_meg.reset(4)
+        assert colocation_meg.edge_count() == len(list(colocation_meg.current_edges()))
+
+    def test_empirical_edge_probability_matches_p_nm(self):
+        chain = complete_graph_walk(6)
+        model = NodeMEG(10, chain, np.eye(6, dtype=bool))
+        p_nm = model.edge_probability()
+        model.reset(13)
+        hits = 0
+        trials = 600
+        for _ in range(trials):
+            if model.has_edge(0, 1):
+                hits += 1
+            model.step()
+        assert hits / trials == pytest.approx(p_nm, abs=0.04)

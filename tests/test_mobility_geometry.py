@@ -1,0 +1,186 @@
+"""Tests for repro.mobility.geometry and repro.mobility.connection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.connection import (
+    UnitDiskConnection,
+    neighbors_within_radius,
+    radius_edges,
+)
+from repro.mobility.geometry import (
+    SquareRegion,
+    discretize_square,
+    nearest_grid_index,
+    torus_displacement,
+    torus_distance,
+)
+
+
+class TestSquareRegion:
+    def test_volume_and_diameter(self):
+        region = SquareRegion(4.0)
+        assert region.volume() == 16.0
+        assert region.diameter() == pytest.approx(4.0 * np.sqrt(2.0))
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            SquareRegion(0.0)
+
+    def test_contains(self):
+        region = SquareRegion(2.0)
+        assert region.contains((1.0, 1.0))
+        assert region.contains((0.0, 2.0))
+        assert not region.contains((2.1, 1.0))
+        assert not region.contains((-0.1, 1.0))
+
+    def test_clamp(self):
+        region = SquareRegion(2.0)
+        assert np.allclose(region.clamp(np.array([-1.0, 3.0])), [0.0, 2.0])
+
+    def test_eroded_volume(self):
+        region = SquareRegion(10.0)
+        assert region.eroded_volume(1.0) == pytest.approx(64.0)
+        assert region.eroded_volume(5.0) == 0.0
+        assert region.eroded_volume(0.0) == 100.0
+
+    def test_eroded_fraction(self):
+        region = SquareRegion(10.0)
+        assert region.eroded_fraction(1.0) == pytest.approx(0.64)
+
+    def test_sample_uniform_inside(self):
+        region = SquareRegion(3.0)
+        rng = np.random.default_rng(0)
+        points = region.sample_uniform(rng, 200)
+        assert points.shape == (200, 2)
+        assert points.min() >= 0.0 and points.max() <= 3.0
+
+    def test_sample_uniform_invalid_count(self):
+        region = SquareRegion(3.0)
+        with pytest.raises(ValueError):
+            region.sample_uniform(np.random.default_rng(0), 0)
+
+    def test_grid_points_are_cell_centres(self):
+        region = SquareRegion(2.0)
+        points = region.grid_points(2)
+        assert points.shape == (4, 2)
+        assert set(map(tuple, points.tolist())) == {
+            (0.5, 0.5),
+            (0.5, 1.5),
+            (1.5, 0.5),
+            (1.5, 1.5),
+        }
+
+    def test_grid_points_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            SquareRegion(1.0).grid_points(0)
+
+
+class TestDiscretisation:
+    def test_discretize_square(self):
+        points, spacing = discretize_square(4.0, 8)
+        assert points.shape == (64, 2)
+        assert spacing == 0.5
+
+    def test_nearest_grid_index(self):
+        assert nearest_grid_index(np.array([0.1, 0.1]), side=1.0, resolution=4) == (0, 0)
+        assert nearest_grid_index(np.array([0.99, 0.99]), side=1.0, resolution=4) == (3, 3)
+
+    def test_nearest_grid_index_clamps_outside(self):
+        assert nearest_grid_index(np.array([5.0, -1.0]), side=1.0, resolution=4) == (3, 0)
+
+    def test_nearest_grid_index_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            nearest_grid_index(np.array([0.5, 0.5]), side=1.0, resolution=0)
+
+
+class TestTorusGeometry:
+    def test_short_way_around(self):
+        assert torus_distance(np.array([0.1, 0.0]), np.array([9.9, 0.0]), side=10.0) == pytest.approx(0.2)
+
+    def test_within_half_side(self):
+        assert torus_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0]), side=20.0) == pytest.approx(5.0)
+
+    def test_displacement_sign(self):
+        delta = torus_displacement(np.array([9.5, 0.0]), np.array([0.5, 0.0]), side=10.0)
+        assert delta[0] == pytest.approx(1.0)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            torus_distance(np.zeros(2), np.ones(2), side=0.0)
+
+
+class TestRadiusEdges:
+    def test_simple_pairs(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [3.0, 0.0]])
+        assert radius_edges(positions, 1.0) == [(0, 1)]
+
+    def test_all_within_radius(self):
+        positions = np.zeros((4, 2))
+        assert len(radius_edges(positions, 0.1)) == 6
+
+    def test_no_edges_when_far(self):
+        positions = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert radius_edges(positions, 1.0) == []
+
+    def test_single_point(self):
+        assert radius_edges(np.array([[0.0, 0.0]]), 5.0) == []
+
+    def test_boundary_is_inclusive(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert radius_edges(positions, 1.0) == [(0, 1)]
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            radius_edges(np.zeros((2, 2)), -1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            radius_edges(np.zeros(4), 1.0)
+
+
+class TestNeighborsWithinRadius:
+    def test_excludes_sources(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [0.9, 0.0], [5.0, 5.0]])
+        reached = neighbors_within_radius(positions, sources=[0], radius=1.0)
+        assert reached == {1, 2}
+
+    def test_empty_sources(self):
+        assert neighbors_within_radius(np.zeros((3, 2)), sources=[], radius=1.0) == set()
+
+    def test_out_of_range_source(self):
+        with pytest.raises(ValueError):
+            neighbors_within_radius(np.zeros((3, 2)), sources=[5], radius=1.0)
+
+
+class TestUnitDiskConnection:
+    def test_are_connected(self):
+        rule = UnitDiskConnection(2.0)
+        assert rule.are_connected(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert not rule.are_connected(np.array([0.0, 0.0]), np.array([3.0, 0.0]))
+
+    def test_edges_match_radius_edges(self):
+        rng = np.random.default_rng(1)
+        positions = rng.random((30, 2)) * 5
+        rule = UnitDiskConnection(1.0)
+        assert rule.edges(positions) == radius_edges(positions, 1.0)
+
+    def test_neighbors_of_set_consistent_with_edges(self):
+        rng = np.random.default_rng(2)
+        positions = rng.random((25, 2)) * 4
+        rule = UnitDiskConnection(1.0)
+        informed = {0, 7, 13}
+        via_rule = rule.neighbors_of_set(positions, informed)
+        via_edges = set()
+        for i, j in rule.edges(positions):
+            if i in informed:
+                via_edges.add(j)
+            if j in informed:
+                via_edges.add(i)
+        assert via_rule == via_edges - informed or via_rule == via_edges
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            UnitDiskConnection(-0.5)

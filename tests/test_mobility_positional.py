@@ -1,0 +1,176 @@
+"""Tests for repro.mobility.positional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.geometry import SquareRegion
+from repro.mobility.positional import (
+    UniformityParameters,
+    density_total_variation,
+    empirical_positional_distribution,
+    uniformity_parameters,
+    waypoint_density,
+    waypoint_density_peak,
+)
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class TestWaypointDensity:
+    def test_integrates_to_one(self):
+        side = 5.0
+        resolution = 200
+        region = SquareRegion(side)
+        points = region.grid_points(resolution)
+        values = waypoint_density(points[:, 0], points[:, 1], side)
+        cell_area = (side / resolution) ** 2
+        assert float(values.sum() * cell_area) == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_at_centre(self):
+        side = 4.0
+        assert waypoint_density_peak(side) == pytest.approx(2.25 / side**2)
+        assert waypoint_density(2.0, 2.0, side) >= waypoint_density(1.0, 1.0, side)
+
+    def test_zero_on_border(self):
+        assert waypoint_density(0.0, 2.0, 4.0) == 0.0
+        assert waypoint_density(4.0, 2.0, 4.0) == 0.0
+
+    def test_zero_outside(self):
+        assert waypoint_density(-1.0, 2.0, 4.0) == 0.0
+        assert waypoint_density(5.0, 2.0, 4.0) == 0.0
+
+    def test_symmetric(self):
+        side = 6.0
+        assert waypoint_density(1.0, 2.0, side) == pytest.approx(
+            waypoint_density(5.0, 4.0, side)
+        )
+
+    def test_vectorised(self):
+        values = waypoint_density(np.array([1.0, 2.0]), np.array([1.0, 2.0]), 4.0)
+        assert values.shape == (2,)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            waypoint_density(1.0, 1.0, 0.0)
+
+
+class TestUniformityParameters:
+    def test_uniform_density_gives_delta_one(self):
+        region = SquareRegion(10.0)
+        params = uniformity_parameters(
+            lambda x, y: np.full_like(np.asarray(x, dtype=float), 1.0 / 100.0),
+            region,
+            radius=1.0,
+        )
+        assert params.delta == pytest.approx(1.0)
+        assert params.lam == pytest.approx(region.eroded_fraction(1.0), abs=0.1)
+
+    def test_waypoint_density_constants(self):
+        side = 10.0
+        region = SquareRegion(side)
+        params = uniformity_parameters(
+            lambda x, y: waypoint_density(x, y, side), region, radius=1.0, resolution=50
+        )
+        # Condition (a): the peak is 2.25x the uniform density.
+        assert params.delta == pytest.approx(2.25, abs=0.1)
+        # Condition (b): a constant fraction of the square is high-density.
+        assert params.lam > 0.1
+
+    def test_eta_formula(self):
+        params = UniformityParameters(delta=2.0, lam=0.5)
+        assert params.eta() == pytest.approx(2.0**6 / 0.25)
+
+    def test_eta_infinite_when_lambda_zero(self):
+        assert UniformityParameters(delta=2.0, lam=0.0).eta() == float("inf")
+
+    def test_precomputed_array_accepted(self):
+        region = SquareRegion(4.0)
+        density = np.full((10, 10), 1.0 / 16.0)
+        params = uniformity_parameters(density, region, radius=0.5, resolution=10)
+        assert params.delta == pytest.approx(1.0)
+
+    def test_wrong_array_shape_rejected(self):
+        region = SquareRegion(4.0)
+        with pytest.raises(ValueError):
+            uniformity_parameters(np.zeros((5, 4)), region, radius=0.5, resolution=5)
+
+    def test_zero_density_rejected(self):
+        region = SquareRegion(4.0)
+        with pytest.raises(ValueError):
+            uniformity_parameters(np.zeros((5, 5)), region, radius=0.5, resolution=5)
+
+    def test_negative_density_rejected(self):
+        region = SquareRegion(4.0)
+        with pytest.raises(ValueError):
+            uniformity_parameters(-np.ones((5, 5)), region, radius=0.5, resolution=5)
+
+    def test_invalid_resolution(self):
+        region = SquareRegion(4.0)
+        with pytest.raises(ValueError):
+            uniformity_parameters(lambda x, y: x, region, radius=0.5, resolution=1)
+
+
+class TestEmpiricalPositionalDistribution:
+    def test_density_normalised(self):
+        side = 6.0
+        model = RandomWaypoint(30, side=side, radius=1.0, v_min=1.0, warmup_steps=10)
+        region = SquareRegion(side)
+        density = empirical_positional_distribution(
+            model, region, resolution=6, num_snapshots=40, rng=0
+        )
+        cell_area = (side / 6) ** 2
+        assert density.sum() * cell_area == pytest.approx(1.0)
+
+    def test_waypoint_empirical_close_to_analytic(self):
+        side = 6.0
+        model = RandomWaypoint(60, side=side, radius=1.0, v_min=1.0, warmup_steps=20)
+        region = SquareRegion(side)
+        empirical = empirical_positional_distribution(
+            model, region, resolution=6, num_snapshots=250, spacing=3, rng=1
+        )
+        points = region.grid_points(6)
+        analytic = waypoint_density(points[:, 0], points[:, 1], side).reshape(6, 6)
+        # Coarse agreement: total variation below 0.25.
+        assert density_total_variation(empirical, analytic, region) < 0.25
+
+    def test_non_geometric_model_rejected(self):
+        from repro.meg.edge_meg import EdgeMEG
+
+        region = SquareRegion(4.0)
+        with pytest.raises(TypeError):
+            empirical_positional_distribution(EdgeMEG(5, 0.1, 0.1), region)
+
+    def test_invalid_arguments(self):
+        side = 4.0
+        model = RandomWalkMobility(10, grid_side=4, radius=1.0)
+        region = SquareRegion(side)
+        with pytest.raises(ValueError):
+            empirical_positional_distribution(model, region, num_snapshots=0)
+        with pytest.raises(ValueError):
+            empirical_positional_distribution(model, region, spacing=0)
+
+    def test_random_walk_density_roughly_uniform(self):
+        # The random-walk positional distribution is essentially uniform
+        # (proportional to degree), in contrast with the waypoint's bias.
+        side = 5.0
+        model = RandomWalkMobility(80, grid_side=6, radius=1.0, spacing=1.0)
+        region = SquareRegion(side)
+        density = empirical_positional_distribution(
+            model, region, resolution=3, num_snapshots=150, spacing=2, rng=2
+        )
+        uniform = np.full((3, 3), 1.0 / region.volume())
+        assert density_total_variation(density, uniform, region) < 0.25
+
+
+class TestDensityTotalVariation:
+    def test_identical_densities(self):
+        region = SquareRegion(2.0)
+        density = np.full((4, 4), 0.25)
+        assert density_total_variation(density, density, region) == 0.0
+
+    def test_shape_mismatch(self):
+        region = SquareRegion(2.0)
+        with pytest.raises(ValueError):
+            density_total_variation(np.zeros((2, 2)), np.zeros((3, 3)), region)

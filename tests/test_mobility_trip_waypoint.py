@@ -1,0 +1,220 @@
+"""Tests for the geometric mobility models: random trip, waypoint, Manhattan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility.geometry import SquareRegion
+from repro.mobility.manhattan import ManhattanSampler, ManhattanWaypoint
+from repro.mobility.random_trip import RandomTrip, TrajectorySampler, straight_leg
+from repro.mobility.random_waypoint import RandomWaypoint, WaypointSampler
+
+
+class TestStraightLeg:
+    def test_reaches_destination(self):
+        leg = straight_leg(np.array([0.0, 0.0]), np.array([3.0, 4.0]), speed=1.0)
+        assert np.allclose(leg[-1], [3.0, 4.0])
+
+    def test_number_of_steps(self):
+        leg = straight_leg(np.array([0.0, 0.0]), np.array([3.0, 4.0]), speed=1.0)
+        assert leg.shape[0] == 5  # distance 5 at speed 1
+
+    def test_step_lengths_bounded_by_speed(self):
+        leg = straight_leg(np.array([0.0, 0.0]), np.array([2.7, 1.3]), speed=0.6)
+        previous = np.array([0.0, 0.0])
+        for point in leg:
+            assert np.linalg.norm(point - previous) <= 0.6 + 1e-9
+            previous = point
+
+    def test_zero_distance(self):
+        leg = straight_leg(np.array([1.0, 1.0]), np.array([1.0, 1.0]), speed=1.0)
+        assert leg.shape == (1, 2)
+        assert np.allclose(leg[0], [1.0, 1.0])
+
+    def test_fast_speed_single_step(self):
+        leg = straight_leg(np.array([0.0, 0.0]), np.array([1.0, 0.0]), speed=10.0)
+        assert leg.shape[0] == 1
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            straight_leg(np.zeros(2), np.ones(2), speed=0.0)
+
+
+class TestWaypointSampler:
+    def test_invalid_speed_range(self):
+        with pytest.raises(ValueError):
+            WaypointSampler(v_min=2.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            WaypointSampler(v_min=0.0, v_max=1.0)
+
+    def test_leg_stays_in_region(self):
+        sampler = WaypointSampler(1.0, 2.0)
+        region = SquareRegion(5.0)
+        rng = np.random.default_rng(0)
+        leg = sampler.sample_leg(np.array([2.5, 2.5]), region, rng)
+        assert leg[:, 0].min() >= 0 and leg[:, 0].max() <= 5
+        assert leg[:, 1].min() >= 0 and leg[:, 1].max() <= 5
+
+    def test_pause_steps_appended(self):
+        sampler = WaypointSampler(1.0, 1.0, pause_steps=3)
+        region = SquareRegion(5.0)
+        rng = np.random.default_rng(1)
+        leg = sampler.sample_leg(np.array([0.0, 0.0]), region, rng)
+        assert np.allclose(leg[-1], leg[-2])
+        assert np.allclose(leg[-2], leg[-3])
+
+    def test_negative_pause_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointSampler(1.0, 1.0, pause_steps=-1)
+
+
+class TestRandomWaypointModel:
+    def test_positions_inside_region(self):
+        model = RandomWaypoint(20, side=5.0, radius=1.0, v_min=1.0)
+        model.reset(0)
+        for _ in range(20):
+            positions = model.positions()
+            assert positions.min() >= -1e-9
+            assert positions.max() <= 5.0 + 1e-9
+            model.step()
+
+    def test_positions_change_over_time(self):
+        model = RandomWaypoint(10, side=5.0, radius=1.0, v_min=1.0)
+        model.reset(1)
+        before = model.positions()
+        model.step()
+        after = model.positions()
+        assert not np.allclose(before, after)
+
+    def test_step_displacement_bounded_by_speed(self):
+        model = RandomWaypoint(10, side=8.0, radius=1.0, v_min=0.5, v_max=1.5)
+        model.reset(2)
+        before = model.positions()
+        model.step()
+        after = model.positions()
+        displacement = np.linalg.norm(after - before, axis=1)
+        assert displacement.max() <= 1.5 + 1e-9
+
+    def test_reproducible(self):
+        a = RandomWaypoint(10, side=4.0, radius=1.0, v_min=1.0)
+        b = RandomWaypoint(10, side=4.0, radius=1.0, v_min=1.0)
+        a.reset(7)
+        b.reset(7)
+        a.run(5)
+        b.run(5)
+        assert np.allclose(a.positions(), b.positions())
+
+    def test_edges_respect_radius(self):
+        model = RandomWaypoint(25, side=4.0, radius=1.0, v_min=1.0)
+        model.reset(3)
+        positions = model.positions()
+        for i, j in model.current_edges():
+            assert np.linalg.norm(positions[i] - positions[j]) <= 1.0 + 1e-9
+
+    def test_default_speed_range(self):
+        model = RandomWaypoint(5, side=4.0, radius=1.0, v_min=2.0)
+        assert model.v_min == model.v_max == 2.0
+
+    def test_mixing_time_estimate(self):
+        model = RandomWaypoint(5, side=10.0, radius=1.0, v_min=2.0)
+        assert model.mixing_time_estimate() == pytest.approx(5.0)
+
+    def test_expected_degree_estimate_scales_with_radius(self):
+        small = RandomWaypoint(50, side=10.0, radius=1.0, v_min=1.0)
+        large = RandomWaypoint(50, side=10.0, radius=2.0, v_min=1.0)
+        assert large.expected_degree_estimate() == pytest.approx(
+            4 * small.expected_degree_estimate()
+        )
+
+    def test_step_before_reset_raises(self):
+        model = RandomWaypoint(5, side=4.0, radius=1.0, v_min=1.0)
+        with pytest.raises(RuntimeError):
+            model.step()
+        with pytest.raises(RuntimeError):
+            model.positions()
+
+    def test_positional_bias_towards_centre(self):
+        # The waypoint stationary distribution is denser at the centre than at
+        # the border (the key qualitative property quoted by the paper).
+        model = RandomWaypoint(40, side=6.0, radius=1.0, v_min=1.0, warmup_steps=30)
+        model.reset(5)
+        centre_hits = 0
+        border_hits = 0
+        for _ in range(150):
+            positions = model.positions()
+            distance_to_centre = np.abs(positions - 3.0).max(axis=1)
+            centre_hits += int((distance_to_centre < 1.5).sum())
+            border_hits += int((distance_to_centre >= 1.5).sum())
+            model.step()
+        # The central 3x3 area is 1/4 of the square; with a uniform law it
+        # would get ~25% of the mass, the waypoint gives it noticeably more.
+        assert centre_hits / (centre_hits + border_hits) > 0.3
+
+
+class TestCustomTrajectorySampler:
+    class _HorizontalSampler(TrajectorySampler):
+        """Always travels to the opposite horizontal border at speed 1."""
+
+        def sample_leg(self, position, region, rng):
+            target_x = 0.0 if position[0] > region.side / 2 else region.side
+            return straight_leg(position, np.array([target_x, position[1]]), 1.0)
+
+    def test_custom_sampler_used(self):
+        model = RandomTrip(5, side=4.0, radius=1.0, sampler=self._HorizontalSampler())
+        model.reset(0)
+        before = model.positions()
+        model.step()
+        after = model.positions()
+        # Only the x coordinate changes under the horizontal sampler.
+        assert np.allclose(before[:, 1], after[:, 1])
+        assert not np.allclose(before[:, 0], after[:, 0])
+
+    def test_invalid_sampler_output_detected(self):
+        class BadSampler(TrajectorySampler):
+            def sample_leg(self, position, region, rng):
+                return np.zeros((0, 2))
+
+        model = RandomTrip(3, side=4.0, radius=1.0, sampler=BadSampler())
+        with pytest.raises(ValueError):
+            model.reset(0)
+            model.step()
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            RandomTrip(3, side=4.0, radius=1.0, sampler=self._HorizontalSampler(), warmup_steps=-1)
+
+
+class TestManhattanWaypoint:
+    def test_leg_is_axis_aligned(self):
+        sampler = ManhattanSampler(speed=1.0)
+        region = SquareRegion(6.0)
+        rng = np.random.default_rng(4)
+        start = np.array([1.0, 1.0])
+        leg = sampler.sample_leg(start, region, rng)
+        previous = start
+        for point in leg:
+            step = point - previous
+            # Each step moves along a single axis.
+            assert min(abs(step[0]), abs(step[1])) < 1e-9
+            previous = point
+
+    def test_leg_reaches_square(self):
+        model = ManhattanWaypoint(10, side=5.0, radius=1.0, speed=1.0)
+        model.reset(1)
+        for _ in range(10):
+            model.step()
+            positions = model.positions()
+            assert positions.min() >= -1e-9 and positions.max() <= 5.0 + 1e-9
+
+    def test_speed_property(self):
+        model = ManhattanWaypoint(5, side=5.0, radius=1.0, speed=2.0)
+        assert model.speed == 2.0
+
+    def test_mixing_time_estimate(self):
+        model = ManhattanWaypoint(5, side=5.0, radius=1.0, speed=1.0)
+        assert model.mixing_time_estimate() == pytest.approx(10.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            ManhattanSampler(speed=0.0)

@@ -1,0 +1,265 @@
+"""Tests for the graph mobility models: RandomWalkMobility, RandomPathModel,
+GraphRandomWalkMobility."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.grid import grid_graph
+from repro.graphs.paths import edge_paths, shortest_path_family
+from repro.markov.mixing import mixing_time
+from repro.mobility.random_path import (
+    GraphRandomWalkMobility,
+    RandomPathModel,
+    random_walk_path_model,
+)
+from repro.mobility.random_walk import RandomWalkMobility
+
+
+class TestRandomWalkMobility:
+    def test_coordinates_stay_on_grid(self):
+        model = RandomWalkMobility(20, grid_side=5, radius=1.0)
+        model.reset(0)
+        for _ in range(30):
+            coords = model.grid_coordinates()
+            assert coords.min() >= 0 and coords.max() <= 4
+            model.step()
+
+    def test_moves_are_single_hops(self):
+        model = RandomWalkMobility(15, grid_side=6, radius=1.0)
+        model.reset(1)
+        before = model.grid_coordinates()
+        model.step()
+        after = model.grid_coordinates()
+        hop = np.abs(after - before).sum(axis=1)
+        assert set(hop.tolist()) <= {1}
+
+    def test_holding_probability_allows_staying(self):
+        model = RandomWalkMobility(30, grid_side=6, radius=1.0, holding_probability=0.9)
+        model.reset(2)
+        before = model.grid_coordinates()
+        model.step()
+        after = model.grid_coordinates()
+        stayed = (before == after).all(axis=1).sum()
+        assert stayed > 15  # most agents hold with probability 0.9
+
+    def test_holding_probability_one_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkMobility(5, grid_side=4, radius=1.0, holding_probability=1.0)
+
+    def test_edges_respect_radius(self):
+        model = RandomWalkMobility(25, grid_side=5, radius=1.5, spacing=1.0)
+        model.reset(3)
+        positions = model.positions()
+        for i, j in model.current_edges():
+            assert np.linalg.norm(positions[i] - positions[j]) <= 1.5 + 1e-9
+
+    def test_spacing_scales_positions(self):
+        model = RandomWalkMobility(5, grid_side=4, radius=1.0, spacing=2.0)
+        model.reset(4)
+        assert model.side_length == 6.0
+        positions = model.positions()
+        assert np.allclose(positions % 2.0, 0.0)
+
+    def test_stationary_start_prefers_interior(self):
+        # Interior points have degree 4, corners 2; with a degree-stationary
+        # start the interior is over-represented relative to uniform.
+        model = RandomWalkMobility(4000, grid_side=3, radius=1.0, stationary_start=True)
+        model.reset(5)
+        coords = model.grid_coordinates()
+        centre_fraction = ((coords == 1).all(axis=1)).mean()
+        # Stationary mass of the centre point of a 3x3 grid is 4/24 = 1/6.
+        assert centre_fraction == pytest.approx(1 / 6, abs=0.03)
+
+    def test_uniform_start_option(self):
+        model = RandomWalkMobility(2000, grid_side=3, radius=1.0, stationary_start=False)
+        model.reset(6)
+        coords = model.grid_coordinates()
+        centre_fraction = ((coords == 1).all(axis=1)).mean()
+        assert centre_fraction == pytest.approx(1 / 9, abs=0.03)
+
+    def test_invalid_grid_side(self):
+        with pytest.raises(ValueError):
+            RandomWalkMobility(5, grid_side=1, radius=1.0)
+
+    def test_mixing_time_estimate(self):
+        model = RandomWalkMobility(5, grid_side=7, radius=1.0)
+        assert model.mixing_time_estimate() == 49.0
+
+    def test_step_before_reset_raises(self):
+        model = RandomWalkMobility(5, grid_side=4, radius=1.0)
+        with pytest.raises(RuntimeError):
+            model.step()
+
+
+class TestRandomPathModel:
+    @pytest.fixture
+    def grid_family(self):
+        return shortest_path_family(grid_graph(3))
+
+    def test_num_states(self, grid_family):
+        model = RandomPathModel(10, grid_family)
+        assert model.num_states == grid_family.total_states()
+
+    def test_agents_move_along_graph_edges(self, grid_family):
+        model = RandomPathModel(12, grid_family)
+        model.reset(0)
+        graph = grid_family.graph
+        previous = model.agent_points()
+        for _ in range(15):
+            model.step()
+            current = model.agent_points()
+            for a, b in zip(previous, current):
+                assert a == b or graph.has_edge(a, b)
+            previous = current
+
+    def test_lazy_agents_can_stay(self, grid_family):
+        model = RandomPathModel(40, grid_family, holding_probability=0.8)
+        model.reset(1)
+        before = model.agent_points()
+        model.step()
+        after = model.agent_points()
+        stayed = sum(1 for a, b in zip(before, after) if a == b)
+        assert stayed > 20
+
+    def test_stationary_distribution_uniform_for_reversible(self, grid_family):
+        model = RandomPathModel(5, grid_family)
+        pi = model.stationary_state_distribution()
+        assert np.allclose(pi, 1.0 / model.num_states)
+
+    def test_point_occupancy_sums_to_one(self, grid_family):
+        model = RandomPathModel(5, grid_family)
+        occupancy = model.point_occupancy_distribution()
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+        assert set(occupancy) == set(grid_family.graph.nodes())
+
+    def test_edge_probability_positive_and_eta_at_least_one(self, grid_family):
+        model = RandomPathModel(5, grid_family)
+        assert model.edge_probability() > 0
+        assert model.eta() >= 1.0 - 1e-9
+
+    def test_to_markov_chain_rows_stochastic(self):
+        family = shortest_path_family(grid_graph(2))
+        model = RandomPathModel(4, family)
+        chain = model.to_markov_chain()
+        assert chain.num_states == model.num_states
+        assert np.allclose(chain.transition_matrix.sum(axis=1), 1.0)
+
+    def test_to_markov_chain_stationary_uniform(self):
+        family = shortest_path_family(grid_graph(2))
+        model = RandomPathModel(4, family)
+        chain = model.to_markov_chain()
+        assert np.allclose(
+            chain.stationary_distribution(), 1.0 / model.num_states, atol=1e-8
+        )
+
+    def test_colocation_edges(self, grid_family):
+        model = RandomPathModel(15, grid_family, radius_hops=0)
+        model.reset(3)
+        points = model.agent_points()
+        expected = {
+            (i, j)
+            for i in range(15)
+            for j in range(i + 1, 15)
+            if points[i] == points[j]
+        }
+        assert set(model.current_edges()) == expected
+
+    def test_radius_one_includes_adjacent_points(self, grid_family):
+        model = RandomPathModel(15, grid_family, radius_hops=1)
+        model.reset(3)
+        points = model.agent_points()
+        graph = grid_family.graph
+        expected = {
+            (i, j)
+            for i in range(15)
+            for j in range(i + 1, 15)
+            if points[i] == points[j] or graph.has_edge(points[i], points[j])
+        }
+        assert set(model.current_edges()) == expected
+
+    def test_invalid_parameters(self, grid_family):
+        with pytest.raises(ValueError):
+            RandomPathModel(5, grid_family, radius_hops=-1)
+        with pytest.raises(ValueError):
+            RandomPathModel(5, grid_family, holding_probability=1.0)
+
+    def test_non_stationary_start_begins_paths(self, grid_family):
+        model = RandomPathModel(10, grid_family, stationary_start=False)
+        model.reset(2)
+        # Every agent occupies the second point of some feasible path.
+        for state_index in model._agent_states:  # noqa: SLF001 - test introspection
+            path_index, position = model._states[state_index]
+            assert position == 1
+
+
+class TestGraphRandomWalkMobility:
+    def test_agents_stay_on_graph(self):
+        graph = grid_graph(4)
+        model = GraphRandomWalkMobility(20, graph, holding_probability=0.5)
+        model.reset(0)
+        for _ in range(20):
+            assert all(p in graph for p in model.agent_points())
+            model.step()
+
+    def test_moves_are_edges_or_holds(self):
+        graph = grid_graph(4)
+        model = GraphRandomWalkMobility(15, graph, holding_probability=0.5)
+        model.reset(1)
+        previous = model.agent_points()
+        model.step()
+        current = model.agent_points()
+        for a, b in zip(previous, current):
+            assert a == b or graph.has_edge(a, b)
+
+    def test_colocation_edges(self):
+        graph = grid_graph(3)
+        model = GraphRandomWalkMobility(20, graph, holding_probability=0.5)
+        model.reset(2)
+        points = model.agent_points()
+        expected = {
+            (i, j)
+            for i in range(20)
+            for j in range(i + 1, 20)
+            if points[i] == points[j]
+        }
+        assert set(model.current_edges()) == expected
+
+    def test_to_markov_chain_is_lazy_walk(self):
+        graph = grid_graph(3)
+        model = GraphRandomWalkMobility(5, graph, holding_probability=0.5)
+        chain = model.to_markov_chain()
+        assert chain.num_states == 9
+        assert chain.transition_probability((1, 1), (1, 1)) == pytest.approx(0.5)
+
+    def test_requires_connected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            GraphRandomWalkMobility(5, graph)
+
+    def test_requires_two_points(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(ValueError):
+            GraphRandomWalkMobility(5, graph)
+
+    def test_mixing_time_decreases_on_augmented_grid(self):
+        from repro.graphs.grid import augmented_grid_graph
+
+        plain = GraphRandomWalkMobility(5, augmented_grid_graph(5, 1), holding_probability=0.5)
+        augmented = GraphRandomWalkMobility(5, augmented_grid_graph(5, 3), holding_probability=0.5)
+        assert mixing_time(augmented.to_markov_chain()) < mixing_time(plain.to_markov_chain())
+
+    def test_random_walk_path_model_equivalence_of_structure(self):
+        # The edge-path random-path model and the direct walk have the same
+        # stationary point occupancy (proportional to degree).
+        graph = grid_graph(3)
+        path_model = random_walk_path_model(10, graph)
+        occupancy = path_model.point_occupancy_distribution()
+        degrees = dict(graph.degree())
+        total_degree = sum(degrees.values())
+        for point, probability in occupancy.items():
+            assert probability == pytest.approx(degrees[point] / total_degree)

@@ -1,0 +1,143 @@
+"""Tests for repro.mobility.waypoint_chain (the explicit Section-4.1 discretisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flooding import flooding_time
+from repro.mobility.waypoint_chain import (
+    WaypointChainModel,
+    _cell_path,
+    build_waypoint_chain,
+    waypoint_chain_mixing_time,
+)
+
+
+@pytest.fixture(scope="module")
+def chain_3x3():
+    return build_waypoint_chain(3, side=3.0, radius=1.1)
+
+
+@pytest.fixture(scope="module")
+def chain_4x4():
+    return build_waypoint_chain(4, side=4.0, radius=1.1)
+
+
+class TestCellPath:
+    def test_same_cell(self):
+        assert _cell_path(0, 0, 4) == [0]
+
+    def test_adjacent_cells(self):
+        assert _cell_path(0, 1, 4) == [1]
+
+    def test_path_ends_at_destination(self):
+        for start in range(9):
+            for destination in range(9):
+                path = _cell_path(start, destination, 3)
+                assert path[-1] == destination
+
+    def test_path_does_not_start_with_start(self):
+        path = _cell_path(0, 8, 3)
+        assert path[0] != 0
+
+    def test_path_length_bounded_by_grid_diameter(self):
+        for start in range(16):
+            for destination in range(16):
+                path = _cell_path(start, destination, 4)
+                assert len(path) <= 8  # at most ~2m cells on the straight segment
+
+
+class TestBuildWaypointChain:
+    def test_state_count(self, chain_3x3):
+        assert chain_3x3.chain.num_states == 81  # (3^2)^2
+
+    def test_rows_stochastic(self, chain_3x3):
+        matrix = chain_3x3.chain.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_chain_is_ergodic(self, chain_3x3):
+        assert chain_3x3.chain.is_ergodic()
+
+    def test_connection_symmetric(self, chain_3x3):
+        connection = chain_3x3.connection
+        assert np.array_equal(connection, connection.T)
+
+    def test_connection_depends_only_on_current_cells(self, chain_4x4):
+        # States with the same current cell but different destinations must
+        # have identical connection rows.
+        states = chain_4x4.chain.states
+        by_current: dict[int, int] = {}
+        for index, (current, _destination) in enumerate(states):
+            if current in by_current:
+                assert np.array_equal(
+                    chain_4x4.connection[index], chain_4x4.connection[by_current[current]]
+                )
+            else:
+                by_current[current] = index
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            build_waypoint_chain(1, side=2.0, radius=1.0)
+        with pytest.raises(ValueError):
+            build_waypoint_chain(20, side=2.0, radius=1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            build_waypoint_chain(3, side=3.0, radius=1.0, cells_per_step=0)
+
+    def test_cell_center(self, chain_3x3):
+        assert chain_3x3.cell_center(0) == (0.5, 0.5)
+        assert chain_3x3.cell_center(8) == (2.5, 2.5)
+        with pytest.raises(ValueError):
+            chain_3x3.cell_center(99)
+
+
+class TestStationaryBehaviour:
+    def test_positional_distribution_sums_to_one(self, chain_4x4):
+        occupancy = chain_4x4.positional_distribution()
+        assert occupancy.sum() == pytest.approx(1.0)
+
+    def test_positional_bias_towards_centre(self, chain_4x4):
+        # The discrete chain reproduces the waypoint's centre bias: interior
+        # cells carry more stationary mass than corner cells.
+        occupancy = chain_4x4.positional_distribution().reshape(4, 4)
+        interior = occupancy[1:3, 1:3].mean()
+        corners = np.mean([occupancy[0, 0], occupancy[0, 3], occupancy[3, 0], occupancy[3, 3]])
+        assert interior > corners
+
+    def test_mixing_time_finite_and_reasonable(self, chain_4x4):
+        t_mix = waypoint_chain_mixing_time(chain_4x4)
+        # Theta(L / v) with L = m cells and one cell per step: a handful of steps.
+        assert 1 <= t_mix <= 12 * chain_4x4.resolution
+
+    def test_mixing_time_grows_with_resolution(self, chain_3x3, chain_4x4):
+        small = waypoint_chain_mixing_time(chain_3x3)
+        large = waypoint_chain_mixing_time(chain_4x4)
+        assert large >= small
+
+
+class TestNodeMegRealisation:
+    def test_to_node_meg_and_flood(self, chain_4x4):
+        node_meg = chain_4x4.to_node_meg(30)
+        assert node_meg.num_nodes == 30
+        assert node_meg.edge_probability() > 0
+        assert node_meg.eta() >= 1.0 - 1e-9
+        assert flooding_time(node_meg, rng=0) >= 1
+
+    def test_edge_probability_matches_cell_occupancy(self, chain_3x3):
+        # P_NM equals the probability two independent stationary agents land
+        # in cells within the radius, computable from the occupancy vector.
+        node_meg = chain_3x3.to_node_meg(10)
+        occupancy = chain_3x3.positional_distribution()
+        spacing = chain_3x3.side / chain_3x3.resolution
+        centers = np.array([chain_3x3.cell_center(c) for c in range(chain_3x3.num_cells)])
+        distances = np.linalg.norm(centers[:, None, :] - centers[None, :, :], axis=2)
+        connected = distances <= chain_3x3.radius + 1e-12
+        expected = float(occupancy @ connected @ occupancy)
+        assert node_meg.edge_probability() == pytest.approx(expected, rel=1e-6)
+
+    def test_dataclass_fields(self, chain_3x3):
+        assert isinstance(chain_3x3, WaypointChainModel)
+        assert chain_3x3.num_cells == 9
+        assert chain_3x3.cells_per_step == 1

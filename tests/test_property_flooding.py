@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for flooding and the bound formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import theorem1_bound, theorem3_bound
+from repro.core.flooding import flood
+from repro.core.spreading import gossip_spread
+from repro.meg.edge_meg import EdgeMEG
+from repro.meg.erdos_renyi import ErdosRenyiSequence
+from repro.util.stats import summarize
+
+
+class TestFloodingInvariants:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        p=st.floats(min_value=0.05, max_value=0.9),
+        q=st.floats(min_value=0.05, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_informed_set_monotone_and_bounded(self, n, p, q, seed):
+        model = EdgeMEG(n, p=p, q=q)
+        result = flood(model, rng=seed, max_steps=200)
+        history = result.informed_history
+        assert history[0] == 1
+        assert all(a <= b for a, b in zip(history, history[1:]))
+        assert all(1 <= count <= n for count in history)
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+        source=st.integers(min_value=0, max_value=29),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_source_choice_never_breaks_flooding(self, n, seed, source):
+        model = ErdosRenyiSequence(n, p=0.5)
+        result = flood(model, source=source % n, rng=seed, max_steps=400)
+        assert result.completed
+        assert result.flooding_time >= 1 or n == 1
+
+    @given(
+        n=st.integers(min_value=3, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_complete_snapshots_flood_in_exactly_one_step(self, n, seed):
+        model = ErdosRenyiSequence(n, p=1.0)
+        result = flood(model, rng=seed)
+        assert result.flooding_time == 1
+
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        probability=st.floats(min_value=0.3, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gossip_never_beats_flooding_per_realisation_bound(self, n, probability, seed):
+        # Gossip informs a subset of what flooding would inform, so the
+        # completion time is at least 1 and the history is monotone.
+        model = ErdosRenyiSequence(n, p=0.6)
+        result = gossip_spread(
+            model, transmission_probability=probability, rng=seed, max_steps=500
+        )
+        history = result.informed_history
+        assert all(a <= b for a, b in zip(history, history[1:]))
+        if result.completed:
+            assert result.completion_time >= 1
+
+
+class TestBoundFormulaProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=10_000),
+        epoch=st.floats(min_value=0.5, max_value=1000),
+        alpha=st.floats(min_value=1e-6, max_value=1.0),
+        beta=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_theorem1_positive(self, n, epoch, alpha, beta):
+        assert theorem1_bound(n, epoch, alpha, beta) > 0
+
+    @given(
+        n=st.integers(min_value=2, max_value=10_000),
+        epoch=st.floats(min_value=0.5, max_value=1000),
+        alpha_low=st.floats(min_value=1e-6, max_value=0.5),
+        alpha_high=st.floats(min_value=0.5, max_value=1.0),
+        beta=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theorem1_antitone_in_alpha(self, n, epoch, alpha_low, alpha_high, beta):
+        assert theorem1_bound(n, epoch, alpha_low, beta) >= theorem1_bound(
+            n, epoch, alpha_high, beta
+        )
+
+    @given(
+        n=st.integers(min_value=2, max_value=10_000),
+        t_mix=st.floats(min_value=0.5, max_value=1000),
+        p_nm=st.floats(min_value=1e-6, max_value=1.0),
+        eta=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theorem3_dominates_theorem1_shape(self, n, t_mix, p_nm, eta):
+        # Theorem 3 = Theorem 1 with an extra log factor (same alpha/beta roles).
+        assert theorem3_bound(n, t_mix, p_nm, eta) >= theorem1_bound(n, t_mix, p_nm, eta)
+
+
+class TestSummaryProperties:
+    @given(
+        samples=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_summary_orderings(self, samples):
+        summary = summarize(samples)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.q90 <= summary.q99 + 1e-9

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the Markov-chain substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.builders import two_state_chain
+from repro.markov.chain import MarkovChain
+from repro.markov.mixing import mixing_time, spectral_gap, tv_distance_from_stationarity
+
+
+@st.composite
+def stochastic_matrices(draw, max_states: int = 6):
+    """Random row-stochastic matrices with strictly positive entries.
+
+    Strict positivity guarantees irreducibility and aperiodicity, so the
+    stationary distribution exists and the mixing time is finite.
+    """
+    k = draw(st.integers(min_value=2, max_value=max_states))
+    rows = []
+    for _ in range(k):
+        raw = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        row = np.asarray(raw)
+        rows.append(row / row.sum())
+    return np.vstack(rows)
+
+
+class TestStationaryDistributionProperties:
+    @given(matrix=stochastic_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_stationary_is_probability_vector(self, matrix):
+        chain = MarkovChain(matrix)
+        pi = chain.stationary_distribution()
+        assert pi.min() >= -1e-12
+        assert pi.sum() == pytest.approx(1.0)
+
+    @given(matrix=stochastic_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_stationary_is_invariant(self, matrix):
+        chain = MarkovChain(matrix)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.transition_matrix, pi, atol=1e-8)
+
+    @given(matrix=stochastic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_lazy_chain_preserves_stationary(self, matrix):
+        chain = MarkovChain(matrix)
+        lazy = chain.lazy(0.3)
+        assert np.allclose(
+            lazy.stationary_distribution(), chain.stationary_distribution(), atol=1e-6
+        )
+
+
+class TestMixingProperties:
+    @given(matrix=stochastic_matrices(max_states=5))
+    @settings(max_examples=30, deadline=None)
+    def test_tv_distance_monotone_nonincreasing(self, matrix):
+        chain = MarkovChain(matrix)
+        distances = [tv_distance_from_stationarity(chain, t) for t in range(5)]
+        for earlier, later in zip(distances, distances[1:]):
+            assert later <= earlier + 1e-9
+
+    @given(matrix=stochastic_matrices(max_states=5))
+    @settings(max_examples=30, deadline=None)
+    def test_mixing_time_definition(self, matrix):
+        chain = MarkovChain(matrix)
+        t = mixing_time(chain, epsilon=0.25)
+        assert tv_distance_from_stationarity(chain, t) <= 0.25
+        if t > 0:
+            assert tv_distance_from_stationarity(chain, t - 1) > 0.25
+
+    @given(matrix=stochastic_matrices(max_states=5))
+    @settings(max_examples=30, deadline=None)
+    def test_spectral_gap_in_unit_interval(self, matrix):
+        gap = spectral_gap(MarkovChain(matrix))
+        assert -1e-9 <= gap <= 1.0 + 1e-9
+
+
+class TestTwoStateChainProperties:
+    @given(
+        p=st.floats(min_value=0.01, max_value=1.0),
+        q=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_state_stationary_closed_form(self, p, q):
+        chain = two_state_chain(p, q)
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(q / (p + q), abs=1e-8)
+        assert pi[1] == pytest.approx(p / (p + q), abs=1e-8)
+
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_state_gap_closed_form(self, p, q):
+        chain = two_state_chain(p, q)
+        assert spectral_gap(chain) == pytest.approx(min(p + q, 2 - p - q), abs=1e-8)
+
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.95),
+        q=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_state_reversible(self, p, q):
+        assert two_state_chain(p, q).is_reversible()

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for dynamic-graph models and geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.grid import augmented_grid_graph, grid_graph, manhattan_distance
+from repro.graphs.paths import edge_paths, shortest_path_family
+from repro.meg.edge_meg import EdgeMEG
+from repro.meg.node_meg import NodeMEG
+from repro.markov.builders import complete_graph_walk
+from repro.mobility.connection import radius_edges
+from repro.mobility.geometry import SquareRegion
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class TestEdgeMegProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        q=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_edges_always_canonical(self, n, p, q, seed, steps):
+        if p == 0.0 and q == 0.0:
+            p = 0.5
+        model = EdgeMEG(n, p=p, q=q)
+        model.reset(seed)
+        model.run(steps)
+        for i, j in model.current_edges():
+            assert 0 <= i < j < n
+
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        p=st.floats(min_value=0.01, max_value=0.99),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stationary_probability_formula(self, n, p, q):
+        model = EdgeMEG(n, p=p, q=q)
+        assert model.stationary_edge_probability() == pytest.approx(p / (p + q))
+
+
+class TestNodeMegProperties:
+    @given(
+        num_states=st.integers(min_value=2, max_value=12),
+        n=st.integers(min_value=2, max_value=25),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eta_at_least_one_for_colocation(self, num_states, n):
+        chain = complete_graph_walk(num_states)
+        model = NodeMEG(n, chain, np.eye(num_states, dtype=bool))
+        # Jensen: P_NM2 = E[q^2] >= (E[q])^2 = P_NM^2.
+        assert model.eta() >= 1.0 - 1e-9
+
+    @given(
+        num_states=st.integers(min_value=2, max_value=10),
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_edges_consistent_with_states(self, num_states, n, seed):
+        chain = complete_graph_walk(num_states)
+        model = NodeMEG(n, chain, np.eye(num_states, dtype=bool))
+        model.reset(seed)
+        states = model.node_states()
+        for i, j in model.current_edges():
+            assert states[i] == states[j]
+
+
+class TestGridProperties:
+    @given(side=st.integers(min_value=2, max_value=8), k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_augmented_grid_edge_count_monotone_in_k(self, side, k):
+        smaller = augmented_grid_graph(side, k)
+        larger = augmented_grid_graph(side, k + 1)
+        assert larger.number_of_edges() >= smaller.number_of_edges()
+
+    @given(
+        side=st.integers(min_value=2, max_value=8),
+        a=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        b=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_manhattan_distance_is_metric(self, side, a, b):
+        a = (a[0] % side, a[1] % side)
+        b = (b[0] % side, b[1] % side)
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+        assert manhattan_distance(a, a) == 0
+        assert manhattan_distance(a, b, side=side) <= manhattan_distance(a, b)
+
+
+class TestPathFamilyProperties:
+    @given(side=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_shortest_path_family_regularity_at_least_one(self, side):
+        family = shortest_path_family(grid_graph(side))
+        assert family.regularity() >= 1.0 - 1e-9
+
+    @given(side=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_edge_paths_congestion_is_degree(self, side):
+        graph = grid_graph(side)
+        family = edge_paths(graph)
+        for node in graph.nodes():
+            assert family.passes_through(node) == graph.degree(node)
+
+
+class TestGeometryProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=40),
+        radius=st.floats(min_value=0.01, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_radius_edges_match_brute_force(self, count, radius, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((count, 2)) * 5.0
+        fast = set(radius_edges(positions, radius))
+        brute = {
+            (i, j)
+            for i in range(count)
+            for j in range(i + 1, count)
+            if np.linalg.norm(positions[i] - positions[j]) <= radius
+        }
+        assert fast == brute
+
+    @given(
+        side=st.floats(min_value=1.0, max_value=20.0),
+        radius=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_eroded_volume_bounds(self, side, radius):
+        region = SquareRegion(side)
+        eroded = region.eroded_volume(radius)
+        assert 0.0 <= eroded <= region.volume()
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=500),
+        steps=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_waypoint_positions_stay_inside(self, n, seed, steps):
+        model = RandomWaypoint(n, side=5.0, radius=1.0, v_min=1.0, warmup_steps=0)
+        model.reset(seed)
+        model.run(steps)
+        positions = model.positions()
+        assert positions.min() >= -1e-9
+        assert positions.max() <= 5.0 + 1e-9

@@ -1,0 +1,146 @@
+"""Tests for repro.util.mathutils."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.mathutils import (
+    clamp,
+    euclidean_distance,
+    geometric_mean,
+    harmonic_number,
+    log2_safe,
+    loglog_slope,
+    logn_factor,
+    total_variation_distance,
+)
+
+
+class TestLog2Safe:
+    def test_clamps_below_one(self):
+        assert log2_safe(0.5) == 0.0
+        assert log2_safe(1.0) == 0.0
+
+    def test_matches_log2_above_one(self):
+        assert log2_safe(8.0) == pytest.approx(3.0)
+
+
+class TestLognFactor:
+    def test_floor_of_one(self):
+        assert logn_factor(1) == 1.0
+        assert logn_factor(2) == 1.0
+
+    def test_power(self):
+        assert logn_factor(16, 2) == pytest.approx(16.0)
+
+    def test_monotone_in_n(self):
+        values = [logn_factor(n, 3) for n in (4, 16, 64, 256)]
+        assert values == sorted(values)
+
+
+class TestLoglogSlope:
+    def test_linear_relationship(self):
+        xs = [10, 100, 1000]
+        ys = [2 * x for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_square_root_relationship(self):
+        xs = [16, 64, 256, 1024]
+        ys = [math.sqrt(x) for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(0.5)
+
+    def test_constant_relationship(self):
+        assert loglog_slope([1, 10, 100], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2, 3], [1, 2])
+
+
+class TestGeometricMean:
+    def test_equal_values(self):
+        assert geometric_mean([4, 4, 4]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+
+    def test_approximates_log(self):
+        n = 1000
+        assert harmonic_number(n) == pytest.approx(math.log(n) + 0.5772, abs=0.01)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+
+class TestTotalVariationDistance:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_symmetry(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.2, 0.3, 0.5])
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestEuclideanDistance:
+    def test_pythagoras(self):
+        assert euclidean_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean_distance((1, 1), (1, 1)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance((0, 0), (1, 2, 3))
+
+
+class TestClamp:
+    def test_inside_interval(self):
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_below(self):
+        assert clamp(-3, 0, 1) == 0
+
+    def test_above(self):
+        assert clamp(7, 0, 1) == 1
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1, 0)

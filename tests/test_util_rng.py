@@ -1,0 +1,109 @@
+"""Tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, random_subset, sample_categorical, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(1_000_000)
+        b = ensure_rng(42).integers(1_000_000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        draws_a = ensure_rng(1).integers(0, 1_000_000, size=8)
+        draws_b = ensure_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.array_equal(a.integers(0, 100, 20), b.integers(0, 100, 20))
+
+    def test_reproducible_from_seed(self):
+        first = [g.integers(1_000_000) for g in spawn_rngs(9, 3)]
+        second = [g.integers(1_000_000) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(1)
+        children = spawn_rngs(generator, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+class TestRandomSubset:
+    def test_probability_zero_gives_empty(self, rng):
+        assert random_subset(rng, [1, 2, 3], 0.0) == []
+
+    def test_probability_one_gives_all(self, rng):
+        assert random_subset(rng, [1, 2, 3], 1.0) == [1, 2, 3]
+
+    def test_invalid_probability_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_subset(rng, [1, 2, 3], 1.5)
+
+    def test_empty_items(self, rng):
+        assert random_subset(rng, [], 0.5) == []
+
+    def test_subset_of_items(self, rng):
+        items = list(range(100))
+        chosen = random_subset(rng, items, 0.3)
+        assert set(chosen) <= set(items)
+        assert 5 < len(chosen) < 60  # loose bounds around the mean 30
+
+
+class TestSampleCategorical:
+    def test_single_weight(self, rng):
+        assert sample_categorical(rng, [1.0]) == 0
+
+    def test_zero_weight_excluded(self, rng):
+        draws = [sample_categorical(rng, [0.0, 1.0]) for _ in range(20)]
+        assert all(d == 1 for d in draws)
+
+    def test_negative_weight_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, [0.5, -0.1])
+
+    def test_all_zero_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, [0.0, 0.0])
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(rng, [])
+
+    def test_size_parameter(self, rng):
+        draws = sample_categorical(rng, [1.0, 2.0, 3.0], size=50)
+        assert draws.shape == (50,)
+        assert set(np.unique(draws)) <= {0, 1, 2}

@@ -1,0 +1,94 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    require_in_range,
+    require_node_count,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(3.2, "x") == 3.2
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert require_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x", strict=False)
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert require_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")
+
+    def test_returns_float(self):
+        assert isinstance(require_probability(1, "p"), float)
+
+
+class TestRequireInRange:
+    def test_inside(self):
+        assert require_in_range(5, "x", low=0, high=10) == 5
+
+    def test_below_low(self):
+        with pytest.raises(ValueError):
+            require_in_range(-1, "x", low=0)
+
+    def test_above_high(self):
+        with pytest.raises(ValueError):
+            require_in_range(11, "x", high=10)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            require_in_range(0, "x", low=0, low_inclusive=False)
+        with pytest.raises(ValueError):
+            require_in_range(10, "x", high=10, high_inclusive=False)
+
+    def test_inclusive_boundaries_accepted(self):
+        assert require_in_range(0, "x", low=0, high=0) == 0
+
+
+class TestRequireType:
+    def test_accepts_matching(self):
+        assert require_type(3, "x", int) == 3
+
+    def test_accepts_any_of_types(self):
+        assert require_type("s", "x", int, str) == "s"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be of type"):
+            require_type(3.0, "x", int)
+
+
+class TestRequireNodeCount:
+    def test_accepts_positive_int(self):
+        assert require_node_count(5) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_node_count(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_node_count(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_node_count(5.0)
