@@ -28,6 +28,10 @@ sub-packages hold the full API:
     Prior-work comparators (edge-MEG closed form, meeting time).
 ``repro.experiments``
     Parameter-sweep harness and the per-theorem experiment registry.
+``repro.engine``
+    Parallel Monte-Carlo execution engine: trial specs, serial/multiprocess
+    scheduling, the vectorized flooding kernel and the persistent result
+    store.
 """
 
 from repro.core.bounds import (
@@ -40,6 +44,7 @@ from repro.core.bounds import (
     waypoint_flooding_bound,
 )
 from repro.core.flooding import FloodingResult, flood, flooding_time
+from repro.engine import Engine, ResultStore, TrialSpec
 from repro.markov.chain import MarkovChain
 from repro.meg.base import DynamicGraph
 from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
@@ -48,11 +53,12 @@ from repro.mobility.random_path import RandomPathModel
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypoint
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynamicGraph",
     "EdgeMEG",
+    "Engine",
     "FloodingResult",
     "GeneralEdgeMEG",
     "MarkovChain",
@@ -60,6 +66,8 @@ __all__ = [
     "RandomPathModel",
     "RandomWalkMobility",
     "RandomWaypoint",
+    "ResultStore",
+    "TrialSpec",
     "__version__",
     "corollary4_bound",
     "corollary5_bound",

@@ -2,21 +2,29 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro experiments list
-    python -m repro experiments run E3 --scale small --seed 1
-    python -m repro experiments run-all --markdown --output EXPERIMENTS.md
-    python -m repro flood edge-meg --nodes 200 --p 0.0025 --q 0.5 --trials 10
-    python -m repro flood waypoint --nodes 100 --side 10 --radius 1 --speed 1
-    python -m repro flood grid-walk --nodes 64 --grid-side 8 --radius 1
+    repro experiments list
+    repro experiments run E3 --scale small --seed 1
+    repro experiments run-all --markdown --output EXPERIMENTS.md --json report.json
+    repro flood edge-meg --nodes 200 --p 0.0025 --q 0.5 --trials 10
+    repro flood waypoint --nodes 100 --side 10 --radius 1 --speed 1
+    repro flood grid-walk --nodes 64 --grid-side 8 --radius 1
+    repro flood edge-meg --nodes 256 --workers 4 --backend vectorized \
+        --results-dir .repro-results --json run.json
 
 The ``flood`` subcommand reports the measured flooding-time statistics next
 to the paper's bound for the chosen model, mirroring what the examples do in
-code.
+code.  All trial execution goes through :class:`repro.engine.Engine`:
+``--workers`` fans trials out over a process pool (samples are bit-identical
+at any worker count), ``--backend`` selects the flooding kernel, and
+``--results-dir`` attaches a persistent result store so re-runs with the
+same model, parameters and seed are served from cache.  ``--json`` writes
+the run's machine-readable results to a file for cross-run tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -25,9 +33,18 @@ from repro.core.bounds import (
     corollary6_bound,
     waypoint_flooding_bound,
 )
-from repro.core.metrics import flooding_time_statistics
+from repro.core.flooding import flooding_time_samples
+from repro.engine import BACKENDS, Engine, ResultStore, jsonify
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
+from repro.util.stats import summarize
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,6 +53,25 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Information Spreading in Dynamic Graphs' (PODC 2012)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Engine options shared by every trial-running subcommand.
+    engine_options = argparse.ArgumentParser(add_help=False)
+    engine_options.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for the trial engine (1 = in-process)",
+    )
+    engine_options.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="flooding kernel: auto, set (python loop) or vectorized (NumPy)",
+    )
+    engine_options.add_argument(
+        "--results-dir", default=None,
+        help="directory of the persistent result store (enables caching)",
+    )
+    engine_options.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write machine-readable results to PATH",
+    )
 
     experiments = subparsers.add_parser(
         "experiments", help="run the registered experiments E1-E10"
@@ -47,23 +83,36 @@ def _build_parser() -> argparse.ArgumentParser:
     run_one.add_argument("--scale", choices=("small", "full"), default="small")
     run_one.add_argument("--seed", type=int, default=0)
     run_one.add_argument("--markdown", action="store_true", help="render as markdown")
+    run_one.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the report rows as JSON to PATH",
+    )
     run_all = experiments_sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=("small", "full"), default="small")
     run_all.add_argument("--seed", type=int, default=0)
     run_all.add_argument("--markdown", action="store_true")
     run_all.add_argument("--output", default=None, help="write the report to a file")
+    run_all.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write every report's rows as JSON to PATH",
+    )
 
     flood = subparsers.add_parser("flood", help="measure flooding on a chosen model")
     flood_sub = flood.add_subparsers(dest="model", required=True)
 
-    edge_meg = flood_sub.add_parser("edge-meg", help="classic edge-MEG with birth/death rates")
+    edge_meg = flood_sub.add_parser(
+        "edge-meg", parents=[engine_options],
+        help="classic edge-MEG with birth/death rates",
+    )
     edge_meg.add_argument("--nodes", type=int, default=100)
     edge_meg.add_argument("--p", type=float, default=0.01, help="edge birth rate")
     edge_meg.add_argument("--q", type=float, default=0.5, help="edge death rate")
     edge_meg.add_argument("--trials", type=int, default=10)
     edge_meg.add_argument("--seed", type=int, default=0)
 
-    waypoint = flood_sub.add_parser("waypoint", help="random waypoint over a square")
+    waypoint = flood_sub.add_parser(
+        "waypoint", parents=[engine_options], help="random waypoint over a square"
+    )
     waypoint.add_argument("--nodes", type=int, default=100)
     waypoint.add_argument("--side", type=float, default=10.0)
     waypoint.add_argument("--radius", type=float, default=1.0)
@@ -71,7 +120,10 @@ def _build_parser() -> argparse.ArgumentParser:
     waypoint.add_argument("--trials", type=int, default=5)
     waypoint.add_argument("--seed", type=int, default=0)
 
-    grid_walk = flood_sub.add_parser("grid-walk", help="random walks over a grid mobility graph")
+    grid_walk = flood_sub.add_parser(
+        "grid-walk", parents=[engine_options],
+        help="random walks over a grid mobility graph",
+    )
     grid_walk.add_argument("--nodes", type=int, default=64)
     grid_walk.add_argument("--grid-side", type=int, default=8)
     grid_walk.add_argument("--augment-k", type=int, default=1, help="k-augmentation of the grid")
@@ -79,6 +131,25 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_walk.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _build_engine(args: argparse.Namespace) -> Engine:
+    """Engine configured from the shared --workers/--backend/--results-dir flags."""
+    store = None
+    if getattr(args, "results_dir", None):
+        store = ResultStore(args.results_dir)
+    return Engine(
+        workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", "auto"),
+        store=store,
+    )
+
+
+def _write_json(path: str, payload) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(jsonify(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
@@ -91,11 +162,15 @@ def _run_experiments(args: argparse.Namespace) -> int:
     if args.experiments_command == "run":
         report = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
         print(renderer(report))
+        if args.json_path:
+            _write_json(args.json_path, report.as_dict())
         return 0
     # run-all
     sections = []
+    reports = []
     for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        reports.append(report)
         sections.append(renderer(report))
     output = "\n\n".join(sections)
     if args.output:
@@ -104,6 +179,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(output)
+    if args.json_path:
+        _write_json(args.json_path, [report.as_dict() for report in reports])
     return 0
 
 
@@ -142,8 +219,14 @@ def _run_flood(args: argparse.Namespace) -> int:
             f"grid random walk(n={args.nodes}, side={args.grid_side}, k={args.augment_k})"
         )
 
-    summary = flooding_time_statistics(model, num_trials=args.trials, rng=args.seed)
+    engine = _build_engine(args)
+    samples = flooding_time_samples(
+        model, num_trials=args.trials, rng=args.seed, engine=engine
+    )
+    summary = summarize(samples)
     print(f"model:  {description}")
+    print(f"engine: workers={engine.workers}, backend={engine.backend}"
+          + (f", results-dir={args.results_dir}" if args.results_dir else ""))
     print(f"trials: {summary.count}")
     print(
         "flooding time: "
@@ -151,6 +234,18 @@ def _run_flood(args: argparse.Namespace) -> int:
         f"min {summary.minimum:.0f}, max {summary.maximum:.0f}"
     )
     print(f"paper bound (constant = 1): {bound:.1f}")
+    if args.json_path:
+        _write_json(
+            args.json_path,
+            {
+                "model": description,
+                "seed": args.seed,
+                "engine": {"workers": engine.workers, "backend": engine.backend},
+                "samples": samples,
+                "summary": summary.as_dict(),
+                "paper_bound": bound,
+            },
+        )
     return 0
 
 

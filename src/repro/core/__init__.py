@@ -27,6 +27,7 @@ from repro.core.bounds import (
 from repro.core.epochs import degree_into_set, set_expansion, spread_over_window
 from repro.core.flooding import (
     FloodingResult,
+    default_max_steps,
     flood,
     flooding_time,
     flooding_time_samples,
@@ -54,6 +55,7 @@ __all__ = [
     "corollary4_bound",
     "corollary5_bound",
     "corollary6_bound",
+    "default_max_steps",
     "degree_into_set",
     "edge_meg_general_bound",
     "estimate_beta",

@@ -74,9 +74,15 @@ class FloodingResult:
         return None
 
 
-def _default_max_steps(num_nodes: int) -> int:
-    # Generous cap: quadratic in n (with a floor), far above any bound we test.
+def default_max_steps(num_nodes: int) -> int:
+    """Default per-trial step cap used by the flooding simulators.
+
+    Generous: quadratic in n (with a floor), far above any bound we test.
+    """
     return max(200, 20 * num_nodes * max(1, int(np.log2(max(num_nodes, 2)))))
+
+
+_default_max_steps = default_max_steps
 
 
 def flood(
@@ -202,21 +208,39 @@ def flooding_time_samples(
     source: int = 0,
     rng: RNGLike = None,
     max_steps: Optional[int] = None,
+    workers: int = 1,
+    backend: str = "auto",
+    engine=None,
 ) -> list[int]:
     """Flooding times of ``num_trials`` independent trials (same source).
 
-    Each trial resets the process with an independent sub-generator derived
-    from ``rng``, so the whole experiment is reproducible from one seed.
+    Each trial resets the process with an independent ``SeedSequence`` child
+    derived from ``rng``, so the whole experiment is reproducible from one
+    seed — and bit-identical at any ``workers`` count, since the execution is
+    routed through :class:`repro.engine.Engine`.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to fan the trials out to (1 = in-process).
+    backend:
+        Flooding kernel: ``"auto"`` (vectorized when the model exposes a fast
+        adjacency matrix), ``"set"`` or ``"vectorized"``.
+    engine:
+        An existing :class:`repro.engine.Engine` (e.g. one with a result
+        store attached); overrides ``workers`` and ``backend``.
     """
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
-    generators = spawn_rngs(rng, num_trials)
-    samples = []
-    for generator in generators:
-        samples.append(
-            flooding_time(process, source=source, rng=generator, max_steps=max_steps)
-        )
-    return samples
+    # Imported here: repro.engine builds on this module (no import cycle).
+    from repro.engine import Engine, TrialSpec
+
+    if engine is None:
+        engine = Engine(workers=workers, backend=backend)
+    spec = TrialSpec.from_model(
+        process, num_trials=num_trials, source=source, max_steps=max_steps, seed=rng
+    )
+    return list(engine.run(spec).flooding_times)
 
 
 def worst_case_flooding_time(

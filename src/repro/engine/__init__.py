@@ -1,0 +1,40 @@
+"""Parallel Monte-Carlo execution engine.
+
+The execution backbone all trial-running code routes through:
+
+``repro.engine.spec``
+    :class:`TrialSpec` (declarative batch description) and
+    :class:`BatchResult`.
+``repro.engine.engine``
+    :class:`Engine` — serial or multiprocess scheduling with
+    ``SeedSequence``-derived per-trial seeds (bit-identical results at any
+    worker count) and transparent result caching.
+``repro.engine.kernel``
+    The vectorized NumPy flooding kernels (single source and whole source
+    batches) plus the backend-selection predicate.
+``repro.engine.store``
+    :class:`ResultStore` — JSONL-backed persistent results with
+    content-hashed keys.
+"""
+
+from repro.engine.engine import BACKENDS, Engine, resolve_backend
+from repro.engine.kernel import (
+    flood_sources_batch,
+    flood_vectorized,
+    has_fast_adjacency,
+)
+from repro.engine.spec import BatchResult, TrialSpec
+from repro.engine.store import ResultStore, jsonify
+
+__all__ = [
+    "BACKENDS",
+    "BatchResult",
+    "Engine",
+    "ResultStore",
+    "TrialSpec",
+    "flood_sources_batch",
+    "flood_vectorized",
+    "has_fast_adjacency",
+    "jsonify",
+    "resolve_backend",
+]

@@ -1,0 +1,212 @@
+"""The Monte-Carlo execution engine.
+
+:class:`Engine` is the single place where batches of independent flooding
+trials get executed.  It owns three orthogonal decisions:
+
+* **scheduling** — trials run serially in-process (``workers=1``) or fan out
+  over a ``concurrent.futures.ProcessPoolExecutor`` (``workers>1``).  Every
+  trial's seed is a ``SeedSequence`` child spawned *before* scheduling, so
+  the samples are bit-identical regardless of worker count or scheduling
+  order;
+* **kernel** — the set-based loop of :func:`repro.core.flooding.flood` or
+  the vectorized kernel of :func:`repro.engine.kernel.flood_vectorized`.
+  ``backend="auto"`` selects the vectorized kernel exactly when the model
+  overrides :meth:`~repro.meg.base.DynamicGraph.adjacency_matrix` with a
+  fast array implementation.  Both kernels produce identical samples, so the
+  choice never changes results;
+* **caching** — with a :class:`~repro.engine.store.ResultStore` attached,
+  a batch whose content key (model + trial parameters + seeds) is already
+  stored is returned from the store without simulating.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.flooding import flood
+from repro.engine.kernel import flood_vectorized, has_fast_adjacency
+from repro.engine.spec import BatchResult, TrialSpec
+from repro.engine.store import ResultStore
+from repro.meg.base import DynamicGraph
+from repro.util.rng import spawn_seed_sequences
+
+BACKENDS = ("auto", "set", "vectorized")
+
+
+def resolve_backend(backend: str, model: DynamicGraph) -> str:
+    """Concrete kernel choice (``"set"`` or ``"vectorized"``) for ``model``."""
+    if backend == "auto":
+        return "vectorized" if has_fast_adjacency(model) else "set"
+    if backend in ("set", "vectorized"):
+        return backend
+    raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+
+
+def _seed_token(seeds: Sequence[np.random.SeedSequence]) -> list[dict]:
+    """JSON-able identity of the spawned per-trial seed sequences."""
+    token = []
+    for seq in seeds:
+        entropy = seq.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(word) for word in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        token.append({"entropy": entropy, "spawn_key": [int(k) for k in seq.spawn_key]})
+    return token
+
+
+def _run_single_trial(
+    model: DynamicGraph,
+    seed: np.random.SeedSequence,
+    source: int,
+    max_steps: Optional[int],
+    backend: str,
+) -> tuple[int, int]:
+    """One flooding trial; returns ``(flooding_time, num_nodes)``."""
+    rng = np.random.default_rng(seed)
+    kernel = flood_vectorized if resolve_backend(backend, model) == "vectorized" else flood
+    result = kernel(model, source=source, rng=rng, max_steps=max_steps)
+    if result.flooding_time is None:
+        raise RuntimeError(
+            f"flooding did not complete within the step limit "
+            f"({result.final_informed}/{result.num_nodes} nodes informed)"
+        )
+    return result.flooding_time, result.num_nodes
+
+
+def _execute_chunk(payload) -> list[tuple[int, int]]:
+    """Worker entry point: run a contiguous chunk of trials on one model copy.
+
+    The model arrives pickled once per chunk (at most once per worker), and
+    the chunk's trials reuse that copy exactly as the serial path reuses its
+    single instance — every trial resets the model with its own seed.
+    """
+    model, seeds, source, max_steps, backend = payload
+    return [
+        _run_single_trial(model, seed, source, max_steps, backend) for seed in seeds
+    ]
+
+
+def _chunk_evenly(items: Sequence, chunks: int) -> list[list]:
+    """Split ``items`` into ``chunks`` contiguous, near-equal parts."""
+    base, remainder = divmod(len(items), chunks)
+    parts = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < remainder else 0)
+        if size:
+            parts.append(list(items[start : start + size]))
+        start += size
+    return parts
+
+
+class Engine:
+    """Executes :class:`TrialSpec` batches serially or on a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (1 = run in-process, the default).
+    backend:
+        ``"auto"`` (default), ``"set"`` or ``"vectorized"``.
+    store:
+        Optional :class:`ResultStore`; when given, completed batches are
+        persisted and identical re-runs are served from the store.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "auto",
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.workers = workers
+        self.backend = backend
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Engine(workers={self.workers}, backend={self.backend!r}, "
+            f"store={'yes' if self.store else 'no'})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, spec: TrialSpec) -> BatchResult:
+        """Execute (or fetch from the store) one batch of trials."""
+        started = time.perf_counter()
+        seeds = spawn_seed_sequences(spec.seed, spec.num_trials)
+
+        key = None
+        if self.store is not None:
+            key = ResultStore.compute_key(
+                {**spec.cache_token(), "seeds": _seed_token(seeds)}
+            )
+            record = self.store.get(key)
+            if record is not None:
+                return BatchResult(
+                    label=record.get("label", spec.label),
+                    num_nodes=record["num_nodes"],
+                    flooding_times=tuple(record["flooding_times"]),
+                    backend=record.get("backend", self.backend),
+                    workers=self.workers,
+                    from_cache=True,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+
+        # Built exactly once per run, whatever the worker count: a stochastic
+        # factory then contributes one realization shared by every trial, so
+        # serial and parallel runs sample the same process.
+        model = spec.build_model()
+        if self.workers == 1 or spec.num_trials == 1:
+            outcomes = [
+                _run_single_trial(model, seed, spec.source, spec.max_steps, self.backend)
+                for seed in seeds
+            ]
+        else:
+            payloads = [
+                (model, chunk, spec.source, spec.max_steps, self.backend)
+                for chunk in _chunk_evenly(seeds, min(self.workers, spec.num_trials))
+            ]
+            with ProcessPoolExecutor(max_workers=self.workers) as executor:
+                outcomes = [
+                    outcome
+                    for chunk_outcomes in executor.map(_execute_chunk, payloads)
+                    for outcome in chunk_outcomes
+                ]
+
+        flooding_times = tuple(t for t, _ in outcomes)
+        num_nodes = outcomes[0][1]
+        result = BatchResult(
+            label=spec.label,
+            num_nodes=num_nodes,
+            flooding_times=flooding_times,
+            backend=self.backend,
+            workers=self.workers,
+            from_cache=False,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if self.store is not None and key is not None:
+            self.store.put(
+                key,
+                {
+                    "label": result.label,
+                    "num_nodes": result.num_nodes,
+                    "flooding_times": list(result.flooding_times),
+                    "backend": result.backend,
+                },
+            )
+        return result
+
+    def run_many(self, specs: Sequence[TrialSpec]) -> list[BatchResult]:
+        """Execute several specs in order (each with its own seed stream)."""
+        return [self.run(spec) for spec in specs]

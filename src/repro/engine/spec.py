@@ -1,0 +1,171 @@
+"""Declarative trial specifications for the Monte-Carlo engine.
+
+A :class:`TrialSpec` pins down everything one batch of independent flooding
+trials needs — how to build the model, how many trials, which source, the
+step cap and the seed material — without executing anything.  The
+:class:`repro.engine.Engine` turns a spec into a :class:`BatchResult`, either
+serially or on a worker pool, and the spec's :meth:`TrialSpec.cache_token`
+is what keys the batch in the persistent result store.
+
+The engine builds the model exactly once per run — whatever the worker
+count — and ships the *built model* to workers (one pickled copy per
+worker chunk).  A stochastic factory therefore contributes one realization
+shared by every trial of the batch, and ``workers > 1`` requires the model
+(not the factory) to be picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike
+
+
+def _identity_factory(model: DynamicGraph) -> DynamicGraph:
+    """Module-level identity used by :meth:`TrialSpec.from_model` (picklable)."""
+    return model
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One batch of independent flooding trials, described declaratively.
+
+    Attributes
+    ----------
+    factory:
+        Callable building a fresh :class:`DynamicGraph` from ``args`` and
+        ``kwargs``.  Called exactly once per engine run.
+    args / kwargs:
+        Positional and keyword arguments of ``factory``.
+    num_trials:
+        Number of independent trials.
+    source:
+        The initially informed node.
+    max_steps:
+        Per-trial step cap (``None`` for the generous default of
+        :func:`repro.core.flooding.default_max_steps`).
+    seed:
+        Seed material (``None``, int, ``SeedSequence`` or ``Generator``).
+        Per-trial seeds are spawned from it through one ``SeedSequence``, so
+        results are bit-identical regardless of worker count.
+    label:
+        Free-form tag carried into results and logs.
+    """
+
+    factory: Callable[..., DynamicGraph]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    num_trials: int = 1
+    source: int = 0
+    max_steps: Optional[int] = None
+    seed: RNGLike = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.factory):
+            raise TypeError("factory must be callable")
+        if self.num_trials < 1:
+            raise ValueError(f"num_trials must be >= 1, got {self.num_trials}")
+        if self.source < 0:
+            raise ValueError(f"source must be non-negative, got {self.source}")
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @classmethod
+    def from_model(
+        cls,
+        model: DynamicGraph,
+        num_trials: int,
+        source: int = 0,
+        max_steps: Optional[int] = None,
+        seed: RNGLike = None,
+        label: str = "",
+    ) -> "TrialSpec":
+        """Wrap an already-built model as a spec (the common library path)."""
+        if not isinstance(model, DynamicGraph):
+            raise TypeError(
+                f"model must be a DynamicGraph, got {type(model).__name__}"
+            )
+        return cls(
+            factory=_identity_factory,
+            args=(model,),
+            num_trials=num_trials,
+            source=source,
+            max_steps=max_steps,
+            seed=seed,
+            label=label or type(model).__name__,
+        )
+
+    @property
+    def wraps_model(self) -> bool:
+        """Whether this spec wraps a prototype model instance."""
+        return self.factory is _identity_factory
+
+    def build_model(self) -> DynamicGraph:
+        """Instantiate the dynamic graph this spec describes."""
+        model = self.factory(*self.args, **self.kwargs)
+        if not isinstance(model, DynamicGraph):
+            raise TypeError(
+                f"factory returned {type(model).__name__}, expected a DynamicGraph"
+            )
+        return model
+
+    def cache_token(self) -> dict:
+        """Seed-independent part of the result-store key for this spec."""
+        if self.wraps_model:
+            model_token = self.args[0].cache_token()
+        else:
+            factory = self.factory
+            model_token = {
+                "factory": f"{factory.__module__}.{getattr(factory, '__qualname__', repr(factory))}",
+                "args": repr(self.args),
+                "kwargs": repr(sorted(self.kwargs.items())),
+            }
+        return {
+            "model": model_token,
+            "num_trials": self.num_trials,
+            "source": self.source,
+            "max_steps": self.max_steps,
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of running one :class:`TrialSpec`.
+
+    ``flooding_times`` is ordered by trial index, so two runs of the same
+    spec (at any worker count) can be compared element-wise.
+    """
+
+    label: str
+    num_nodes: int
+    flooding_times: tuple[int, ...]
+    backend: str
+    workers: int
+    from_cache: bool
+    elapsed_seconds: float
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials in the batch."""
+        return len(self.flooding_times)
+
+    @property
+    def mean(self) -> float:
+        """Mean flooding time across the batch."""
+        return sum(self.flooding_times) / len(self.flooding_times)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (what the result store persists)."""
+        return {
+            "label": self.label,
+            "num_nodes": self.num_nodes,
+            "flooding_times": list(self.flooding_times),
+            "backend": self.backend,
+            "workers": self.workers,
+            "from_cache": self.from_cache,
+            "elapsed_seconds": self.elapsed_seconds,
+        }

@@ -1,0 +1,115 @@
+"""Persistent, content-addressed storage of engine results.
+
+The store is a single append-only JSONL file: one record per line, each
+carrying the content hash of the trial spec that produced it (model + trial
+parameters + seed material) and the stored payload.  Re-running a sweep with
+the same spec and seed therefore costs one dictionary lookup instead of a
+simulation, and reporting tools can regenerate their output offline from the
+file alone.
+
+Keys are computed with :meth:`ResultStore.compute_key` — a SHA-256 over the
+canonical (sorted-keys) JSON encoding of the token — so any change to the
+model parameters, trial count, source, step cap or seed invalidates the
+entry naturally by changing its address.  Duplicate keys are legal in the
+file; the *last* record wins, which doubles as a crude update mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+def jsonify(value):
+    """Recursively convert numpy scalars/arrays so ``json`` can encode them."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+class ResultStore:
+    """JSONL-backed map from spec content hashes to result payloads.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the store file (created if missing).
+    filename:
+        Name of the JSONL file inside ``directory``.
+    """
+
+    def __init__(self, directory: str, filename: str = "results.jsonl") -> None:
+        self._directory = str(directory)
+        os.makedirs(self._directory, exist_ok=True)
+        self._path = os.path.join(self._directory, filename)
+        self._index: dict[str, dict] = {}
+        if os.path.exists(self._path):
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def compute_key(token: dict) -> str:
+        """SHA-256 content hash of a token dict (canonical JSON encoding)."""
+        canonical = json.dumps(jsonify(token), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                # A run killed mid-append can leave a truncated last line;
+                # treat unreadable lines as absent entries (they will simply
+                # be recomputed) instead of refusing to load the store.
+                try:
+                    entry = json.loads(line)
+                    self._index[entry["key"]] = entry["record"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+
+    @property
+    def path(self) -> str:
+        """Path of the backing JSONL file."""
+        return self._path
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record for ``key``, or ``None`` on a cache miss."""
+        return self._index.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` (appended durably, last write wins)."""
+        record = jsonify(record)
+        entry = {"key": key, "record": record}
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._index[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored keys."""
+        return iter(self._index)

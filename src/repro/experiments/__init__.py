@@ -15,7 +15,11 @@ reports them next to the corresponding bound formula and baselines.
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.report import ExperimentReport, format_markdown, format_table
-from repro.experiments.runner import SweepMeasurement, measure_flooding_sweep
+from repro.experiments.runner import (
+    SweepMeasurement,
+    measure_flooding_sweep,
+    sweep_as_dicts,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -26,4 +30,5 @@ __all__ = [
     "get_experiment",
     "measure_flooding_sweep",
     "run_experiment",
+    "sweep_as_dicts",
 ]

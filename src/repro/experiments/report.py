@@ -45,6 +45,17 @@ class ExperimentReport:
         """All values of one column, in row order (missing entries skipped)."""
         return [row[column] for row in self.rows if column in row]
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (what the CLI's ``--json`` flag emits)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
 
 def _format_value(value) -> str:
     if isinstance(value, bool):

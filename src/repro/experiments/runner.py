@@ -3,7 +3,9 @@
 Every registered experiment follows the same pattern: build a dynamic-graph
 model for each point of a parameter sweep, measure its flooding time over
 several independent trials, and report the summary next to the relevant bound
-formula.  :func:`measure_flooding_sweep` factors out that loop.
+formula.  :func:`measure_flooding_sweep` factors out that loop and routes all
+trial execution through the :class:`repro.engine.Engine`, so sweeps pick up
+worker pools, the vectorized kernel and persistent result caching for free.
 """
 
 from __future__ import annotations
@@ -11,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.core.flooding import flooding_time_samples
+from repro.engine import Engine, TrialSpec
 from repro.meg.base import DynamicGraph
-from repro.util.rng import RNGLike, spawn_rngs
+from repro.util.rng import RNGLike, spawn_seed_sequences
 from repro.util.stats import TrialSummary, summarize, whp_quantile
 
 
@@ -25,6 +27,8 @@ class SweepMeasurement:
     num_nodes: int
     summary: TrialSummary
     whp_value: float
+    samples: tuple[int, ...] = ()
+    from_cache: bool = False
 
     @property
     def mean(self) -> float:
@@ -36,6 +40,17 @@ class SweepMeasurement:
         """Median flooding time across the trials."""
         return self.summary.median
 
+    def as_dict(self) -> dict:
+        """Plain-dict form (what the CLI's ``--json`` output emits)."""
+        return {
+            "parameter": self.parameter,
+            "num_nodes": self.num_nodes,
+            "summary": self.summary.as_dict(),
+            "whp_value": self.whp_value,
+            "samples": list(self.samples),
+            "from_cache": self.from_cache,
+        }
+
 
 def measure_flooding_sweep(
     model_factory: Callable[[object], DynamicGraph],
@@ -44,6 +59,9 @@ def measure_flooding_sweep(
     source: int = 0,
     rng: RNGLike = None,
     max_steps: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    workers: int = 1,
+    backend: str = "auto",
 ) -> list[SweepMeasurement]:
     """Measure flooding times across a one-dimensional parameter sweep.
 
@@ -51,6 +69,8 @@ def measure_flooding_sweep(
     ----------
     model_factory:
         Callable mapping a sweep-parameter value to a fresh dynamic graph.
+        Called once per sweep point; with ``workers > 1`` the *built model*
+        (not the factory) must be picklable.
     parameter_values:
         The sweep points.
     num_trials:
@@ -58,30 +78,52 @@ def measure_flooding_sweep(
     source:
         Flooding source node.
     rng:
-        Seed or generator (each sweep point gets an independent child stream).
+        Seed or generator (each sweep point gets an independent child
+        ``SeedSequence``).
     max_steps:
         Optional per-trial step cap forwarded to the flooding simulator.
+    engine:
+        An existing :class:`repro.engine.Engine` (e.g. with a result store
+        attached); overrides ``workers`` and ``backend``.
+    workers / backend:
+        Engine configuration used when no ``engine`` is passed.
     """
     values = list(parameter_values)
     if not values:
         raise ValueError("the sweep needs at least one parameter value")
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    if engine is None:
+        engine = Engine(workers=workers, backend=backend)
     measurements = []
-    for value, generator in zip(values, spawn_rngs(rng, len(values))):
-        model = model_factory(value)
-        samples = flooding_time_samples(
-            model, num_trials, source=source, rng=generator, max_steps=max_steps
+    for value, seed in zip(values, spawn_seed_sequences(rng, len(values))):
+        spec = TrialSpec(
+            factory=model_factory,
+            args=(value,),
+            num_trials=num_trials,
+            source=source,
+            max_steps=max_steps,
+            seed=seed,
+            label=f"sweep[{value!r}]",
         )
+        batch = engine.run(spec)
+        samples = list(batch.flooding_times)
         measurements.append(
             SweepMeasurement(
                 parameter=value,
-                num_nodes=model.num_nodes,
+                num_nodes=batch.num_nodes,
                 summary=summarize(samples),
-                whp_value=whp_quantile(samples, model.num_nodes),
+                whp_value=whp_quantile(samples, batch.num_nodes),
+                samples=tuple(samples),
+                from_cache=batch.from_cache,
             )
         )
     return measurements
+
+
+def sweep_as_dicts(measurements: Iterable[SweepMeasurement]) -> list[dict]:
+    """Machine-readable form of a sweep (one dict per point)."""
+    return [measurement.as_dict() for measurement in measurements]
 
 
 def ratio_spread(measured: Iterable[float], bounds: Iterable[float]) -> float:

@@ -18,6 +18,8 @@ stationarity estimators in :mod:`repro.core` work uniformly:
 from __future__ import annotations
 
 import abc
+import hashlib
+import pickle
 from typing import Iterable, Iterator, Optional, Set
 
 import networkx as nx
@@ -77,6 +79,47 @@ class DynamicGraph(abc.ABC):
             if j in nodes:
                 reached.add(i)
         return reached
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency matrix of the current snapshot.
+
+        The vectorized flooding kernel of :mod:`repro.engine` uses this to
+        advance whole informed-vectors with NumPy instead of per-edge Python
+        loops.  The generic implementation scatters :meth:`current_edges`;
+        models that already hold their snapshot as arrays should override it
+        (the engine only auto-selects the vectorized kernel for models that
+        do).
+        """
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=bool)
+        for i, j in self.current_edges():
+            matrix[i, j] = True
+            matrix[j, i] = True
+        return matrix
+
+    def cache_token(self) -> dict:
+        """Stable description of the model used to key cached results.
+
+        The :class:`repro.engine.ResultStore` hashes this token (together
+        with the trial parameters and seed) to decide whether a batch of
+        trials has already been computed.  The default token digests the
+        pickled model, which is collision-safe but changes whenever the
+        model's internal state does; models with a small parameter set
+        should override :meth:`_cache_params` with their constructor
+        arguments to get stable, state-independent keys.
+        """
+        token = {
+            "class": f"{type(self).__module__}.{type(self).__qualname__}",
+            "num_nodes": self.num_nodes,
+        }
+        token.update(self._cache_params())
+        return token
+
+    def _cache_params(self) -> dict:
+        try:
+            payload = pickle.dumps(self)
+        except Exception:  # unpicklable models never share a cache entry
+            return {"unpicklable_id": id(self)}
+        return {"state_digest": hashlib.sha256(payload).hexdigest()}
 
     def snapshot(self) -> nx.Graph:
         """The current snapshot as a :class:`networkx.Graph` on ``0..n-1``."""

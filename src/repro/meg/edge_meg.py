@@ -140,6 +140,22 @@ class EdgeMEG(DynamicGraph):
             raise RuntimeError("call reset() before querying the snapshot")
         return int(self._states.sum())
 
+    def adjacency_matrix(self) -> np.ndarray:
+        if self._states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=bool)
+        active = self._pairs[self._states]
+        matrix[active[:, 0], active[:, 1]] = True
+        matrix[active[:, 1], active[:, 0]] = True
+        return matrix
+
+    def _cache_params(self) -> dict:
+        return {
+            "p": self._p,
+            "q": self._q,
+            "initial_edge_probability": self._initial_edge_probability,
+        }
+
 
 def four_state_edge_meg(
     num_nodes: int,
@@ -277,3 +293,18 @@ class GeneralEdgeMEG(DynamicGraph):
 
     def edge_count(self) -> int:
         return int(self._active_mask().sum())
+
+    def adjacency_matrix(self) -> np.ndarray:
+        mask = self._active_mask()
+        matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=bool)
+        active = self._pairs[mask]
+        matrix[active[:, 0], active[:, 1]] = True
+        matrix[active[:, 1], active[:, 0]] = True
+        return matrix
+
+    def _cache_params(self) -> dict:
+        return {
+            "transition_matrix": self._chain.transition_matrix.tolist(),
+            "chi": self._chi_flags.astype(int).tolist(),
+            "initial_distribution": np.asarray(self._initial_distribution).tolist(),
+        }

@@ -4,7 +4,7 @@ These helpers are deliberately dependency-light so every other sub-package can
 use them without import cycles.
 """
 
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import ensure_rng, spawn_rngs, spawn_seed_sequences
 from repro.util.validation import (
     require_in_range,
     require_positive,
@@ -19,4 +19,5 @@ __all__ = [
     "require_probability",
     "require_type",
     "spawn_rngs",
+    "spawn_seed_sequences",
 ]

@@ -42,6 +42,35 @@ def ensure_rng(rng: RNGLike = None) -> np.random.Generator:
     )
 
 
+def spawn_seed_sequences(rng: RNGLike, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent :class:`~numpy.random.SeedSequence` children.
+
+    Every path goes through ``SeedSequence.spawn`` (never through raw integer
+    seeds drawn from a generator, which risks birthday collisions across large
+    fan-outs).  For a ``Generator`` input the children come from the
+    generator's own ``bit_generator.seed_seq``, so repeated calls keep
+    producing fresh, non-overlapping streams; bit generators without an
+    attached seed sequence fall back to a ``SeedSequence`` built from entropy
+    drawn from the generator.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(rng, np.random.Generator):
+        seq = getattr(rng.bit_generator, "seed_seq", None)
+        if not isinstance(seq, np.random.SeedSequence):
+            entropy = [int(word) for word in rng.integers(0, 2**63 - 1, size=4)]
+            seq = np.random.SeedSequence(entropy)
+        return list(seq.spawn(count))
+    if isinstance(rng, np.random.SeedSequence):
+        return list(rng.spawn(count))
+    if rng is None or isinstance(rng, (int, np.integer)):
+        seed = None if rng is None else int(rng)
+        return list(np.random.SeedSequence(seed).spawn(count))
+    raise TypeError(
+        f"expected None, int, SeedSequence or numpy Generator, got {type(rng).__name__}"
+    )
+
+
 def spawn_rngs(rng: RNGLike, count: int) -> list[np.random.Generator]:
     """Create ``count`` statistically independent generators from one source.
 
@@ -50,14 +79,7 @@ def spawn_rngs(rng: RNGLike, count: int) -> list[np.random.Generator]:
     sharing a generator, yet the whole simulation has to stay reproducible
     from a single seed.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(rng, np.random.Generator):
-        # Derive children from the generator itself so repeated calls differ.
-        seeds = rng.integers(0, 2**63 - 1, size=count)
-        return [np.random.default_rng(int(s)) for s in seeds]
-    seq = rng if isinstance(rng, np.random.SeedSequence) else np.random.SeedSequence(rng)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(rng, count)]
 
 
 def random_subset(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -68,6 +70,54 @@ class TestFloodCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["flood", "edge-meg", "--backend", "gpu"])
+
+
+class TestEngineFlags:
+    ARGS = ["flood", "edge-meg", "--nodes", "40", "--p", "0.05", "--q", "0.5",
+            "--trials", "3", "--seed", "1"]
+
+    def test_workers_and_backend_do_not_change_samples(self, tmp_path, capsys):
+        runs = {}
+        for name, extra in (
+            ("serial-set", ["--workers", "1", "--backend", "set"]),
+            ("parallel-vec", ["--workers", "2", "--backend", "vectorized"]),
+        ):
+            json_path = tmp_path / f"{name}.json"
+            assert main(self.ARGS + extra + ["--json", str(json_path)]) == 0
+            runs[name] = json.loads(json_path.read_text())["samples"]
+        assert runs["serial-set"] == runs["parallel-vec"]
+
+    def test_results_dir_caches_identical_reruns(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.ARGS + ["--results-dir", str(store_dir), "--json", str(first)]) == 0
+        assert main(self.ARGS + ["--results-dir", str(store_dir), "--json", str(second)]) == 0
+        assert json.loads(first.read_text()) == json.loads(second.read_text())
+        # One entry in the store: the second run was a cache hit.
+        store_file = store_dir / "results.jsonl"
+        assert len(store_file.read_text().strip().splitlines()) == 1
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        json_path = tmp_path / "run.json"
+        assert main(self.ARGS + ["--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["engine"] == {"workers": 1, "backend": "auto"}
+        assert len(payload["samples"]) == 3
+        assert payload["summary"]["count"] == 3
+        assert payload["paper_bound"] > 0
+
+    def test_experiments_run_json(self, tmp_path, capsys):
+        json_path = tmp_path / "e7.json"
+        assert main(["experiments", "run", "E7", "--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment_id"] == "E7"
+        assert payload["columns"]
+        assert len(payload["rows"]) >= 1
 
 
 class TestRunAll:

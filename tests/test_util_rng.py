@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.util.rng import ensure_rng, random_subset, sample_categorical, spawn_rngs
+from repro.util.rng import (
+    ensure_rng,
+    random_subset,
+    sample_categorical,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 
 
 class TestEnsureRng:
@@ -60,6 +66,54 @@ class TestSpawnRngs:
         children = spawn_rngs(generator, 3)
         assert len(children) == 3
         assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_repeated_generator_spawns_differ(self):
+        # The generator path must keep producing fresh streams call after call.
+        generator = np.random.default_rng(1)
+        first = [g.integers(1_000_000) for g in spawn_rngs(generator, 3)]
+        second = [g.integers(1_000_000) for g in spawn_rngs(generator, 3)]
+        assert first != second
+
+    def test_generator_spawns_go_through_seed_sequence(self):
+        # Guards against the old raw-integer-seed path (birthday collisions):
+        # children of a Generator must be SeedSequence children of its own
+        # bit_generator.seed_seq.
+        generator = np.random.default_rng(123)
+        children = spawn_seed_sequences(generator, 4)
+        assert all(isinstance(c, np.random.SeedSequence) for c in children)
+        assert [c.spawn_key for c in children] == [(0,), (1,), (2,), (3,)]
+        assert all(c.entropy == 123 for c in children)
+
+    def test_large_fanout_streams_are_unique(self):
+        generator = np.random.default_rng(0)
+        draws = [g.integers(0, 2**63) for g in spawn_rngs(generator, 500)]
+        assert len(set(draws)) == 500
+
+
+class TestSpawnSeedSequences:
+    def test_reproducible_from_int(self):
+        a = spawn_seed_sequences(9, 3)
+        b = spawn_seed_sequences(9, 3)
+        assert [c.spawn_key for c in a] == [c.spawn_key for c in b]
+        assert [c.entropy for c in a] == [c.entropy for c in b]
+
+    def test_matches_spawn_rngs_streams(self):
+        from_seqs = [np.random.default_rng(s).integers(1_000_000) for s in spawn_seed_sequences(4, 3)]
+        from_rngs = [g.integers(1_000_000) for g in spawn_rngs(4, 3)]
+        assert from_seqs == from_rngs
+
+    def test_seed_sequence_input_spawns_children(self):
+        parent = np.random.SeedSequence(7)
+        children = spawn_seed_sequences(parent, 2)
+        assert [c.spawn_key for c in children] == [(0,), (1,)]
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            spawn_seed_sequences("nope", 2)
 
 
 class TestRandomSubset:
