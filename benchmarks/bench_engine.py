@@ -1,20 +1,40 @@
-"""Engine benchmark — vectorized kernel vs the set-based loop, plus caching.
+"""Engine benchmark — fast-path kernels vs the set-based loop, plus caching.
 
-The acceptance bar for the engine subsystem: on a 256-node edge-MEG the
-vectorized flooding kernel must produce *bit-identical* samples to the
-set-based loop on shared seeds while running measurably faster, and the
-engine must return bit-identical samples at any worker count.  The result
-store must serve identical re-runs from cache.
+The acceptance bar for the engine fast paths:
+
+* on a 256-node edge-MEG the vectorized flooding kernel must produce
+  *bit-identical* samples to the set-based loop on shared seeds while running
+  measurably faster, and the engine must return bit-identical samples at any
+  worker count;
+* a node-MEG flooding sweep and a mobility-model flooding sweep at
+  ``n >= 256`` must run at least 5x faster through the fast path than
+  through the set-based loop, with exact agreement;
+* the sparse CSR kernel must beat the dense kernel on a sparse
+  ``n >= 2048`` snapshot, again with exact agreement;
+* the result store must serve identical re-runs from cache.
+
+Run under pytest for the assertions, or execute the module directly to write
+a machine-readable ``BENCH_engine.json`` for the CI perf-trajectory artifact::
+
+    python benchmarks/bench_engine.py --output BENCH_engine.json [--quick]
 """
 
 from __future__ import annotations
 
+import json
 import time
+
+import networkx as nx
 
 from bench_utils import run_once
 
 from repro.engine import Engine, ResultStore, TrialSpec
+from repro.graphs.grid import grid_graph
+from repro.markov.builders import random_walk_on_graph
+from repro.meg.base import DynamicGraph, StaticGraphProcess
 from repro.meg.edge_meg import EdgeMEG
+from repro.meg.node_meg import NodeMEG
+from repro.mobility.random_walk import RandomWalkMobility
 
 NODES = 256
 TRIALS = 40
@@ -26,6 +46,47 @@ def _spec() -> TrialSpec:
     return TrialSpec.from_model(model, num_trials=TRIALS, seed=SEED)
 
 
+def _node_meg(num_nodes: int) -> NodeMEG:
+    chain = random_walk_on_graph(grid_graph(4)).lazy(0.3)
+    return NodeMEG(
+        num_nodes,
+        chain,
+        lambda a, b: abs(a[0] - b[0]) + abs(a[1] - b[1]) <= 1,
+    )
+
+
+def _mobility(num_nodes: int) -> RandomWalkMobility:
+    # The representative geometric model of the paper's introduction, in the
+    # sparse regime (grid side ~ sqrt(n), constant radius).
+    grid_side = max(2, int(round(num_nodes**0.5)))
+    return RandomWalkMobility(num_nodes, grid_side=grid_side, radius=1.5)
+
+
+class _FrozenSnapshot(StaticGraphProcess):
+    """Static process with precomputed dense/CSR adjacency.
+
+    Removes snapshot-construction costs entirely, so the sparse-vs-dense
+    comparison measures the kernels alone.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        super().__init__(graph)
+        self._dense = DynamicGraph.adjacency_matrix(self)
+        self._sparse = DynamicGraph.sparse_adjacency(self)
+
+    def adjacency_matrix(self):
+        return self._dense
+
+    def sparse_adjacency(self):
+        return self._sparse
+
+
+def _sparse_snapshot(num_nodes: int) -> _FrozenSnapshot:
+    graph = nx.gnm_random_graph(num_nodes, 3 * num_nodes, seed=7)
+    graph.add_edges_from(nx.path_graph(num_nodes).edges())  # keep connected
+    return _FrozenSnapshot(graph)
+
+
 def _best_time(engine: Engine, spec: TrialSpec, repeats: int = 3) -> tuple[float, tuple]:
     best = float("inf")
     samples = None
@@ -35,6 +96,24 @@ def _best_time(engine: Engine, spec: TrialSpec, repeats: int = 3) -> tuple[float
         best = min(best, time.perf_counter() - started)
         samples = result.flooding_times
     return best, samples
+
+
+def _compare_backends(
+    spec_factory, backends: tuple[str, ...], repeats: int = 3
+) -> dict[str, float]:
+    """Best wall-clock per backend; asserts bit-identical samples throughout."""
+    timings: dict[str, float] = {}
+    reference = None
+    for backend in backends:
+        elapsed, samples = _best_time(
+            Engine(backend=backend), spec_factory(), repeats=repeats
+        )
+        timings[backend] = elapsed
+        if reference is None:
+            reference = samples
+        else:
+            assert samples == reference, f"{backend} kernel diverged from {backends[0]}"
+    return timings
 
 
 def test_engine_vectorized_kernel_speedup(benchmark):
@@ -50,6 +129,55 @@ def test_engine_vectorized_kernel_speedup(benchmark):
     # Identical samples on shared seeds, and a measurable speedup.
     assert vec_samples == set_samples
     assert vec_time < set_time
+
+
+def test_node_meg_fast_path_speedup():
+    # The set-based loop rebuilds the n x n adjacency cache every step; the
+    # fast path floods through the state-level reach mask and never touches
+    # the matrix.  Acceptance: >= 5x at n >= 256 with exact agreement.
+    def spec() -> TrialSpec:
+        return TrialSpec.from_model(_node_meg(512), num_trials=8, seed=3)
+
+    timings = _compare_backends(spec, ("set", "auto"))
+    speedup = timings["set"] / timings["auto"]
+    print()
+    print(f"node-MEG n=512:  set {timings['set'] * 1e3:8.1f} ms   "
+          f"fast path {timings['auto'] * 1e3:8.1f} ms   (speedup x{speedup:.1f})")
+    assert speedup >= 5.0
+
+
+def test_mobility_batched_sweep_speedup():
+    # Batched-source worst-case sweep on the random-walk mobility model: the
+    # fast path floods all sampled sources of a realization in one matrix
+    # pass per step (shared snapshot work), the set-based loop pays the
+    # per-source Python unions.  Acceptance: >= 5x at n >= 256.
+    def spec() -> TrialSpec:
+        return TrialSpec.from_model(
+            _mobility(512), num_trials=2, num_sources=16, seed=1
+        )
+
+    timings = _compare_backends(spec, ("set", "auto"), repeats=3)
+    speedup = timings["set"] / timings["auto"]
+    print()
+    print(f"mobility n=512 (16-source batch):  set {timings['set'] * 1e3:8.1f} ms   "
+          f"fast path {timings['auto'] * 1e3:8.1f} ms   (speedup x{speedup:.1f})")
+    assert speedup >= 5.0
+
+
+def test_sparse_kernel_beats_dense_on_sparse_snapshot():
+    # On a large sparse snapshot the CSR matvec does O(m) work per step
+    # where the dense kernel touches the n x n matrix.  Acceptance: sparse
+    # faster than dense at n >= 2048 with exact agreement (set included).
+    def spec() -> TrialSpec:
+        return TrialSpec.from_model(_sparse_snapshot(4096), num_trials=3, seed=0)
+
+    timings = _compare_backends(spec, ("set", "vectorized", "sparse"), repeats=2)
+    print()
+    print(f"sparse snapshot n=4096:  set {timings['set'] * 1e3:8.1f} ms   "
+          f"dense {timings['vectorized'] * 1e3:8.1f} ms   "
+          f"sparse {timings['sparse'] * 1e3:8.1f} ms   "
+          f"(sparse vs dense x{timings['vectorized'] / timings['sparse']:.1f})")
+    assert timings["sparse"] < timings["vectorized"]
 
 
 def test_engine_worker_count_invariance():
@@ -70,3 +198,92 @@ def test_engine_result_store_roundtrip(tmp_path):
     reloaded = Engine(store=ResultStore(tmp_path)).run(_spec())
     assert reloaded.from_cache
     assert reloaded.flooding_times == first.flooding_times
+
+
+# --------------------------------------------------------------------- #
+# machine-readable benchmark (CI perf-trajectory artifact)
+# --------------------------------------------------------------------- #
+def run_benchmark_suite(quick: bool = False) -> dict:
+    """Time every backend comparison and return a JSON-able report."""
+    node_meg_n = 256 if quick else 512
+    mobility_n = 256 if quick else 512
+    snapshot_n = 2048 if quick else 4096
+    repeats = 2
+
+    report: dict = {"quick": quick, "benchmarks": {}}
+
+    timings = _compare_backends(
+        lambda: TrialSpec.from_model(
+            EdgeMEG(NODES, p=4.0 / NODES, q=0.5),
+            num_trials=10 if quick else TRIALS,
+            seed=SEED,
+        ),
+        ("set", "vectorized"),
+        repeats=repeats,
+    )
+    report["benchmarks"]["edge_meg_single_source"] = {
+        "num_nodes": NODES,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "speedup": timings["set"] / timings["vectorized"],
+    }
+
+    timings = _compare_backends(
+        lambda: TrialSpec.from_model(_node_meg(node_meg_n), num_trials=8, seed=3),
+        ("set", "auto"),
+        repeats=repeats,
+    )
+    report["benchmarks"]["node_meg_single_source"] = {
+        "num_nodes": node_meg_n,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "speedup": timings["set"] / timings["auto"],
+    }
+
+    timings = _compare_backends(
+        lambda: TrialSpec.from_model(
+            _mobility(mobility_n), num_trials=2, num_sources=16, seed=1
+        ),
+        ("set", "auto"),
+        repeats=repeats,
+    )
+    report["benchmarks"]["mobility_batched_sources"] = {
+        "num_nodes": mobility_n,
+        "num_sources": 16,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "speedup": timings["set"] / timings["auto"],
+    }
+
+    timings = _compare_backends(
+        lambda: TrialSpec.from_model(_sparse_snapshot(snapshot_n), num_trials=3, seed=0),
+        ("vectorized", "sparse"),
+        repeats=repeats,
+    )
+    report["benchmarks"]["sparse_snapshot_kernels"] = {
+        "num_nodes": snapshot_n,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "speedup": timings["vectorized"] / timings["sparse"],
+    }
+    return report
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes for CI smoke runs"
+    )
+    args = parser.parse_args()
+    report = run_benchmark_suite(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["benchmarks"].items():
+        times = ", ".join(f"{k} {v:.1f}ms" for k, v in entry["milliseconds"].items())
+        print(f"{name}: {times} (speedup x{entry['speedup']:.1f})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ from repro.core.bounds import (
     corollary6_bound,
     waypoint_flooding_bound,
 )
-from repro.core.flooding import flooding_time_samples
+from repro.core.flooding import batched_flooding_time_samples, flooding_time_samples
 from repro.engine import BACKENDS, Engine, ResultStore, jsonify
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
@@ -62,11 +62,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     engine_options.add_argument(
         "--backend", choices=BACKENDS, default="auto",
-        help="flooding kernel: auto, set (python loop) or vectorized (NumPy)",
+        help="flooding kernel: auto, set (python loop), vectorized (dense NumPy) "
+             "or sparse (CSR matvec)",
     )
     engine_options.add_argument(
         "--results-dir", default=None,
         help="directory of the persistent result store (enables caching)",
+    )
+    source_options = engine_options.add_mutually_exclusive_group()
+    source_options.add_argument(
+        "--all-sources", action="store_true",
+        help="flood from every node of each realization in one batch and "
+             "report the worst-case flooding time per trial",
+    )
+    source_options.add_argument(
+        "--source-sample", type=_positive_int, default=None, metavar="K",
+        help="flood from K sampled sources of each realization in one batch "
+             "and report the worst flooding time per trial",
     )
     engine_options.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
@@ -220,13 +232,29 @@ def _run_flood(args: argparse.Namespace) -> int:
         )
 
     engine = _build_engine(args)
-    samples = flooding_time_samples(
-        model, num_trials=args.trials, rng=args.seed, engine=engine
-    )
+    if args.all_sources or args.source_sample is not None:
+        estimator = (
+            "worst case over all sources"
+            if args.all_sources
+            else f"worst case over {args.source_sample} sampled sources"
+        )
+        samples = batched_flooding_time_samples(
+            model,
+            num_trials=args.trials,
+            sources="all" if args.all_sources else args.source_sample,
+            rng=args.seed,
+            engine=engine,
+        )
+    else:
+        estimator = "single source"
+        samples = flooding_time_samples(
+            model, num_trials=args.trials, rng=args.seed, engine=engine
+        )
     summary = summarize(samples)
     print(f"model:  {description}")
     print(f"engine: workers={engine.workers}, backend={engine.backend}"
           + (f", results-dir={args.results_dir}" if args.results_dir else ""))
+    print(f"estimator: {estimator} per realization")
     print(f"trials: {summary.count}")
     print(
         "flooding time: "
@@ -241,6 +269,7 @@ def _run_flood(args: argparse.Namespace) -> int:
                 "model": description,
                 "seed": args.seed,
                 "engine": {"workers": engine.workers, "backend": engine.backend},
+                "estimator": estimator,
                 "samples": samples,
                 "summary": summary.as_dict(),
                 "paper_bound": bound,

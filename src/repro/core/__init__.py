@@ -27,8 +27,11 @@ from repro.core.bounds import (
 from repro.core.epochs import degree_into_set, set_expansion, spread_over_window
 from repro.core.flooding import (
     FloodingResult,
+    batch_source_flooding_times,
+    batched_flooding_time_samples,
     default_max_steps,
     flood,
+    flood_sources_set,
     flooding_time,
     flooding_time_samples,
     multi_source_flood,
@@ -52,6 +55,8 @@ __all__ = [
     "FloodingResult",
     "SpreadingResult",
     "StationarityEstimate",
+    "batch_source_flooding_times",
+    "batched_flooding_time_samples",
     "corollary4_bound",
     "corollary5_bound",
     "corollary6_bound",
@@ -62,6 +67,7 @@ __all__ = [
     "estimate_edge_probability",
     "estimate_stationarity",
     "flood",
+    "flood_sources_set",
     "flooding_time",
     "flooding_time_samples",
     "flooding_time_statistics",

@@ -186,6 +186,156 @@ def multi_source_flood(
     return FloodingResult(source_list[0], n, tuple(history), flooding_time_value)
 
 
+def flood_sources_set(
+    process: DynamicGraph,
+    sources: Sequence[int],
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    reset: bool = True,
+) -> list[Optional[int]]:
+    """Set-based reference for :func:`repro.engine.kernel.flood_sources_batch`.
+
+    Floods from every source in ``sources`` over *one shared realization* of
+    the dynamic graph, advancing one Python informed-set per source, and
+    returns the per-source flooding times in input order (``None`` for floods
+    that hit the step cap).  Exactly the same estimator as the batch kernels,
+    at set-based-loop speed — the cross-backend parity baseline.
+    """
+    source_list = [int(s) for s in sources]
+    if not source_list:
+        raise ValueError("at least one source is required")
+    n = process.num_nodes
+    for source in source_list:
+        if not 0 <= source < n:
+            raise ValueError(f"sources out of range for {n} nodes")
+    if max_steps is None:
+        max_steps = _default_max_steps(n)
+    if max_steps < 0:
+        raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+    if reset:
+        process.reset(rng)
+
+    batch = len(source_list)
+    if n == 1:
+        return [0] * batch
+
+    informed_sets: list[set[int]] = [{source} for source in source_list]
+    times: list[Optional[int]] = [None] * batch
+    for t in range(max_steps):
+        for index in range(batch):
+            if times[index] is None:
+                informed_sets[index] |= process.neighbors_of_set(informed_sets[index])
+        process.step()
+        for index in range(batch):
+            if times[index] is None and len(informed_sets[index]) == n:
+                times[index] = t + 1
+        if all(time is not None for time in times):
+            break
+    return times
+
+
+def batch_source_flooding_times(
+    process: DynamicGraph,
+    sources: object = "all",
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    backend: str = "auto",
+) -> list[int]:
+    """Flooding time from every source of a batch over one shared realization.
+
+    ``sources`` is ``"all"`` (every node — the exhaustive per-realization
+    worst-case estimator), an integer ``k`` (that many distinct sources
+    sampled uniformly from ``rng``), or an explicit sequence of node indices.
+    The whole batch is flooded in one vectorized pass (dense or sparse
+    according to ``backend``); raises if any source hits the step cap.
+    """
+    # Imported here: repro.engine builds on this module (no import cycle).
+    from repro.engine import flood_sources_batch, resolve_backend
+
+    generator = ensure_rng(rng)
+    n = process.num_nodes
+    if isinstance(sources, str):
+        if sources != "all":
+            raise ValueError(f"sources must be 'all', a count or a sequence, got {sources!r}")
+        source_list = list(range(n))
+    elif isinstance(sources, (int, np.integer)):
+        if sources < 1:
+            raise ValueError(f"the source sample size must be >= 1, got {sources}")
+        if sources > n:
+            raise ValueError(
+                f"the source sample size ({sources}) exceeds the model's {n} nodes"
+            )
+        chosen = generator.choice(n, size=int(sources), replace=False)
+        source_list = [int(s) for s in chosen]
+    else:
+        source_list = [int(s) for s in sources]
+    resolved = resolve_backend(backend, process)
+    if resolved == "set":
+        times = flood_sources_set(
+            process, source_list, rng=generator, max_steps=max_steps
+        )
+    else:
+        times = flood_sources_batch(
+            process,
+            source_list,
+            rng=generator,
+            max_steps=max_steps,
+            backend="sparse" if resolved == "sparse" else "dense",
+        )
+    unfinished = sum(1 for time in times if time is None)
+    if unfinished:
+        raise RuntimeError(
+            f"flooding did not complete within the step limit for "
+            f"{unfinished}/{len(times)} sources"
+        )
+    return [int(time) for time in times]
+
+
+def batched_flooding_time_samples(
+    process: DynamicGraph,
+    num_trials: int,
+    sources: object = "all",
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    workers: int = 1,
+    backend: str = "auto",
+    engine=None,
+) -> list[int]:
+    """Worst-case-over-sources flooding times of ``num_trials`` realizations.
+
+    Each trial draws an independent realization, floods a whole source batch
+    over it in one vectorized pass, and records the *largest* flooding time
+    of the batch — the batched estimator of ``F(G) = max_s F(G, s)``.
+    ``sources`` is ``"all"``, an integer ``k`` (distinct sources re-sampled
+    per trial from the trial's own seed stream) or an explicit sequence.
+
+    Execution routes through :class:`repro.engine.Engine` exactly like
+    :func:`flooding_time_samples`, so worker pools, kernel selection and the
+    persistent result store all apply; samples are bit-identical at any
+    worker count.
+    """
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    # Imported here: repro.engine builds on this module (no import cycle).
+    from repro.engine import Engine, TrialSpec
+
+    if engine is None:
+        engine = Engine(workers=workers, backend=backend)
+    if isinstance(sources, (int, np.integer)):
+        spec_sources, spec_num_sources = None, int(sources)
+    else:
+        spec_sources, spec_num_sources = sources, None
+    spec = TrialSpec.from_model(
+        process,
+        num_trials=num_trials,
+        sources=spec_sources,
+        num_sources=spec_num_sources,
+        max_steps=max_steps,
+        seed=rng,
+    )
+    return list(engine.run(spec).flooding_times)
+
+
 def flooding_time(
     process: DynamicGraph,
     source: int = 0,

@@ -10,18 +10,29 @@ The execution backbone all trial-running code routes through:
     ``SeedSequence``-derived per-trial seeds (bit-identical results at any
     worker count) and transparent result caching.
 ``repro.engine.kernel``
-    The vectorized NumPy flooding kernels (single source and whole source
-    batches) plus the backend-selection predicate.
+    The vectorized flooding kernels — dense NumPy and sparse CSR, single
+    source and whole source batches — plus the backend-selection predicates.
 ``repro.engine.store``
     :class:`ResultStore` — JSONL-backed persistent results with
-    content-hashed keys.
+    content-hashed keys, a lazily built in-memory index and a
+    :meth:`~ResultStore.compact` maintenance helper.
 """
 
-from repro.engine.engine import BACKENDS, Engine, resolve_backend
+from repro.engine.engine import (
+    BACKENDS,
+    SPARSE_AUTO_MAX_DENSITY,
+    SPARSE_AUTO_MIN_NODES,
+    Engine,
+    estimated_snapshot_density,
+    resolve_backend,
+)
 from repro.engine.kernel import (
     flood_sources_batch,
+    flood_sparse,
     flood_vectorized,
     has_fast_adjacency,
+    has_fast_reach_mask,
+    has_fast_sparse_adjacency,
 )
 from repro.engine.spec import BatchResult, TrialSpec
 from repro.engine.store import ResultStore, jsonify
@@ -31,10 +42,16 @@ __all__ = [
     "BatchResult",
     "Engine",
     "ResultStore",
+    "SPARSE_AUTO_MAX_DENSITY",
+    "SPARSE_AUTO_MIN_NODES",
     "TrialSpec",
+    "estimated_snapshot_density",
     "flood_sources_batch",
+    "flood_sparse",
     "flood_vectorized",
     "has_fast_adjacency",
+    "has_fast_reach_mask",
+    "has_fast_sparse_adjacency",
     "jsonify",
     "resolve_backend",
 ]

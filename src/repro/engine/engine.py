@@ -27,21 +27,79 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.flooding import flood
-from repro.engine.kernel import flood_vectorized, has_fast_adjacency
+from repro.core.flooding import flood, flood_sources_set
+from repro.engine.kernel import (
+    flood_sources_batch,
+    flood_sparse,
+    flood_vectorized,
+    has_fast_adjacency,
+    has_fast_reach_mask,
+)
 from repro.engine.spec import BatchResult, TrialSpec
 from repro.engine.store import ResultStore
 from repro.meg.base import DynamicGraph
 from repro.util.rng import spawn_seed_sequences
 
-BACKENDS = ("auto", "set", "vectorized")
+BACKENDS = ("auto", "set", "vectorized", "sparse")
+
+# ``backend="auto"`` upgrades from the dense to the sparse kernel when the
+# model is at least this large and its estimated snapshot density is at most
+# this fraction: below it the O(m)-per-step sparse matvec beats touching the
+# dense n x n matrix; above it the dense kernel's contiguous memory wins.
+SPARSE_AUTO_MIN_NODES = 1024
+SPARSE_AUTO_MAX_DENSITY = 0.05
+
+_KERNELS = {"set": flood, "vectorized": flood_vectorized, "sparse": flood_sparse}
+
+
+def estimated_snapshot_density(model: DynamicGraph) -> Optional[float]:
+    """Best-effort stationary edge density of ``model`` (``None`` if unknown).
+
+    Tries the model-level stationary quantities the paper's analysis already
+    exposes: the pairwise edge probability of the MEG families and the
+    expected-degree estimate of the geometric models.
+    """
+    for attribute in ("edge_probability", "stationary_edge_probability"):
+        method = getattr(model, attribute, None)
+        if method is None:
+            continue
+        try:
+            return float(method())
+        except Exception:
+            continue
+    method = getattr(model, "expected_degree_estimate", None)
+    if method is not None:
+        try:
+            return float(method()) / max(model.num_nodes - 1, 1)
+        except Exception:
+            pass
+    return None
 
 
 def resolve_backend(backend: str, model: DynamicGraph) -> str:
-    """Concrete kernel choice (``"set"`` or ``"vectorized"``) for ``model``."""
+    """Concrete kernel choice (``"set"``, ``"vectorized"`` or ``"sparse"``).
+
+    ``"auto"`` picks the set-based loop for models without a fast adjacency
+    override, otherwise a vectorized kernel — upgraded to the sparse CSR
+    kernel when the model is large (``>= SPARSE_AUTO_MIN_NODES`` nodes) and
+    its estimated snapshot density is small (``<= SPARSE_AUTO_MAX_DENSITY``).
+    Models with a fast :meth:`~repro.meg.base.DynamicGraph.reach_mask`
+    (node-MEGs, graph mobility models) stay on the vectorized kernel at any
+    size: their state-level update already avoids the dense matrix, so the
+    CSR detour could only add work.
+    """
     if backend == "auto":
-        return "vectorized" if has_fast_adjacency(model) else "set"
-    if backend in ("set", "vectorized"):
+        if not has_fast_adjacency(model):
+            return "set"
+        if (
+            not has_fast_reach_mask(model)
+            and model.num_nodes >= SPARSE_AUTO_MIN_NODES
+        ):
+            density = estimated_snapshot_density(model)
+            if density is not None and density <= SPARSE_AUTO_MAX_DENSITY:
+                return "sparse"
+        return "vectorized"
+    if backend in ("set", "vectorized", "sparse"):
         return backend
     raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
 
@@ -59,23 +117,77 @@ def _seed_token(seeds: Sequence[np.random.SeedSequence]) -> list[dict]:
     return token
 
 
+def _trial_sources(
+    model: DynamicGraph,
+    sources,
+    num_sources: Optional[int],
+    rng: np.random.Generator,
+) -> Optional[list[int]]:
+    """The source batch of one trial, or ``None`` for a single-source trial.
+
+    ``num_sources`` draws a fresh distinct-source sample per trial from the
+    trial's own stream (before the model reset consumes it), so the sampled
+    sources are as reproducible as the trials themselves.
+    """
+    if num_sources is not None:
+        n = model.num_nodes
+        if num_sources > n:
+            raise ValueError(
+                f"num_sources ({num_sources}) exceeds the model's {n} nodes; "
+                f"use sources='all' to flood from every node"
+            )
+        chosen = rng.choice(n, size=num_sources, replace=False)
+        return [int(s) for s in chosen]
+    if isinstance(sources, str):  # validated to be "all" by TrialSpec
+        return list(range(model.num_nodes))
+    if sources is not None:
+        return [int(s) for s in sources]
+    return None
+
+
 def _run_single_trial(
     model: DynamicGraph,
     seed: np.random.SeedSequence,
     source: int,
+    sources,
+    num_sources: Optional[int],
     max_steps: Optional[int],
     backend: str,
 ) -> tuple[int, int]:
-    """One flooding trial; returns ``(flooding_time, num_nodes)``."""
+    """One flooding trial; returns ``(flooding_time, num_nodes)``.
+
+    A batched-source trial floods every source of the batch over one shared
+    realization and reports the worst (largest) flooding time — the per-trial
+    estimate of ``F(G) = max_s F(G, s)``.
+    """
     rng = np.random.default_rng(seed)
-    kernel = flood_vectorized if resolve_backend(backend, model) == "vectorized" else flood
-    result = kernel(model, source=source, rng=rng, max_steps=max_steps)
-    if result.flooding_time is None:
-        raise RuntimeError(
-            f"flooding did not complete within the step limit "
-            f"({result.final_informed}/{result.num_nodes} nodes informed)"
+    resolved = resolve_backend(backend, model)
+    source_batch = _trial_sources(model, sources, num_sources, rng)
+    if source_batch is None:
+        result = _KERNELS[resolved](model, source=source, rng=rng, max_steps=max_steps)
+        if result.flooding_time is None:
+            raise RuntimeError(
+                f"flooding did not complete within the step limit "
+                f"({result.final_informed}/{result.num_nodes} nodes informed)"
+            )
+        return result.flooding_time, result.num_nodes
+    if resolved == "set":
+        times = flood_sources_set(model, source_batch, rng=rng, max_steps=max_steps)
+    else:
+        times = flood_sources_batch(
+            model,
+            source_batch,
+            rng=rng,
+            max_steps=max_steps,
+            backend="sparse" if resolved == "sparse" else "dense",
         )
-    return result.flooding_time, result.num_nodes
+    if any(t is None for t in times):
+        unfinished = sum(1 for t in times if t is None)
+        raise RuntimeError(
+            f"flooding did not complete within the step limit for "
+            f"{unfinished}/{len(times)} sources"
+        )
+    return max(times), model.num_nodes
 
 
 def _execute_chunk(payload) -> list[tuple[int, int]]:
@@ -85,9 +197,10 @@ def _execute_chunk(payload) -> list[tuple[int, int]]:
     the chunk's trials reuse that copy exactly as the serial path reuses its
     single instance — every trial resets the model with its own seed.
     """
-    model, seeds, source, max_steps, backend = payload
+    model, seeds, source, sources, num_sources, max_steps, backend = payload
     return [
-        _run_single_trial(model, seed, source, max_steps, backend) for seed in seeds
+        _run_single_trial(model, seed, source, sources, num_sources, max_steps, backend)
+        for seed in seeds
     ]
 
 
@@ -169,12 +282,28 @@ class Engine:
         model = spec.build_model()
         if self.workers == 1 or spec.num_trials == 1:
             outcomes = [
-                _run_single_trial(model, seed, spec.source, spec.max_steps, self.backend)
+                _run_single_trial(
+                    model,
+                    seed,
+                    spec.source,
+                    spec.sources,
+                    spec.num_sources,
+                    spec.max_steps,
+                    self.backend,
+                )
                 for seed in seeds
             ]
         else:
             payloads = [
-                (model, chunk, spec.source, spec.max_steps, self.backend)
+                (
+                    model,
+                    chunk,
+                    spec.source,
+                    spec.sources,
+                    spec.num_sources,
+                    spec.max_steps,
+                    self.backend,
+                )
                 for chunk in _chunk_evenly(seeds, min(self.workers, spec.num_trials))
             ]
             with ProcessPoolExecutor(max_workers=self.workers) as executor:

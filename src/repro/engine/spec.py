@@ -42,7 +42,18 @@ class TrialSpec:
     num_trials:
         Number of independent trials.
     source:
-        The initially informed node.
+        The initially informed node (single-source trials).
+    sources:
+        Optional source batch for batched-source trials: either an explicit
+        sequence of node indices or the string ``"all"`` (every node).  Each
+        trial floods the whole batch over *one shared realization* (see
+        :func:`repro.engine.kernel.flood_sources_batch`) and records the
+        worst flooding time across the batch — the per-realization estimate
+        of ``F(G) = max_s F(G, s)``.  Mutually exclusive with
+        ``num_sources``; when either is set, ``source`` is ignored.
+    num_sources:
+        Optional number of distinct sources sampled uniformly per trial (a
+        cheaper batched estimate of the worst case for large ``n``).
     max_steps:
         Per-trial step cap (``None`` for the generous default of
         :func:`repro.core.flooding.default_max_steps`).
@@ -59,6 +70,8 @@ class TrialSpec:
     kwargs: dict = field(default_factory=dict)
     num_trials: int = 1
     source: int = 0
+    sources: Optional[object] = None
+    num_sources: Optional[int] = None
     max_steps: Optional[int] = None
     seed: RNGLike = None
     label: str = ""
@@ -70,6 +83,19 @@ class TrialSpec:
             raise ValueError(f"num_trials must be >= 1, got {self.num_trials}")
         if self.source < 0:
             raise ValueError(f"source must be non-negative, got {self.source}")
+        if self.sources is not None and self.num_sources is not None:
+            raise ValueError("sources and num_sources are mutually exclusive")
+        if isinstance(self.sources, str) and self.sources != "all":
+            raise ValueError(f"sources must be 'all' or a node sequence, got {self.sources!r}")
+        if self.sources is not None and not isinstance(self.sources, str):
+            batch = tuple(int(s) for s in self.sources)
+            if not batch:
+                raise ValueError("sources must name at least one node")
+            if min(batch) < 0:
+                raise ValueError("sources must be non-negative node indices")
+            object.__setattr__(self, "sources", batch)
+        if self.num_sources is not None and self.num_sources < 1:
+            raise ValueError(f"num_sources must be >= 1, got {self.num_sources}")
         if self.max_steps is not None and self.max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
         object.__setattr__(self, "args", tuple(self.args))
@@ -80,6 +106,8 @@ class TrialSpec:
         model: DynamicGraph,
         num_trials: int,
         source: int = 0,
+        sources: Optional[object] = None,
+        num_sources: Optional[int] = None,
         max_steps: Optional[int] = None,
         seed: RNGLike = None,
         label: str = "",
@@ -94,6 +122,8 @@ class TrialSpec:
             args=(model,),
             num_trials=num_trials,
             source=source,
+            sources=sources,
+            num_sources=num_sources,
             max_steps=max_steps,
             seed=seed,
             label=label or type(model).__name__,
@@ -124,12 +154,22 @@ class TrialSpec:
                 "args": repr(self.args),
                 "kwargs": repr(sorted(self.kwargs.items())),
             }
-        return {
+        token = {
             "model": model_token,
             "num_trials": self.num_trials,
             "source": self.source,
             "max_steps": self.max_steps,
         }
+        # Only batched-source specs carry these keys, so the keys of every
+        # single-source result stored before the batched estimators existed
+        # stay valid.
+        if self.sources is not None:
+            token["sources"] = (
+                "all" if isinstance(self.sources, str) else list(self.sources)
+            )
+        if self.num_sources is not None:
+            token["num_sources"] = self.num_sources
+        return token
 
 
 @dataclass(frozen=True)

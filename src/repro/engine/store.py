@@ -12,6 +12,11 @@ canonical (sorted-keys) JSON encoding of the token — so any change to the
 model parameters, trial count, source, step cap or seed invalidates the
 entry naturally by changing its address.  Duplicate keys are legal in the
 file; the *last* record wins, which doubles as a crude update mechanism.
+
+The file is scanned exactly once, lazily, on the first lookup — every later
+``get``/``put`` is an in-memory dictionary operation — and
+:meth:`ResultStore.compact` rewrites the file with one line per live key,
+dropping superseded duplicates and corrupt/truncated lines.
 """
 
 from __future__ import annotations
@@ -56,9 +61,9 @@ class ResultStore:
         self._directory = str(directory)
         os.makedirs(self._directory, exist_ok=True)
         self._path = os.path.join(self._directory, filename)
-        self._index: dict[str, dict] = {}
-        if os.path.exists(self._path):
-            self._load()
+        # Built lazily on the first lookup; None means "not scanned yet".
+        self._index: Optional[dict[str, dict]] = None
+        self._line_count = 0
 
     # ------------------------------------------------------------------ #
     # keys
@@ -72,12 +77,23 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
+    def _ensure_index(self) -> dict[str, dict]:
+        """Scan the file into the in-memory key index (once, on first use)."""
+        if self._index is None:
+            self._index = {}
+            self._line_count = 0
+            if os.path.exists(self._path):
+                self._load()
+        return self._index
+
     def _load(self) -> None:
+        assert self._index is not None
         with open(self._path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
+                self._line_count += 1
                 # A run killed mid-append can leave a truncated last line;
                 # treat unreadable lines as absent entries (they will simply
                 # be recomputed) instead of refusing to load the store.
@@ -94,22 +110,44 @@ class ResultStore:
 
     def get(self, key: str) -> Optional[dict]:
         """The stored record for ``key``, or ``None`` on a cache miss."""
-        return self._index.get(key)
+        return self._ensure_index().get(key)
 
     def put(self, key: str, record: dict) -> None:
         """Store ``record`` under ``key`` (appended durably, last write wins)."""
+        index = self._ensure_index()
         record = jsonify(record)
         entry = {"key": key, "record": record}
         with open(self._path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._index[key] = record
+        index[key] = record
+        self._line_count += 1
+
+    def compact(self) -> int:
+        """Rewrite the file with one line per live key; returns lines dropped.
+
+        Superseded duplicates (older writes to the same key) and
+        corrupt/truncated lines are removed.  The rewrite goes through a
+        temporary file and an atomic replace, so a crash mid-compaction
+        leaves the original file intact.
+        """
+        index = self._ensure_index()
+        temp_path = self._path + ".compact"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for key, record in index.items():
+                handle.write(
+                    json.dumps({"key": key, "record": record}, sort_keys=True) + "\n"
+                )
+        os.replace(temp_path, self._path)
+        dropped = self._line_count - len(index)
+        self._line_count = len(index)
+        return dropped
 
     def __contains__(self, key: str) -> bool:
-        return key in self._index
+        return key in self._ensure_index()
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._ensure_index())
 
     def keys(self) -> Iterator[str]:
         """Iterate over the stored keys."""
-        return iter(self._index)
+        return iter(self._ensure_index())

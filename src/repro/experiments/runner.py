@@ -57,6 +57,8 @@ def measure_flooding_sweep(
     parameter_values: Sequence,
     num_trials: int,
     source: int = 0,
+    sources: Optional[object] = None,
+    num_sources: Optional[int] = None,
     rng: RNGLike = None,
     max_steps: Optional[int] = None,
     engine: Optional[Engine] = None,
@@ -76,7 +78,12 @@ def measure_flooding_sweep(
     num_trials:
         Independent flooding trials per sweep point.
     source:
-        Flooding source node.
+        Flooding source node (single-source sweeps).
+    sources / num_sources:
+        Optional batched-source estimator (see :class:`repro.engine.TrialSpec`):
+        ``sources`` is ``"all"`` or an explicit node sequence, ``num_sources``
+        samples that many distinct sources per trial; each trial then records
+        the worst flooding time over the batch.
     rng:
         Seed or generator (each sweep point gets an independent child
         ``SeedSequence``).
@@ -102,6 +109,8 @@ def measure_flooding_sweep(
             args=(value,),
             num_trials=num_trials,
             source=source,
+            sources=sources,
+            num_sources=num_sources,
             max_steps=max_steps,
             seed=seed,
             label=f"sweep[{value!r}]",

@@ -10,9 +10,10 @@ walk drops roughly by a factor ``k**2``.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Optional
 
 import networkx as nx
+import numpy as np
 
 
 def grid_graph(side: int, periodic: bool = False) -> nx.Graph:
@@ -97,6 +98,33 @@ def manhattan_distance(
         dr = min(dr, side - dr)
         dc = min(dc, side - dc)
     return dr + dc
+
+
+def hop_ball_matrix(
+    graph: nx.Graph, radius_hops: int, nodes: Optional[Iterable] = None
+) -> np.ndarray:
+    """Boolean matrix ``B[i, j]`` = hop distance of ``nodes[i]``, ``nodes[j]`` <= radius.
+
+    This is the adjacency fast path of the grid / augmented-grid mobility
+    models: with the point-level ball relation precomputed as one boolean
+    matrix, a snapshot adjacency over ``n`` agents is a single fancy-indexing
+    gather ``B[ix_(points, points)]`` instead of a per-agent ball scan.
+    ``radius_hops = 0`` yields the co-location relation (the identity).
+    """
+    if radius_hops < 0:
+        raise ValueError(f"radius_hops must be >= 0, got {radius_hops}")
+    node_list = list(graph.nodes()) if nodes is None else list(nodes)
+    index = {point: i for i, point in enumerate(node_list)}
+    matrix = np.zeros((len(node_list), len(node_list)), dtype=bool)
+    for i, point in enumerate(node_list):
+        if radius_hops == 0:
+            matrix[i, i] = True
+            continue
+        for other in nodes_within_hops(graph, point, radius_hops):
+            j = index.get(other)
+            if j is not None:
+                matrix[i, j] = True
+    return matrix
 
 
 def nodes_within_hops(

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator, Optional, Set
 
 import networkx as nx
 import numpy as np
+import scipy.sparse
 
 from repro.util.rng import RNGLike, ensure_rng
 
@@ -95,6 +96,41 @@ class DynamicGraph(abc.ABC):
             matrix[i, j] = True
             matrix[j, i] = True
         return matrix
+
+    def reach_mask(self, informed: np.ndarray) -> np.ndarray:
+        """Mask of nodes adjacent, in the current snapshot, to an informed node.
+
+        The boolean-mask form of :meth:`neighbors_of_set`, consumed by the
+        vectorized flooding kernel.  The result may include members of
+        ``informed`` itself; flooding callers union it with the informed mask
+        anyway.  The default reduces the adjacency rows of the informed
+        nodes; models whose edges are induced by per-node state (node-MEGs,
+        the graph mobility models) override it with a state-level update that
+        never materialises the ``n x n`` matrix.
+        """
+        return self.adjacency_matrix()[np.asarray(informed, dtype=bool)].any(axis=0)
+
+    def sparse_adjacency(self) -> scipy.sparse.csr_matrix:
+        """CSR adjacency of the current snapshot (nonzero entry = edge).
+
+        The sparse flooding kernel of :mod:`repro.engine` advances informed
+        vectors with a sparse matvec, which beats the dense kernel on large,
+        sparse snapshots (cost ``O(m)`` per step instead of ``O(n^2)``).  The
+        generic implementation compresses the model's fast dense adjacency
+        when one is available, falling back to scattering
+        :meth:`current_edges`; models that can enumerate their edges as
+        arrays (for example the geometric models through their k-d tree)
+        should override it to skip the dense detour too.  Callers must treat
+        the returned matrix as read-only.
+        """
+        n = self.num_nodes
+        if type(self).adjacency_matrix is not DynamicGraph.adjacency_matrix:
+            return scipy.sparse.csr_matrix(self.adjacency_matrix(), dtype=np.intp)
+        edges = [pair for pair in self.current_edges()]
+        if not edges:
+            return scipy.sparse.csr_matrix((n, n), dtype=np.intp)
+        pairs = np.asarray(edges, dtype=np.intp)
+        return sparse_adjacency_from_pairs(n, pairs)
 
     def cache_token(self) -> dict:
         """Stable description of the model used to key cached results.
@@ -210,6 +246,37 @@ def edges_from_adjacency_matrix(matrix: np.ndarray) -> list[tuple[int, int]]:
         raise ValueError(f"adjacency matrix must be square, got shape {matrix.shape}")
     rows, cols = np.nonzero(np.triu(matrix, k=1))
     return list(zip(rows.tolist(), cols.tolist()))
+
+
+def dense_adjacency_from_pairs(num_nodes: int, pairs: np.ndarray) -> np.ndarray:
+    """Symmetric dense boolean adjacency from an ``(m, 2)`` edge array."""
+    matrix = np.zeros((num_nodes, num_nodes), dtype=bool)
+    pairs = np.asarray(pairs)
+    if pairs.size:
+        matrix[pairs[:, 0], pairs[:, 1]] = True
+        matrix[pairs[:, 1], pairs[:, 0]] = True
+    return matrix
+
+
+def sparse_adjacency_from_pairs(
+    num_nodes: int, pairs: np.ndarray
+) -> scipy.sparse.csr_matrix:
+    """Symmetric CSR adjacency from an ``(m, 2)`` array of undirected edges.
+
+    The data dtype is ``intp`` so the sparse kernels can accumulate informed
+    counts without the wrap-around a narrow integer dtype would risk.
+    """
+    pairs = np.asarray(pairs, dtype=np.intp)
+    if pairs.size == 0:
+        return scipy.sparse.csr_matrix((num_nodes, num_nodes), dtype=np.intp)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
+    rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    data = np.ones(rows.size, dtype=np.intp)
+    return scipy.sparse.csr_matrix(
+        (data, (rows, cols)), shape=(num_nodes, num_nodes)
+    )
 
 
 def all_pairs(num_nodes: int) -> list[tuple[int, int]]:

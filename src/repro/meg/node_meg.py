@@ -190,6 +190,17 @@ class NodeMEG(DynamicGraph):
             self._adjacency_cache = adjacency
         return self._adjacency_cache
 
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency of the current snapshot (cached per step).
+
+        A node-MEG snapshot is the connection matrix gathered at the current
+        node states, so the whole matrix is one fancy-indexing operation; the
+        override lets ``backend="auto"`` route node-MEG flooding through the
+        vectorized kernel.  The returned array is the per-step cache — treat
+        it as read-only.
+        """
+        return self._adjacency()
+
     def current_edges(self) -> Iterator[tuple[int, int]]:
         return iter(edges_from_adjacency_matrix(self._adjacency()))
 
@@ -200,6 +211,21 @@ class NodeMEG(DynamicGraph):
         node_array = np.fromiter(nodes, dtype=int)
         reached_mask = adjacency[node_array].any(axis=0)
         return set(np.nonzero(reached_mask)[0].tolist())
+
+    def reach_mask(self, informed: np.ndarray) -> np.ndarray:
+        """State-level flooding update, ``O(n + k * |informed states|)``.
+
+        Node-MEG edges depend only on the endpoint states, so a node is
+        reached exactly when its state connects to the state of some informed
+        node — the update never needs the ``n x n`` adjacency.  (Members of
+        ``informed`` may appear in the result; flooding unions them anyway,
+        so the n-level self-edge exclusion is immaterial.)
+        """
+        if self._states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        informed = np.asarray(informed, dtype=bool)
+        connected_states = self._connection[:, self._states[informed]].any(axis=1)
+        return connected_states[self._states]
 
     def edge_count(self) -> int:
         adjacency = self._adjacency()

@@ -5,12 +5,17 @@ exactly when their Euclidean distance is at most the transmission radius
 ``r``.  These helpers turn an array of agent positions into the corresponding
 snapshot edge set efficiently (k-d tree for large populations, brute force
 for tiny ones).
+
+Every query accepts an optional prebuilt :class:`~scipy.spatial.cKDTree` so
+a model that caches the tree of its current snapshot can serve every
+neighborhood query, edge enumeration and adjacency build of a flooding round
+from one tree instead of rebuilding it per call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Set
+from typing import Iterable, Optional, Set
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -18,24 +23,39 @@ from scipy.spatial import cKDTree
 from repro.util.validation import require_positive
 
 
-def radius_edges(positions: np.ndarray, radius: float) -> list[tuple[int, int]]:
-    """All pairs ``(i, j)``, ``i < j``, with ``||pos_i - pos_j|| <= radius``."""
+def radius_pairs(
+    positions: np.ndarray, radius: float, tree: Optional[cKDTree] = None
+) -> np.ndarray:
+    """``(m, 2)`` array of pairs ``i < j`` with ``||pos_i - pos_j|| <= radius``.
+
+    ``radius == 0`` still connects exactly coincident points.  Pass ``tree``
+    (a ``cKDTree`` built over ``positions``) to reuse a cached tree.
+    """
     require_positive(radius, "radius", strict=False)
     pts = np.asarray(positions, dtype=float)
     if pts.ndim != 2:
         raise ValueError(f"positions must be a 2-D array, got shape {pts.shape}")
-    n = pts.shape[0]
-    if n < 2 or radius == 0.0:
-        # radius 0 still connects exactly coincident points; handle via tree too
-        if n < 2:
-            return []
-    tree = cKDTree(pts)
+    if pts.shape[0] < 2:
+        return np.empty((0, 2), dtype=np.intp)
+    if tree is None:
+        tree = cKDTree(pts)
     pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    return pairs.astype(np.intp, copy=False)
+
+
+def radius_edges(
+    positions: np.ndarray, radius: float, tree: Optional[cKDTree] = None
+) -> list[tuple[int, int]]:
+    """All pairs ``(i, j)``, ``i < j``, with ``||pos_i - pos_j|| <= radius``."""
+    pairs = radius_pairs(positions, radius, tree=tree)
     return [(int(i), int(j)) for i, j in pairs]
 
 
 def neighbors_within_radius(
-    positions: np.ndarray, sources: Iterable[int], radius: float
+    positions: np.ndarray,
+    sources: Iterable[int],
+    radius: float,
+    tree: Optional[cKDTree] = None,
 ) -> Set[int]:
     """Indices of all agents within ``radius`` of at least one source agent.
 
@@ -47,12 +67,14 @@ def neighbors_within_radius(
     source_list = sorted(set(int(s) for s in sources))
     if not source_list:
         return set()
-    for s in source_list:
-        if not 0 <= s < pts.shape[0]:
-            raise ValueError(f"source index {s} out of range")
-    tree = cKDTree(pts)
+    source_array = np.asarray(source_list, dtype=int)
+    if source_array.min() < 0 or source_array.max() >= pts.shape[0]:
+        bad = source_array[(source_array < 0) | (source_array >= pts.shape[0])][0]
+        raise ValueError(f"source index {bad} out of range")
+    if tree is None:
+        tree = cKDTree(pts)
     reached: set[int] = set()
-    neighbor_lists = tree.query_ball_point(pts[source_list], r=radius)
+    neighbor_lists = tree.query_ball_point(pts[source_array], r=radius)
     for neighbors in neighbor_lists:
         reached.update(int(v) for v in neighbors)
     return reached - set(source_list)
@@ -67,16 +89,27 @@ class UnitDiskConnection:
     def __post_init__(self) -> None:
         require_positive(self.radius, "radius", strict=False)
 
-    def edges(self, positions: np.ndarray) -> list[tuple[int, int]]:
+    def edges(
+        self, positions: np.ndarray, tree: Optional[cKDTree] = None
+    ) -> list[tuple[int, int]]:
         """Snapshot edge set induced by agent positions."""
-        return radius_edges(positions, self.radius)
+        return radius_edges(positions, self.radius, tree=tree)
+
+    def edge_pairs(
+        self, positions: np.ndarray, tree: Optional[cKDTree] = None
+    ) -> np.ndarray:
+        """Snapshot edge set as an ``(m, 2)`` index array."""
+        return radius_pairs(positions, self.radius, tree=tree)
 
     def are_connected(self, a: np.ndarray, b: np.ndarray) -> bool:
         """Whether two individual positions are within the radius."""
         return float(np.linalg.norm(np.asarray(a) - np.asarray(b))) <= self.radius
 
     def neighbors_of_set(
-        self, positions: np.ndarray, sources: Iterable[int]
+        self,
+        positions: np.ndarray,
+        sources: Iterable[int],
+        tree: Optional[cKDTree] = None,
     ) -> Set[int]:
         """Agents within the radius of at least one source agent."""
-        return neighbors_within_radius(positions, sources, self.radius)
+        return neighbors_within_radius(positions, sources, self.radius, tree=tree)

@@ -25,7 +25,7 @@ from typing import Hashable, Iterator, Optional
 import networkx as nx
 import numpy as np
 
-from repro.graphs.grid import nodes_within_hops
+from repro.graphs.grid import hop_ball_matrix, nodes_within_hops
 from repro.graphs.paths import PathFamily, edge_paths
 from repro.markov.chain import MarkovChain
 from repro.meg.base import DynamicGraph
@@ -113,6 +113,30 @@ class RandomPathModel(DynamicGraph):
                 self._point_ball[point] = frozenset(
                     nodes_within_hops(graph, point, radius_hops)
                 )
+
+        # Array form of the chain and the ball relation, for the vectorized
+        # whole-population step and the one-gather snapshot adjacency.
+        self._point_list = list(graph.nodes())
+        point_index = {point: i for i, point in enumerate(self._point_list)}
+        self._state_point_index = np.array(
+            [point_index[point] for point in self._state_point], dtype=np.intp
+        )
+        self._point_ball_matrix = hop_ball_matrix(
+            graph, radius_hops, self._point_list
+        )
+        k = len(self._states)
+        self._next_state = np.full(k, -1, dtype=np.intp)
+        self._entry_count = np.zeros(k, dtype=np.intp)
+        max_entries = max(len(v) for v in self._entry_states.values())
+        self._entry_matrix = np.zeros((k, max_entries), dtype=np.intp)
+        for i, (path_index, position) in enumerate(self._states):
+            path = self._paths[path_index]
+            if position < len(path) - 1:
+                self._next_state[i] = self._state_index[(path_index, position + 1)]
+            else:
+                entries = self._entry_states[path[-1]]
+                self._entry_count[i] = len(entries)
+                self._entry_matrix[i, : len(entries)] = entries
 
         self._agent_states: Optional[np.ndarray] = None
         self._rng: Optional[np.random.Generator] = None
@@ -244,21 +268,38 @@ class RandomPathModel(DynamicGraph):
     def step(self) -> None:
         if self._agent_states is None or self._rng is None:
             raise RuntimeError("call reset() before step()")
-        for agent in range(self._num_nodes):
-            if (
-                self._holding_probability
-                and self._rng.random() < self._holding_probability
-            ):
-                continue
-            path_index, position = self._states[self._agent_states[agent]]
-            path = self._paths[path_index]
-            if position < len(path) - 1:
-                self._agent_states[agent] = self._state_index[(path_index, position + 1)]
-            else:
-                entries = self._entry_states[path[-1]]
-                self._agent_states[agent] = entries[self._rng.integers(len(entries))]
+        if self._holding_probability:
+            # The lazy variant interleaves a hold draw with the jump draw per
+            # agent; a vectorized version would reorder the random stream, so
+            # keep the loop for exactness.
+            for agent in range(self._num_nodes):
+                if self._rng.random() < self._holding_probability:
+                    continue
+                self._step_one_agent(agent)
+        else:
+            # Whole-population step: deterministic in-path advances come from
+            # one table lookup, and the end-of-path jumps draw broadcast
+            # bounded integers — element for element the same values as the
+            # historical per-agent scalar draws.
+            states = self._agent_states
+            advanced = self._next_state[states]
+            at_end = advanced < 0
+            if at_end.any():
+                end_states = states[at_end]
+                draws = self._rng.integers(0, self._entry_count[end_states])
+                advanced[at_end] = self._entry_matrix[end_states, draws]
+            self._agent_states = advanced
         self._edges_cache = None
         self._time += 1
+
+    def _step_one_agent(self, agent: int) -> None:
+        path_index, position = self._states[self._agent_states[agent]]
+        path = self._paths[path_index]
+        if position < len(path) - 1:
+            self._agent_states[agent] = self._state_index[(path_index, position + 1)]
+        else:
+            entries = self._entry_states[path[-1]]
+            self._agent_states[agent] = entries[self._rng.integers(len(entries))]
 
     def agent_points(self) -> list[Point]:
         """Current point of the mobility graph occupied by every agent."""
@@ -285,6 +326,24 @@ class RandomPathModel(DynamicGraph):
         if self._edges_cache is None:
             self._edges_cache = self._compute_edges()
         return iter(self._edges_cache)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency gathered from the point-ball matrix."""
+        if self._agent_states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        points = self._state_point_index[self._agent_states]
+        matrix = self._point_ball_matrix[np.ix_(points, points)]
+        np.fill_diagonal(matrix, False)
+        return matrix
+
+    def reach_mask(self, informed: np.ndarray) -> np.ndarray:
+        """Point-level flooding update through the point-ball matrix."""
+        if self._agent_states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        informed = np.asarray(informed, dtype=bool)
+        points = self._state_point_index[self._agent_states]
+        connected_points = self._point_ball_matrix[points[informed]].any(axis=0)
+        return connected_points[points]
 
 
 class GraphRandomWalkMobility(DynamicGraph):
@@ -337,6 +396,21 @@ class GraphRandomWalkMobility(DynamicGraph):
             self._ball_indices.append(
                 np.array(sorted(self._point_index[p] for p in ball), dtype=int)
             )
+        # Point-level ball relation as one boolean matrix (snapshot adjacency
+        # is a single gather) and the neighbour lists padded into one integer
+        # matrix (whole-population steps draw broadcast bounded integers).
+        k = len(self._points)
+        self._ball_matrix = np.zeros((k, k), dtype=bool)
+        for i, ball in enumerate(self._ball_indices):
+            self._ball_matrix[i, ball] = True
+        self._degree_counts = np.array(
+            [len(nbrs) for nbrs in self._neighbors], dtype=np.intp
+        )
+        self._neighbor_matrix = np.zeros(
+            (k, int(self._degree_counts.max())), dtype=np.intp
+        )
+        for i, nbrs in enumerate(self._neighbors):
+            self._neighbor_matrix[i, : len(nbrs)] = nbrs
         self._agent_points: Optional[np.ndarray] = None
         self._rng: Optional[np.random.Generator] = None
         self._edges_cache: Optional[list[tuple[int, int]]] = None
@@ -375,14 +449,22 @@ class GraphRandomWalkMobility(DynamicGraph):
     def step(self) -> None:
         if self._agent_points is None or self._rng is None:
             raise RuntimeError("call reset() before step()")
-        for agent in range(self._num_nodes):
-            if (
-                self._holding_probability
-                and self._rng.random() < self._holding_probability
-            ):
-                continue
-            neighbors = self._neighbors[self._agent_points[agent]]
-            self._agent_points[agent] = neighbors[self._rng.integers(len(neighbors))]
+        if self._holding_probability:
+            # Hold draws interleave with move draws per agent; vectorizing
+            # would reorder the random stream, so the lazy walk keeps the loop.
+            for agent in range(self._num_nodes):
+                if self._rng.random() < self._holding_probability:
+                    continue
+                neighbors = self._neighbors[self._agent_points[agent]]
+                self._agent_points[agent] = neighbors[
+                    self._rng.integers(len(neighbors))
+                ]
+        else:
+            # Whole-population step: broadcast bounded integers draw element
+            # for element the same values as the historical per-agent loop.
+            points = self._agent_points
+            draws = self._rng.integers(0, self._degree_counts[points])
+            self._agent_points = self._neighbor_matrix[points, draws]
         self._edges_cache = None
         self._time += 1
 
@@ -411,6 +493,35 @@ class GraphRandomWalkMobility(DynamicGraph):
         if self._edges_cache is None:
             self._edges_cache = self._compute_edges()
         return iter(self._edges_cache)
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency gathered from the point-ball matrix."""
+        if self._agent_points is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        points = self._agent_points
+        matrix = self._ball_matrix[np.ix_(points, points)]
+        np.fill_diagonal(matrix, False)
+        return matrix
+
+    def reach_mask(self, informed: np.ndarray) -> np.ndarray:
+        """Point-level flooding update: reached iff the agent's point lies in
+        the ball of some informed agent's point (``O(n + k |informed|)``)."""
+        if self._agent_points is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        informed = np.asarray(informed, dtype=bool)
+        points = self._agent_points
+        connected_points = self._ball_matrix[points[informed]].any(axis=0)
+        return connected_points[points]
+
+    def edge_probability(self) -> float:
+        """Stationary probability that two fixed agents are connected.
+
+        Agent positions are independent draws from the walk's stationary
+        distribution (proportional to point degree), so the probability is
+        ``pi^T B pi`` with ``B`` the point-ball matrix.
+        """
+        pi = self._degrees / self._degrees.sum()
+        return float(pi @ self._ball_matrix @ pi)
 
 
 def random_walk_path_model(

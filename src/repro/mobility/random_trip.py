@@ -19,8 +19,13 @@ import abc
 from typing import Iterator, Optional
 
 import numpy as np
+from scipy.spatial import cKDTree
 
-from repro.meg.base import DynamicGraph
+from repro.meg.base import (
+    DynamicGraph,
+    dense_adjacency_from_pairs,
+    sparse_adjacency_from_pairs,
+)
 from repro.mobility.connection import UnitDiskConnection
 from repro.mobility.geometry import SquareRegion
 from repro.util.rng import RNGLike, ensure_rng
@@ -92,9 +97,17 @@ class RandomTrip(DynamicGraph):
         self._warmup_steps = warmup_steps
         self._snap_resolution = snap_resolution
         self._positions: Optional[np.ndarray] = None
-        self._legs: list[list[np.ndarray]] = []
+        # Remaining trip of every agent, stored as one padded array so the
+        # per-step position update is a single NumPy gather: row ``node``
+        # holds that agent's current leg, ``_leg_cursor[node]`` the index of
+        # its next position, ``_leg_lengths[node]`` the leg's true length.
+        self._leg_buffer: Optional[np.ndarray] = None
+        self._leg_lengths: Optional[np.ndarray] = None
+        self._leg_cursor: Optional[np.ndarray] = None
         self._rng: Optional[np.random.Generator] = None
         self._edges_cache: Optional[list[tuple[int, int]]] = None
+        self._pairs_cache: Optional[np.ndarray] = None
+        self._tree_cache: Optional[cKDTree] = None
         self._time = 0
 
     # ------------------------------------------------------------------ #
@@ -127,8 +140,10 @@ class RandomTrip(DynamicGraph):
         self._rng = ensure_rng(rng)
         self._time = 0
         self._positions = self._region.sample_uniform(self._rng, self._num_nodes)
-        self._legs = [[] for _ in range(self._num_nodes)]
-        self._edges_cache = None
+        self._leg_buffer = np.zeros((self._num_nodes, 1, 2))
+        self._leg_lengths = np.zeros(self._num_nodes, dtype=np.intp)
+        self._leg_cursor = np.zeros(self._num_nodes, dtype=np.intp)
+        self._invalidate_snapshot()
         for _ in range(self._warmup_steps):
             self._advance()
         self._time = 0
@@ -141,21 +156,40 @@ class RandomTrip(DynamicGraph):
 
     def _advance(self) -> None:
         assert self._positions is not None and self._rng is not None
-        for node in range(self._num_nodes):
-            if not self._legs[node]:
-                leg = self._sampler.sample_leg(
-                    self._positions[node], self._region, self._rng
+        buffer = self._leg_buffer
+        lengths = self._leg_lengths
+        cursor = self._leg_cursor
+        assert buffer is not None and lengths is not None and cursor is not None
+        # Refill exhausted legs in node order, so the random stream is
+        # consumed exactly as the per-node loop used to consume it.
+        for node in np.nonzero(cursor >= lengths)[0]:
+            leg = self._sampler.sample_leg(
+                self._positions[node], self._region, self._rng
+            )
+            leg = np.asarray(leg, dtype=float)
+            if leg.ndim != 2 or leg.shape[1] != 2 or leg.shape[0] < 1:
+                raise ValueError(
+                    "sample_leg must return an array of shape (k, 2) with k >= 1"
                 )
-                leg = np.asarray(leg, dtype=float)
-                if leg.ndim != 2 or leg.shape[1] != 2 or leg.shape[0] < 1:
-                    raise ValueError(
-                        "sample_leg must return an array of shape (k, 2) with k >= 1"
-                    )
-                self._legs[node] = [self._region.clamp(row) for row in leg]
-            self._positions[node] = self._legs[node].pop(0)
+            steps = leg.shape[0]
+            if steps > buffer.shape[1]:
+                grown = np.zeros((self._num_nodes, steps, 2))
+                grown[:, : buffer.shape[1]] = buffer
+                buffer = self._leg_buffer = grown
+            buffer[node, :steps] = np.clip(leg, 0.0, self._region.side)
+            lengths[node] = steps
+            cursor[node] = 0
+        # The whole population advances in one gather.
+        self._positions = buffer[np.arange(self._num_nodes), cursor]
+        cursor += 1
         if self._snap_resolution is not None:
             self._positions = self._snap(self._positions)
+        self._invalidate_snapshot()
+
+    def _invalidate_snapshot(self) -> None:
         self._edges_cache = None
+        self._pairs_cache = None
+        self._tree_cache = None
 
     def _snap(self, positions: np.ndarray) -> np.ndarray:
         """Snap positions to the centres of the ``m x m`` discretisation cells."""
@@ -171,11 +205,31 @@ class RandomTrip(DynamicGraph):
             raise RuntimeError("call reset() before querying positions")
         return self._positions.copy()
 
+    def snapshot_tree(self) -> cKDTree:
+        """k-d tree over the current positions, built once per time step.
+
+        Every neighborhood query, edge enumeration and adjacency build of a
+        flooding round reuses this tree instead of rebuilding it per call.
+        """
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        if self._tree_cache is None:
+            self._tree_cache = cKDTree(self._positions)
+        return self._tree_cache
+
+    def edge_pairs(self) -> np.ndarray:
+        """Current snapshot edges as an ``(m, 2)`` index array (cached)."""
+        if self._pairs_cache is None:
+            self._pairs_cache = self._connection.edge_pairs(
+                self._positions, tree=self.snapshot_tree()
+            )
+        return self._pairs_cache
+
     def current_edges(self) -> Iterator[tuple[int, int]]:
         if self._positions is None:
             raise RuntimeError("call reset() before querying the snapshot")
         if self._edges_cache is None:
-            self._edges_cache = self._connection.edges(self._positions)
+            self._edges_cache = [(int(i), int(j)) for i, j in self.edge_pairs()]
         return iter(self._edges_cache)
 
     def neighbors_of_set(self, nodes) -> set[int]:
@@ -183,14 +237,36 @@ class RandomTrip(DynamicGraph):
             raise RuntimeError("call reset() before querying the snapshot")
         if not nodes:
             return set()
-        return self._connection.neighbors_of_set(self._positions, nodes)
+        return self._connection.neighbors_of_set(
+            self._positions, nodes, tree=self.snapshot_tree()
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency scattered from the k-d tree's edge pairs."""
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        return dense_adjacency_from_pairs(self._num_nodes, self.edge_pairs())
+
+    def sparse_adjacency(self):
+        if self._positions is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        return sparse_adjacency_from_pairs(self._num_nodes, self.edge_pairs())
 
     def edge_count(self) -> int:
         if self._positions is None:
             raise RuntimeError("call reset() before querying the snapshot")
-        if self._edges_cache is None:
-            self._edges_cache = self._connection.edges(self._positions)
-        return len(self._edges_cache)
+        return int(self.edge_pairs().shape[0])
+
+    def expected_degree_estimate(self) -> float:
+        """Rough stationary expected degree ``(n - 1) * pi r^2 / L^2``.
+
+        Ignores boundary effects and any non-uniformity of the stationary
+        positional density, but gives the right order of magnitude — enough
+        to decide whether a configuration is in the sparse or dense regime
+        (the engine's ``backend="auto"`` heuristic consumes it).
+        """
+        area = self._region.volume()
+        return (self._num_nodes - 1) * np.pi * self.radius**2 / area
 
 
 def straight_leg(

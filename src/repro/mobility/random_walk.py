@@ -19,11 +19,21 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 import numpy as np
+from scipy.spatial import cKDTree
 
-from repro.meg.base import DynamicGraph
+from repro.meg.base import (
+    DynamicGraph,
+    dense_adjacency_from_pairs,
+    sparse_adjacency_from_pairs,
+)
 from repro.mobility.connection import UnitDiskConnection
 from repro.util.rng import RNGLike, ensure_rng
 from repro.util.validation import require_node_count, require_positive, require_probability
+
+# Candidate moves of a grid step, in the order the per-node loop historically
+# filtered them (right, left, up, down); the vectorized step must keep this
+# order to draw the same move indices from the same random stream.
+_MOVES = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]])
 
 
 class RandomWalkMobility(DynamicGraph):
@@ -76,6 +86,9 @@ class RandomWalkMobility(DynamicGraph):
         self._coords: Optional[np.ndarray] = None  # shape (n, 2), integer grid coords
         self._rng: Optional[np.random.Generator] = None
         self._edges_cache: Optional[list[tuple[int, int]]] = None
+        self._pairs_cache: Optional[np.ndarray] = None
+        self._tree_cache: Optional[cKDTree] = None
+        self._positions_cache: Optional[np.ndarray] = None
         self._time = 0
 
     # ------------------------------------------------------------------ #
@@ -126,18 +139,48 @@ class RandomWalkMobility(DynamicGraph):
             self._coords = coords[chosen].copy()
         else:
             self._coords = self._rng.integers(0, m, size=(self._num_nodes, 2))
-        self._edges_cache = None
+        self._invalidate_snapshot()
 
     def step(self) -> None:
         if self._coords is None or self._rng is None:
             raise RuntimeError("call reset() before step()")
+        if self._holding_probability:
+            self._step_with_holding()
+        else:
+            self._step_vectorized()
+        self._invalidate_snapshot()
+        self._time += 1
+
+    def _step_vectorized(self) -> None:
+        # Whole-population step in a handful of array ops.  NumPy draws
+        # broadcast bounded integers element by element from the same stream
+        # as repeated scalar draws, so the trajectories are bit-identical to
+        # the historical per-node loop.
         m = self._grid_side
         coords = self._coords
-        moves = np.array([[1, 0], [-1, 0], [0, 1], [0, -1]])
+        valid = np.column_stack(
+            [
+                coords[:, 0] + 1 < m,
+                coords[:, 0] - 1 >= 0,
+                coords[:, 1] + 1 < m,
+                coords[:, 1] - 1 >= 0,
+            ]
+        )
+        draws = self._rng.integers(0, valid.sum(axis=1))
+        # Index of the (draws+1)-th valid move of every row.
+        move_index = np.argmax(valid.cumsum(axis=1) > draws[:, None], axis=1)
+        self._coords = coords + _MOVES[move_index]
+
+    def _step_with_holding(self) -> None:
+        # The lazy walk interleaves one uniform draw (hold or not) with the
+        # move draw per node, so a vectorized version would consume the
+        # random stream in a different order; keep the loop for exactness.
+        m = self._grid_side
+        coords = self._coords
         for node in range(self._num_nodes):
-            if self._holding_probability and self._rng.random() < self._holding_probability:
+            if self._rng.random() < self._holding_probability:
                 continue
-            candidates = coords[node] + moves
+            candidates = coords[node] + _MOVES
             valid = candidates[
                 (candidates[:, 0] >= 0)
                 & (candidates[:, 0] < m)
@@ -145,14 +188,23 @@ class RandomWalkMobility(DynamicGraph):
                 & (candidates[:, 1] < m)
             ]
             coords[node] = valid[self._rng.integers(valid.shape[0])]
+
+    def _invalidate_snapshot(self) -> None:
         self._edges_cache = None
-        self._time += 1
+        self._pairs_cache = None
+        self._tree_cache = None
+        self._positions_cache = None
 
     def positions(self) -> np.ndarray:
         """Current physical positions (grid coordinates times spacing)."""
+        return self._physical_positions().copy()
+
+    def _physical_positions(self) -> np.ndarray:
         if self._coords is None:
             raise RuntimeError("call reset() before querying positions")
-        return self._coords.astype(float) * self._spacing
+        if self._positions_cache is None:
+            self._positions_cache = self._coords.astype(float) * self._spacing
+        return self._positions_cache
 
     def grid_coordinates(self) -> np.ndarray:
         """Current integer grid coordinates of every agent."""
@@ -160,20 +212,46 @@ class RandomWalkMobility(DynamicGraph):
             raise RuntimeError("call reset() before querying positions")
         return self._coords.copy()
 
+    def snapshot_tree(self) -> cKDTree:
+        """k-d tree over the current positions, built once per time step."""
+        if self._tree_cache is None:
+            self._tree_cache = cKDTree(self._physical_positions())
+        return self._tree_cache
+
+    def edge_pairs(self) -> np.ndarray:
+        """Current snapshot edges as an ``(m, 2)`` index array (cached)."""
+        if self._pairs_cache is None:
+            self._pairs_cache = self._connection.edge_pairs(
+                self._physical_positions(), tree=self.snapshot_tree()
+            )
+        return self._pairs_cache
+
     def current_edges(self) -> Iterator[tuple[int, int]]:
         if self._edges_cache is None:
-            self._edges_cache = self._connection.edges(self.positions())
+            self._edges_cache = [(int(i), int(j)) for i, j in self.edge_pairs()]
         return iter(self._edges_cache)
 
     def neighbors_of_set(self, nodes) -> set[int]:
         if not nodes:
             return set()
-        return self._connection.neighbors_of_set(self.positions(), nodes)
+        return self._connection.neighbors_of_set(
+            self._physical_positions(), nodes, tree=self.snapshot_tree()
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency scattered from the k-d tree's edge pairs."""
+        return dense_adjacency_from_pairs(self._num_nodes, self.edge_pairs())
+
+    def sparse_adjacency(self):
+        return sparse_adjacency_from_pairs(self._num_nodes, self.edge_pairs())
 
     def edge_count(self) -> int:
-        if self._edges_cache is None:
-            self._edges_cache = self._connection.edges(self.positions())
-        return len(self._edges_cache)
+        return int(self.edge_pairs().shape[0])
+
+    def expected_degree_estimate(self) -> float:
+        """Rough stationary expected degree ``(n - 1) * pi r^2 / area``."""
+        area = max(self.side_length, self._spacing) ** 2
+        return (self._num_nodes - 1) * np.pi * self.radius**2 / area
 
     def mixing_time_estimate(self) -> float:
         """Order-of-magnitude mixing time ``Theta(m**2)`` of a walk on the grid."""

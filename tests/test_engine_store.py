@@ -78,6 +78,40 @@ class TestResultStore:
         with open(store.path, "r", encoding="utf-8") as handle:
             assert len(handle.readlines()) == 2
 
+    def test_index_built_lazily_on_first_lookup(self, tmp_path):
+        key = ResultStore.compute_key({"model": "lazy"})
+        ResultStore(tmp_path).put(key, {"value": 1})
+        store = ResultStore(tmp_path)
+        # Construction does not scan the file; the first lookup does, once.
+        assert store._index is None
+        assert store.get(key) == {"value": 1}
+        assert store._index is not None
+
+    def test_compact_drops_superseded_and_corrupt_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key_a = ResultStore.compute_key({"model": "a"})
+        key_b = ResultStore.compute_key({"model": "b"})
+        store.put(key_a, {"value": 1})
+        store.put(key_a, {"value": 2})  # supersedes the first write
+        store.put(key_b, {"value": 3})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated mid-append\n')
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.compact() == 2  # one duplicate + one corrupt line
+        with open(reloaded.path, "r", encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 2
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(key_a) == {"value": 2}
+        assert fresh.get(key_b) == {"value": 3}
+
+    def test_compact_idempotent_and_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.compact() == 0
+        key = ResultStore.compute_key({"model": "one"})
+        store.put(key, {"value": 1})
+        assert store.compact() == 0
+        assert ResultStore(tmp_path).get(key) == {"value": 1}
+
 
 class TestEngineCaching:
     def test_cache_hit_returns_identical_samples(self, tmp_path):

@@ -128,6 +128,28 @@ class TestRadiusEdges:
     def test_single_point(self):
         assert radius_edges(np.array([[0.0, 0.0]]), 5.0) == []
 
+    def test_radius_zero_connects_coincident_points(self):
+        # Regression: the old guard special-cased ``radius == 0`` but fell
+        # through to the tree anyway; the semantics (coincident points are
+        # connected at radius 0) must hold through the single tree path.
+        positions = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert radius_edges(positions, 0.0) == [(0, 1)]
+
+    def test_radius_zero_separated_points(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert radius_edges(positions, 0.0) == []
+
+    def test_prebuilt_tree_reused(self):
+        from scipy.spatial import cKDTree
+
+        rng = np.random.default_rng(3)
+        positions = rng.random((20, 2)) * 3
+        tree = cKDTree(positions)
+        assert radius_edges(positions, 1.0, tree=tree) == radius_edges(positions, 1.0)
+        assert neighbors_within_radius(
+            positions, [0, 4], 1.0, tree=tree
+        ) == neighbors_within_radius(positions, [0, 4], 1.0)
+
     def test_boundary_is_inclusive(self):
         positions = np.array([[0.0, 0.0], [1.0, 0.0]])
         assert radius_edges(positions, 1.0) == [(0, 1)]
