@@ -1,0 +1,85 @@
+"""Compare two ``BENCH_engine.json`` reports and gate on speedup regressions.
+
+CI runs this after the quick benchmark: the previous successful run's report
+is downloaded as an artifact and compared against the fresh one.  Each
+benchmark's ``speedup`` ratio (fast path vs baseline kernel) must not fall
+more than ``--max-regression`` (default 30%) below the previous value, or
+the step fails.  A missing baseline (first run, expired artifact) passes
+with a notice — the gate only ever compares real measurements.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline previous/BENCH_engine.json \
+        --current BENCH_engine.json \
+        --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
+    """Regression messages (empty = gate passes)."""
+    failures = []
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    current_benchmarks = current.get("benchmarks", {})
+    shared = sorted(set(baseline_benchmarks) & set(current_benchmarks))
+    if not shared:
+        print("no shared benchmarks between baseline and current; nothing to gate")
+        return failures
+    for name in shared:
+        before = float(baseline_benchmarks[name]["speedup"])
+        after = float(current_benchmarks[name]["speedup"])
+        drop = 0.0 if before <= 0 else (before - after) / before
+        status = "FAIL" if drop > max_regression else "ok"
+        change = f"({-drop:+.1%} change)"
+        print(f"{name}: speedup x{before:.2f} -> x{after:.2f} {change} [{status}]")
+        if drop > max_regression:
+            failures.append(
+                f"{name}: speedup fell {drop:.1%} (x{before:.2f} -> x{after:.2f}), "
+                f"more than the allowed {max_regression:.0%}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="previous BENCH_engine.json")
+    parser.add_argument("--current", required=True, help="fresh BENCH_engine.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="largest tolerated fractional speedup drop (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; skipping the regression gate")
+        return 0
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        print("baseline and current used different sizes; skipping the regression gate")
+        return 0
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,8 @@ sub-packages hold the full API:
     Parameter-sweep harness and the per-theorem experiment registry.
 ``repro.engine``
     Parallel Monte-Carlo execution engine: trial specs, serial/multiprocess
-    scheduling, the vectorized flooding kernel and the persistent result
-    store.
+    scheduling, deterministic sharding, the vectorized flooding kernels,
+    snapshot replay and the persistent (mergeable) result store.
 """
 
 from repro.core.bounds import (
@@ -44,7 +44,7 @@ from repro.core.bounds import (
     waypoint_flooding_bound,
 )
 from repro.core.flooding import FloodingResult, flood, flooding_time
-from repro.engine import Engine, ResultStore, TrialSpec
+from repro.engine import Engine, ResultStore, ShardSpec, SnapshotReplay, TrialSpec
 from repro.markov.chain import MarkovChain
 from repro.meg.base import DynamicGraph
 from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
@@ -53,7 +53,7 @@ from repro.mobility.random_path import RandomPathModel
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypoint
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DynamicGraph",
@@ -67,6 +67,8 @@ __all__ = [
     "RandomWalkMobility",
     "RandomWaypoint",
     "ResultStore",
+    "ShardSpec",
+    "SnapshotReplay",
     "TrialSpec",
     "__version__",
     "corollary4_bound",

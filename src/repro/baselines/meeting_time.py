@@ -17,14 +17,13 @@ This module computes the comparator quantities:
 
 from __future__ import annotations
 
-import math
 from typing import Hashable, Optional
 
 import networkx as nx
 import numpy as np
 
 from repro.util.mathutils import logn_factor
-from repro.util.rng import RNGLike, ensure_rng, spawn_rngs
+from repro.util.rng import RNGLike, spawn_rngs
 
 
 def hitting_time_matrix(graph: nx.Graph) -> tuple[np.ndarray, list[Hashable]]:

@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     repro flood grid-walk --nodes 64 --grid-side 8 --radius 1
     repro flood edge-meg --nodes 256 --workers 4 --backend vectorized \
         --results-dir .repro-results --json run.json
+    repro sweep edge-meg --nodes 64,128,256 --trials 30 --seed 7 \
+        --shard 0/3 --results-dir shard0
+    repro merge-results merged.jsonl shard0 shard1 shard2
 
 The ``flood`` subcommand reports the measured flooding-time statistics next
 to the paper's bound for the chosen model, mirroring what the examples do in
@@ -19,6 +22,12 @@ at any worker count), ``--backend`` selects the flooding kernel, and
 ``--results-dir`` attaches a persistent result store so re-runs with the
 same model, parameters and seed are served from cache.  ``--json`` writes
 the run's machine-readable results to a file for cross-run tracking.
+
+The ``sweep`` subcommand runs a node-count sweep of a model family through
+the sweep runner, and ``--shard i/K`` restricts the run to every ``K``-th
+trial (offset ``i``) of each sweep point *with the exact seeds the unsharded
+sweep would use* — so ``K`` shard jobs on ``K`` machines, merged afterwards
+with ``merge-results``, store results bit-identical to one unsharded run.
 """
 
 from __future__ import annotations
@@ -34,9 +43,17 @@ from repro.core.bounds import (
     waypoint_flooding_bound,
 )
 from repro.core.flooding import batched_flooding_time_samples, flooding_time_samples
-from repro.engine import BACKENDS, Engine, ResultStore, jsonify
+from repro.engine import (
+    BACKENDS,
+    Engine,
+    MergeConflictError,
+    ResultStore,
+    jsonify,
+    parse_shard,
+)
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
+from repro.experiments.runner import measure_flooding_sweep, sweep_as_dicts
 from repro.util.stats import summarize
 
 
@@ -45,6 +62,65 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _shard_argument(text: str) -> tuple[int, int]:
+    try:
+        return parse_shard(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+# --------------------------------------------------------------------- #
+# sweep model factories
+#
+# Module-level functions (not closures or partials) so the built specs are
+# picklable for worker pools and carry stable cache tokens: the result-store
+# key of a sweep point depends only on the factory's qualified name, the
+# sweep value and these keyword arguments — identical across machines, which
+# is what lets sharded CI jobs and local runs share one logical store.
+# --------------------------------------------------------------------- #
+def sweep_edge_meg_model(num_nodes: int, q: float = 0.5, avg_degree: float = 4.0):
+    """Edge-MEG at constant expected degree (sparse regime) for node sweeps."""
+    from repro.meg.edge_meg import EdgeMEG
+
+    birth = min(1.0, avg_degree / max(num_nodes - 1, 1))
+    return EdgeMEG(num_nodes, p=birth, q=q)
+
+
+def sweep_waypoint_model(
+    num_nodes: int, side: float = 6.0, radius: float = 1.2, speed: float = 1.0
+):
+    """Random-waypoint model with fixed geometry for node sweeps."""
+    from repro.mobility.random_waypoint import RandomWaypoint
+
+    return RandomWaypoint(num_nodes, side=side, radius=radius, v_min=speed)
+
+
+def sweep_grid_walk_model(num_nodes: int, grid_side: int = 6, augment_k: int = 1):
+    """Random walks on an augmented grid with fixed geometry for node sweeps."""
+    from repro.graphs.grid import augmented_grid_graph
+    from repro.mobility.random_path import GraphRandomWalkMobility
+
+    graph = augmented_grid_graph(grid_side, augment_k)
+    return GraphRandomWalkMobility(num_nodes, graph, holding_probability=0.5)
+
+
+SWEEP_FAMILIES = {
+    "edge-meg": sweep_edge_meg_model,
+    "waypoint": sweep_waypoint_model,
+    "grid-walk": sweep_grid_walk_model,
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,6 +155,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--source-sample", type=_positive_int, default=None, metavar="K",
         help="flood from K sampled sources of each realization in one batch "
              "and report the worst flooding time per trial",
+    )
+    engine_options.add_argument(
+        "--source-chunk", type=_positive_int, default=None, metavar="B",
+        help="cap the sources flooded per kernel pass; wider batches record "
+             "the realization once and replay it (identical results, "
+             "bounded memory)",
     )
     engine_options.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
@@ -142,6 +224,58 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_walk.add_argument("--trials", type=int, default=5)
     grid_walk.add_argument("--seed", type=int, default=0)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a node-count sweep of a model family (shardable across machines)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="family", required=True)
+    sweep_common = argparse.ArgumentParser(add_help=False)
+    sweep_common.add_argument(
+        "--nodes", type=_int_list, default=[64, 128, 256], metavar="N1,N2,...",
+        help="comma-separated node counts (the sweep points)",
+    )
+    sweep_common.add_argument("--trials", type=_positive_int, default=10)
+    sweep_common.add_argument("--seed", type=int, default=0)
+    sweep_common.add_argument(
+        "--shard", type=_shard_argument, default=None, metavar="i/K",
+        help="run only shard i of K: trials i, i+K, i+2K, ... of every sweep "
+             "point, with the exact seeds the unsharded sweep would use",
+    )
+    sweep_edge_meg = sweep_sub.add_parser(
+        "edge-meg", parents=[engine_options, sweep_common],
+        help="edge-MEG at constant expected degree",
+    )
+    sweep_edge_meg.add_argument("--q", type=float, default=0.5, help="edge death rate")
+    sweep_edge_meg.add_argument(
+        "--avg-degree", type=float, default=4.0, help="expected stationary degree"
+    )
+    sweep_waypoint = sweep_sub.add_parser(
+        "waypoint", parents=[engine_options, sweep_common],
+        help="random waypoint over a fixed square",
+    )
+    sweep_waypoint.add_argument("--side", type=float, default=6.0)
+    sweep_waypoint.add_argument("--radius", type=float, default=1.2)
+    sweep_waypoint.add_argument("--speed", type=float, default=1.0)
+    sweep_grid_walk = sweep_sub.add_parser(
+        "grid-walk", parents=[engine_options, sweep_common],
+        help="random walks over a fixed augmented grid",
+    )
+    sweep_grid_walk.add_argument("--grid-side", type=int, default=6)
+    sweep_grid_walk.add_argument("--augment-k", type=int, default=1)
+
+    merge = subparsers.add_parser(
+        "merge-results",
+        help="union result stores (reassembling sharded batches) into one store",
+    )
+    merge.add_argument(
+        "output",
+        help="destination store: a .jsonl file or a directory (results.jsonl inside)",
+    )
+    merge.add_argument(
+        "sources", nargs="+",
+        help="source stores: .jsonl files or directories holding results.jsonl",
+    )
+
     return parser
 
 
@@ -154,6 +288,7 @@ def _build_engine(args: argparse.Namespace) -> Engine:
         workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", "auto"),
         store=store,
+        source_chunk=getattr(args, "source_chunk", None),
     )
 
 
@@ -278,6 +413,91 @@ def _run_flood(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_factory_kwargs(args: argparse.Namespace) -> dict:
+    """The chosen family's fixed parameters, as passed to its factory."""
+    if args.family == "edge-meg":
+        return {"q": args.q, "avg_degree": args.avg_degree}
+    if args.family == "waypoint":
+        return {"side": args.side, "radius": args.radius, "speed": args.speed}
+    return {"grid_side": args.grid_side, "augment_k": args.augment_k}
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.shard is not None and args.shard[1] > args.trials:
+        print(
+            f"error: shard count {args.shard[1]} exceeds --trials {args.trials} "
+            f"(some shards would be empty)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = _build_engine(args)
+    factory_kwargs = _sweep_factory_kwargs(args)
+    if args.all_sources:
+        sources, num_sources = "all", None
+        estimator = "worst case over all sources"
+    elif args.source_sample is not None:
+        sources, num_sources = None, args.source_sample
+        estimator = f"worst case over {args.source_sample} sampled sources"
+    else:
+        sources, num_sources = None, None
+        estimator = "single source"
+    measurements = measure_flooding_sweep(
+        SWEEP_FAMILIES[args.family],
+        args.nodes,
+        num_trials=args.trials,
+        sources=sources,
+        num_sources=num_sources,
+        rng=args.seed,
+        engine=engine,
+        shard=args.shard,
+        factory_kwargs=factory_kwargs,
+    )
+    shard_note = f", shard {args.shard[0]}/{args.shard[1]}" if args.shard else ""
+    print(f"sweep:  {args.family} over n = {args.nodes}{shard_note}")
+    print(f"engine: workers={engine.workers}, backend={engine.backend}"
+          + (f", results-dir={args.results_dir}" if args.results_dir else ""))
+    print(f"estimator: {estimator} per realization")
+    for measurement in measurements:
+        summary = measurement.summary
+        print(
+            f"  n={measurement.parameter:>6}  trials={summary.count:>4}  "
+            f"mean {summary.mean:8.1f}  median {summary.median:8.1f}  "
+            f"max {summary.maximum:8.0f}"
+            + ("  [cached]" if measurement.from_cache else "")
+        )
+    if args.json_path:
+        _write_json(
+            args.json_path,
+            {
+                "family": args.family,
+                "nodes": args.nodes,
+                "trials": args.trials,
+                "seed": args.seed,
+                "shard": list(args.shard) if args.shard else None,
+                "estimator": estimator,
+                "factory_kwargs": factory_kwargs,
+                "engine": {"workers": engine.workers, "backend": engine.backend},
+                "measurements": sweep_as_dicts(measurements),
+            },
+        )
+    return 0
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    destination = ResultStore.at(args.output)
+    try:
+        report = destination.merge(*args.sources)
+    except (MergeConflictError, FileNotFoundError) as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    print(f"merged {len(args.sources)} store(s) into {destination.path}")
+    print(
+        f"records: {report.records}  adopted: {report.adopted}  "
+        f"assembled batches: {report.assembled}  pending shards: {report.pending_shards}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = _build_parser()
@@ -286,6 +506,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiments(args)
     if args.command == "flood":
         return _run_flood(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "merge-results":
+        return _run_merge(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -17,9 +17,7 @@ so the experiments can check the concentration the lemmas predict.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Set
-
-import numpy as np
+from typing import Set
 
 from repro.meg.base import DynamicGraph
 from repro.util.rng import RNGLike, spawn_rngs

@@ -13,7 +13,7 @@ max-over-sources estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -240,6 +240,7 @@ def batch_source_flooding_times(
     rng: RNGLike = None,
     max_steps: Optional[int] = None,
     backend: str = "auto",
+    chunk_size: Optional[int] = None,
 ) -> list[int]:
     """Flooding time from every source of a batch over one shared realization.
 
@@ -248,6 +249,9 @@ def batch_source_flooding_times(
     sampled uniformly from ``rng``), or an explicit sequence of node indices.
     The whole batch is flooded in one vectorized pass (dense or sparse
     according to ``backend``); raises if any source hits the step cap.
+    ``chunk_size`` bounds the sources advanced per pass: the realization is
+    recorded once and replayed for later chunks (identical results, memory
+    capped at an ``n x chunk_size`` informed matrix).
     """
     # Imported here: repro.engine builds on this module (no import cycle).
     from repro.engine import flood_sources_batch, resolve_backend
@@ -281,6 +285,7 @@ def batch_source_flooding_times(
             rng=generator,
             max_steps=max_steps,
             backend="sparse" if resolved == "sparse" else "dense",
+            chunk_size=chunk_size,
         )
     unfinished = sum(1 for time in times if time is None)
     if unfinished:

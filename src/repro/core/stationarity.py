@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.meg.base import DynamicGraph
 from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
 from repro.meg.node_meg import NodeMEG

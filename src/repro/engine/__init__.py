@@ -9,13 +9,22 @@ The execution backbone all trial-running code routes through:
     :class:`Engine` — serial or multiprocess scheduling with
     ``SeedSequence``-derived per-trial seeds (bit-identical results at any
     worker count) and transparent result caching.
+``repro.engine.shard``
+    :class:`ShardSpec` and helpers — deterministic partition of a batch into
+    ``K`` self-describing shards (shard ``i`` runs trials ``i, i+K, ...``
+    with the unsharded run's exact seeds), executable on any machine and
+    mergeable back into the full batch.
 ``repro.engine.kernel``
     The vectorized flooding kernels — dense NumPy and sparse CSR, single
     source and whole source batches — plus the backend-selection predicates.
+``repro.engine.replay``
+    :class:`SnapshotReplay` — record one realization's snapshots, replay
+    them bit-identically (chunked source batches never re-step the model).
 ``repro.engine.store``
     :class:`ResultStore` — JSONL-backed persistent results with
-    content-hashed keys, a lazily built in-memory index and a
-    :meth:`~ResultStore.compact` maintenance helper.
+    content-hashed keys, concurrency-safe appends, a lazily built in-memory
+    index, a :meth:`~ResultStore.compact` maintenance helper and
+    :meth:`~ResultStore.merge` for unioning shard stores.
 """
 
 from repro.engine.engine import (
@@ -34,17 +43,36 @@ from repro.engine.kernel import (
     has_fast_reach_mask,
     has_fast_sparse_adjacency,
 )
+from repro.engine.replay import SnapshotReplay
+from repro.engine.shard import (
+    ShardSpec,
+    batch_store_key,
+    parse_shard,
+    seed_token,
+    shard_specs,
+    shard_store_key,
+)
 from repro.engine.spec import BatchResult, TrialSpec
-from repro.engine.store import ResultStore, jsonify
+from repro.engine.store import (
+    MergeConflictError,
+    MergeReport,
+    ResultStore,
+    jsonify,
+)
 
 __all__ = [
     "BACKENDS",
     "BatchResult",
     "Engine",
+    "MergeConflictError",
+    "MergeReport",
     "ResultStore",
     "SPARSE_AUTO_MAX_DENSITY",
     "SPARSE_AUTO_MIN_NODES",
+    "ShardSpec",
+    "SnapshotReplay",
     "TrialSpec",
+    "batch_store_key",
     "estimated_snapshot_density",
     "flood_sources_batch",
     "flood_sparse",
@@ -53,5 +81,9 @@ __all__ = [
     "has_fast_reach_mask",
     "has_fast_sparse_adjacency",
     "jsonify",
+    "parse_shard",
     "resolve_backend",
+    "seed_token",
+    "shard_specs",
+    "shard_store_key",
 ]

@@ -35,6 +35,7 @@ from repro.engine.kernel import (
     has_fast_adjacency,
     has_fast_reach_mask,
 )
+from repro.engine.shard import ShardSpec, seed_token, shard_store_key
 from repro.engine.spec import BatchResult, TrialSpec
 from repro.engine.store import ResultStore
 from repro.meg.base import DynamicGraph
@@ -104,19 +105,6 @@ def resolve_backend(backend: str, model: DynamicGraph) -> str:
     raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
 
 
-def _seed_token(seeds: Sequence[np.random.SeedSequence]) -> list[dict]:
-    """JSON-able identity of the spawned per-trial seed sequences."""
-    token = []
-    for seq in seeds:
-        entropy = seq.entropy
-        if isinstance(entropy, (list, tuple)):
-            entropy = [int(word) for word in entropy]
-        elif entropy is not None:
-            entropy = int(entropy)
-        token.append({"entropy": entropy, "spawn_key": [int(k) for k in seq.spawn_key]})
-    return token
-
-
 def _trial_sources(
     model: DynamicGraph,
     sources,
@@ -153,12 +141,15 @@ def _run_single_trial(
     num_sources: Optional[int],
     max_steps: Optional[int],
     backend: str,
+    source_chunk: Optional[int] = None,
 ) -> tuple[int, int]:
     """One flooding trial; returns ``(flooding_time, num_nodes)``.
 
     A batched-source trial floods every source of the batch over one shared
     realization and reports the worst (largest) flooding time — the per-trial
-    estimate of ``F(G) = max_s F(G, s)``.
+    estimate of ``F(G) = max_s F(G, s)``.  ``source_chunk`` bounds the batch
+    width per kernel pass (the realization is recorded once and replayed for
+    later chunks — identical results, bounded memory).
     """
     rng = np.random.default_rng(seed)
     resolved = resolve_backend(backend, model)
@@ -180,6 +171,7 @@ def _run_single_trial(
             rng=rng,
             max_steps=max_steps,
             backend="sparse" if resolved == "sparse" else "dense",
+            chunk_size=source_chunk,
         )
     if any(t is None for t in times):
         unfinished = sum(1 for t in times if t is None)
@@ -197,9 +189,11 @@ def _execute_chunk(payload) -> list[tuple[int, int]]:
     the chunk's trials reuse that copy exactly as the serial path reuses its
     single instance — every trial resets the model with its own seed.
     """
-    model, seeds, source, sources, num_sources, max_steps, backend = payload
+    model, seeds, source, sources, num_sources, max_steps, backend, source_chunk = payload
     return [
-        _run_single_trial(model, seed, source, sources, num_sources, max_steps, backend)
+        _run_single_trial(
+            model, seed, source, sources, num_sources, max_steps, backend, source_chunk
+        )
         for seed in seeds
     ]
 
@@ -229,6 +223,12 @@ class Engine:
     store:
         Optional :class:`ResultStore`; when given, completed batches are
         persisted and identical re-runs are served from the store.
+    source_chunk:
+        Optional cap on the number of sources a batched-source trial floods
+        per kernel pass.  Wide batches beyond the cap record their
+        realization once (:class:`~repro.engine.replay.SnapshotReplay`) and
+        replay it for the remaining chunks — bit-identical results with the
+        ``n x B`` informed matrix bounded at ``n x source_chunk``.
     """
 
     def __init__(
@@ -236,14 +236,18 @@ class Engine:
         workers: int = 1,
         backend: str = "auto",
         store: Optional[ResultStore] = None,
+        source_chunk: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if source_chunk is not None and source_chunk < 1:
+            raise ValueError(f"source_chunk must be >= 1, got {source_chunk}")
         self.workers = workers
         self.backend = backend
         self.store = store
+        self.source_chunk = source_chunk
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -254,34 +258,12 @@ class Engine:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def run(self, spec: TrialSpec) -> BatchResult:
-        """Execute (or fetch from the store) one batch of trials."""
-        started = time.perf_counter()
-        seeds = spawn_seed_sequences(spec.seed, spec.num_trials)
-
-        key = None
-        if self.store is not None:
-            key = ResultStore.compute_key(
-                {**spec.cache_token(), "seeds": _seed_token(seeds)}
-            )
-            record = self.store.get(key)
-            if record is not None:
-                return BatchResult(
-                    label=record.get("label", spec.label),
-                    num_nodes=record["num_nodes"],
-                    flooding_times=tuple(record["flooding_times"]),
-                    backend=record.get("backend", self.backend),
-                    workers=self.workers,
-                    from_cache=True,
-                    elapsed_seconds=time.perf_counter() - started,
-                )
-
-        # Built exactly once per run, whatever the worker count: a stochastic
-        # factory then contributes one realization shared by every trial, so
-        # serial and parallel runs sample the same process.
-        model = spec.build_model()
-        if self.workers == 1 or spec.num_trials == 1:
-            outcomes = [
+    def _execute_trials(
+        self, spec: TrialSpec, model: DynamicGraph, seeds: Sequence
+    ) -> list[tuple[int, int]]:
+        """Run one trial per seed (serially or on the pool), in seed order."""
+        if self.workers == 1 or len(seeds) == 1:
+            return [
                 _run_single_trial(
                     model,
                     seed,
@@ -290,28 +272,61 @@ class Engine:
                     spec.num_sources,
                     spec.max_steps,
                     self.backend,
+                    self.source_chunk,
                 )
                 for seed in seeds
             ]
-        else:
-            payloads = [
-                (
-                    model,
-                    chunk,
-                    spec.source,
-                    spec.sources,
-                    spec.num_sources,
-                    spec.max_steps,
-                    self.backend,
-                )
-                for chunk in _chunk_evenly(seeds, min(self.workers, spec.num_trials))
+        payloads = [
+            (
+                model,
+                chunk,
+                spec.source,
+                spec.sources,
+                spec.num_sources,
+                spec.max_steps,
+                self.backend,
+                self.source_chunk,
+            )
+            for chunk in _chunk_evenly(seeds, min(self.workers, len(seeds)))
+        ]
+        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+            return [
+                outcome
+                for chunk_outcomes in executor.map(_execute_chunk, payloads)
+                for outcome in chunk_outcomes
             ]
-            with ProcessPoolExecutor(max_workers=self.workers) as executor:
-                outcomes = [
-                    outcome
-                    for chunk_outcomes in executor.map(_execute_chunk, payloads)
-                    for outcome in chunk_outcomes
-                ]
+
+    def _cached_result(self, record: dict, spec: TrialSpec, started: float) -> BatchResult:
+        """A :class:`BatchResult` served from a stored payload."""
+        return BatchResult(
+            label=record.get("label", spec.label),
+            num_nodes=record["num_nodes"],
+            flooding_times=tuple(record["flooding_times"]),
+            backend=record.get("backend", self.backend),
+            workers=self.workers,
+            from_cache=True,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def run(self, spec: TrialSpec) -> BatchResult:
+        """Execute (or fetch from the store) one batch of trials."""
+        started = time.perf_counter()
+        seeds = spawn_seed_sequences(spec.seed, spec.num_trials)
+
+        key = None
+        if self.store is not None:
+            key = ResultStore.compute_key(
+                {**spec.cache_token(), "seeds": seed_token(seeds)}
+            )
+            record = self.store.get(key)
+            if record is not None:
+                return self._cached_result(record, spec, started)
+
+        # Built exactly once per run, whatever the worker count: a stochastic
+        # factory then contributes one realization shared by every trial, so
+        # serial and parallel runs sample the same process.
+        model = spec.build_model()
+        outcomes = self._execute_trials(spec, model, seeds)
 
         flooding_times = tuple(t for t, _ in outcomes)
         num_nodes = outcomes[0][1]
@@ -334,6 +349,64 @@ class Engine:
                     "backend": result.backend,
                 },
             )
+        return result
+
+    def run_shard(self, shard: ShardSpec) -> BatchResult:
+        """Execute (or fetch from the store) one shard of a batch.
+
+        Shard ``i`` of ``K`` runs trials ``i, i+K, i+2K, ...`` of the
+        unsharded batch with the exact seeds those trials would have used —
+        the full per-trial seed list is spawned and the shard's stride
+        selected from it — so the returned samples are bit-identical to the
+        corresponding slice of :meth:`run` at any worker count.
+
+        With a store attached, the shard's partial result is persisted as a
+        self-describing record (shard coordinates + the parent batch's
+        content key) that :meth:`ResultStore.merge
+        <repro.engine.store.ResultStore.merge>` can reassemble into the full
+        batch record.  A stored full batch also serves any of its shards
+        directly.
+        """
+        started = time.perf_counter()
+        spec = shard.spec
+        all_seeds, shard_seeds = shard.spawn_seeds()
+
+        key = parent_key = None
+        if self.store is not None:
+            parent_key = ResultStore.compute_key(
+                {**spec.cache_token(), "seeds": seed_token(all_seeds)}
+            )
+            key = shard_store_key(parent_key, shard.index, shard.count)
+            record = self.store.get(key)
+            if record is not None:
+                return self._cached_result(record, spec, started)
+            full_record = self.store.get(parent_key)
+            if full_record is not None:
+                sliced = dict(full_record)
+                sliced["flooding_times"] = list(
+                    full_record["flooding_times"][shard.index :: shard.count]
+                )
+                return self._cached_result(sliced, spec, started)
+
+        model = spec.build_model()
+        outcomes = self._execute_trials(spec, model, shard_seeds) if shard_seeds else []
+        result = BatchResult(
+            label=spec.label,
+            num_nodes=outcomes[0][1] if outcomes else model.num_nodes,
+            flooding_times=tuple(t for t, _ in outcomes),
+            backend=self.backend,
+            workers=self.workers,
+            from_cache=False,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if self.store is not None and key is not None and parent_key is not None:
+            payload = {
+                "label": result.label,
+                "num_nodes": result.num_nodes,
+                "flooding_times": list(result.flooding_times),
+                "backend": result.backend,
+            }
+            self.store.put(key, shard.store_record(payload, parent_key))
         return result
 
     def run_many(self, specs: Sequence[TrialSpec]) -> list[BatchResult]:

@@ -151,6 +151,7 @@ def flood_sources_batch(
     max_steps: Optional[int] = None,
     reset: bool = True,
     backend: str = "dense",
+    chunk_size: Optional[int] = None,
 ) -> list[Optional[int]]:
     """Flood from every source in ``sources`` over *one shared realization*.
 
@@ -167,6 +168,14 @@ def flood_sources_batch(
 
     ``backend`` selects the per-step product: ``"dense"`` multiplies the
     dense boolean adjacency, ``"sparse"`` the CSR adjacency (same results).
+
+    ``chunk_size`` bounds the number of sources advanced per pass (the
+    ``n x B`` informed matrix is the memory hot spot for huge batches).  The
+    realization is recorded on the first chunk through a
+    :class:`~repro.engine.replay.SnapshotReplay` and *replayed* for the rest,
+    so later chunks never re-step the stochastic model; results are
+    bit-identical to the unchunked pass because each source's column evolves
+    independently of the others.
     """
     if backend not in ("dense", "sparse"):
         raise ValueError(f"backend must be 'dense' or 'sparse', got {backend!r}")
@@ -180,6 +189,32 @@ def flood_sources_batch(
         max_steps = default_max_steps(n)
     if max_steps < 0:
         raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if chunk_size is not None and source_array.size > chunk_size:
+        from repro.engine.replay import SnapshotReplay
+
+        replay = process if isinstance(process, SnapshotReplay) else SnapshotReplay(process)
+        if reset:
+            replay.reset(rng)
+        # Every chunk must flood the same realization window, which starts at
+        # the replay's position *now* — frame 0 only after a reset, but a
+        # caller may hand over a replay mid-playback.
+        origin = replay.cursor
+        times: list[Optional[int]] = []
+        for start in range(0, source_array.size, chunk_size):
+            if start:
+                replay.rewind(origin)
+            times.extend(
+                flood_sources_batch(
+                    replay,
+                    source_array[start : start + chunk_size].tolist(),
+                    max_steps=max_steps,
+                    reset=False,
+                    backend=backend,
+                )
+            )
+        return times
     if reset:
         process.reset(rng)
 

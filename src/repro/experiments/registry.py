@@ -28,7 +28,6 @@ from repro.baselines.lower_bounds import (
 from repro.baselines.meeting_time import expected_meeting_time, meeting_time_bound
 from repro.core.bounds import (
     classic_edge_meg_bound,
-    corollary4_bound,
     corollary5_bound,
     corollary6_bound,
     theorem1_bound,
@@ -38,13 +37,12 @@ from repro.core.bounds import (
 from repro.core.epochs import sample_degree_into_set, sample_set_expansion, sample_spread
 from repro.core.flooding import flooding_time_samples
 from repro.core.spreading import gossip_spread, si_epidemic
-from repro.core.stationarity import estimate_stationarity, exact_parameters
+from repro.core.stationarity import exact_parameters
 from repro.experiments.report import ExperimentReport
-from repro.experiments.runner import measure_flooding_sweep
 from repro.graphs.grid import augmented_grid_graph, grid_graph
 from repro.graphs.paths import shortest_path_family
 from repro.graphs.properties import degree_regularity, diameter, path_family_regularity
-from repro.markov.builders import complete_graph_walk, two_state_chain
+from repro.markov.builders import complete_graph_walk
 from repro.markov.mixing import mixing_time
 from repro.meg.edge_meg import EdgeMEG
 from repro.meg.node_meg import NodeMEG

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.engine import Engine, TrialSpec
+from repro.engine import Engine, ShardSpec, TrialSpec
 from repro.meg.base import DynamicGraph
 from repro.util.rng import RNGLike, spawn_seed_sequences
 from repro.util.stats import TrialSummary, summarize, whp_quantile
@@ -64,6 +64,8 @@ def measure_flooding_sweep(
     engine: Optional[Engine] = None,
     workers: int = 1,
     backend: str = "auto",
+    shard: Optional[tuple[int, int]] = None,
+    factory_kwargs: Optional[dict] = None,
 ) -> list[SweepMeasurement]:
     """Measure flooding times across a one-dimensional parameter sweep.
 
@@ -94,12 +96,33 @@ def measure_flooding_sweep(
         attached); overrides ``workers`` and ``backend``.
     workers / backend:
         Engine configuration used when no ``engine`` is passed.
+    shard:
+        Optional ``(index, count)`` pair: run only shard ``index`` of
+        ``count`` of every sweep point — trials ``index, index+count, ...``
+        with the exact seeds the unsharded sweep would give them (see
+        :class:`repro.engine.ShardSpec`).  The per-point seeds themselves
+        are spawned identically whatever the shard, so ``count`` sharded
+        sweeps merged through :meth:`ResultStore.merge
+        <repro.engine.store.ResultStore.merge>` reproduce the unsharded
+        sweep's stored results bit-for-bit.  Summaries then describe the
+        shard's own samples.
+    factory_kwargs:
+        Extra keyword arguments passed to ``model_factory`` after the sweep
+        value (kept out of the sweep parameter so the factory can stay a
+        plain module-level function — picklable, with a stable cache token).
     """
     values = list(parameter_values)
     if not values:
         raise ValueError("the sweep needs at least one parameter value")
     if num_trials < 1:
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    if shard is not None:
+        shard_index, shard_count = (int(shard[0]), int(shard[1]))
+        if shard_count > num_trials:
+            raise ValueError(
+                f"shard count ({shard_count}) exceeds num_trials ({num_trials}): "
+                f"some shards would be empty"
+            )
     if engine is None:
         engine = Engine(workers=workers, backend=backend)
     measurements = []
@@ -107,6 +130,7 @@ def measure_flooding_sweep(
         spec = TrialSpec(
             factory=model_factory,
             args=(value,),
+            kwargs=dict(factory_kwargs) if factory_kwargs else {},
             num_trials=num_trials,
             source=source,
             sources=sources,
@@ -115,7 +139,10 @@ def measure_flooding_sweep(
             seed=seed,
             label=f"sweep[{value!r}]",
         )
-        batch = engine.run(spec)
+        if shard is None:
+            batch = engine.run(spec)
+        else:
+            batch = engine.run_shard(ShardSpec(spec, shard_index, shard_count))
         samples = list(batch.flooding_times)
         measurements.append(
             SweepMeasurement(

@@ -20,13 +20,13 @@ from __future__ import annotations
 import abc
 import hashlib
 import pickle
-from typing import Iterable, Iterator, Optional, Set
+from typing import Iterator, Set
 
 import networkx as nx
 import numpy as np
 import scipy.sparse
 
-from repro.util.rng import RNGLike, ensure_rng
+from repro.util.rng import RNGLike
 
 
 class DynamicGraph(abc.ABC):

@@ -18,7 +18,7 @@ two conditions — the quantities fed into the Corollary-4 bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

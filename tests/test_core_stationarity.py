@@ -12,7 +12,7 @@ from repro.core.stationarity import (
     estimate_stationarity,
     exact_parameters,
 )
-from repro.markov.builders import complete_graph_walk, two_state_chain, uniform_chain
+from repro.markov.builders import complete_graph_walk, uniform_chain
 from repro.meg.edge_meg import EdgeMEG, GeneralEdgeMEG
 from repro.meg.erdos_renyi import ErdosRenyiSequence
 from repro.meg.node_meg import NodeMEG

@@ -16,8 +16,8 @@ from repro.meg.base import StaticGraphProcess
 from repro.meg.edge_meg import EdgeMEG, four_state_edge_meg
 from repro.meg.erdos_renyi import ErdosRenyiSequence
 from repro.meg.snapshots import is_t_interval_connected, largest_stable_interval
-from repro.mobility.random_direction import RandomDirection, RandomDirectionSampler, _reflect
 from repro.mobility.geometry import SquareRegion
+from repro.mobility.random_direction import RandomDirection, RandomDirectionSampler, _reflect
 
 
 class TestMultiSourceFlood:

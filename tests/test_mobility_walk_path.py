@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.graphs.grid import grid_graph
-from repro.graphs.paths import edge_paths, shortest_path_family
+from repro.graphs.paths import shortest_path_family
 from repro.markov.mixing import mixing_time
 from repro.mobility.random_path import (
     GraphRandomWalkMobility,

@@ -9,9 +9,9 @@ from hypothesis import strategies as st
 
 from repro.graphs.grid import augmented_grid_graph, grid_graph, manhattan_distance
 from repro.graphs.paths import edge_paths, shortest_path_family
+from repro.markov.builders import complete_graph_walk
 from repro.meg.edge_meg import EdgeMEG
 from repro.meg.node_meg import NodeMEG
-from repro.markov.builders import complete_graph_walk
 from repro.mobility.connection import radius_edges
 from repro.mobility.geometry import SquareRegion
 from repro.mobility.random_waypoint import RandomWaypoint

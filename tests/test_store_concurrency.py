@@ -1,0 +1,117 @@
+"""Concurrency tests for the result store: parallel appends and compaction.
+
+The store's contract under concurrency: appends from any number of processes
+never interleave partial lines, and ``compact()`` never drops a record
+another process appended — even when this instance's lazy in-memory index
+was built before that append happened.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.engine import ResultStore
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Fork where possible (cheap child start); spawn otherwise."""
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(method)
+
+
+def _write_records(directory: str, writer: int, count: int) -> None:
+    store = ResultStore(directory)
+    for i in range(count):
+        # A payload long enough that a torn write would be detectable.
+        store.put(
+            f"writer{writer}-key{i}",
+            {"writer": writer, "index": i, "payload": list(range(200))},
+        )
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("writers,records", [(4, 25)])
+    def test_parallel_appends_lose_nothing(self, tmp_path, writers, records):
+        context = _context()
+        processes = [
+            context.Process(target=_write_records, args=(str(tmp_path), w, records))
+            for w in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+
+        # Every line parses (no interleaved partial writes) ...
+        store = ResultStore(tmp_path)
+        with open(store.path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == writers * records
+        for line in lines:
+            entry = json.loads(line)
+            assert set(entry) == {"key", "record"}
+        # ... and every record is present.
+        assert len(store) == writers * records
+        for w in range(writers):
+            for i in range(records):
+                assert store.get(f"writer{w}-key{i}")["index"] == i
+
+    def test_compact_during_concurrent_appends(self, tmp_path):
+        context = _context()
+        processes = [
+            context.Process(target=_write_records, args=(str(tmp_path), w, 30))
+            for w in range(2)
+        ]
+        for process in processes:
+            process.start()
+        compactor = ResultStore(tmp_path)
+        # Interleave compactions with the writers' appends.
+        for _ in range(5):
+            compactor.compact()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        final = ResultStore(tmp_path)
+        assert len(final) == 2 * 30
+        assert final.compact() >= 0
+        assert len(ResultStore(tmp_path)) == 2 * 30
+
+
+class TestLazyIndexRace:
+    def test_compact_keeps_records_appended_by_another_instance(self, tmp_path):
+        first = ResultStore(tmp_path)
+        first.put("k1", {"value": 1})
+        assert first.get("k1")  # builds the lazy index now
+
+        # A second process (simulated by a second instance) appends.
+        second = ResultStore(tmp_path)
+        second.put("k2", {"value": 2})
+
+        # The first instance's index predates k2; compact must not drop it.
+        first.compact()
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("k1") == {"value": 1}
+        assert fresh.get("k2") == {"value": 2}
+
+    def test_refresh_picks_up_foreign_appends(self, tmp_path):
+        first = ResultStore(tmp_path)
+        first.put("k1", {"value": 1})
+        second = ResultStore(tmp_path)
+        second.put("k2", {"value": 2})
+        assert first.get("k2") is None  # stale lazy index: miss, not corruption
+        first.refresh()
+        assert first.get("k2") == {"value": 2}
+
+    def test_compact_is_atomic_replace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(10):
+            store.put(f"k{i}", {"value": i})
+        store.compact()
+        # No leftover temporary file, and the data survived.
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert "results.jsonl.compact" not in leftovers
+        assert len(ResultStore(tmp_path)) == 10

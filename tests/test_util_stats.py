@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.util.stats import (
-    TrialSummary,
     empirical_ccdf,
     mean_confidence_interval,
     summarize,
