@@ -10,6 +10,12 @@ Run with::
 
     python examples/generate_experiments_report.py            # small scale, ~1 minute
     python examples/generate_experiments_report.py --scale full --output EXPERIMENTS.md
+    python examples/generate_experiments_report.py --results-dir .repro-results --workers 4
+
+Every experiment executes through the engine pipeline, so ``--workers`` fans
+trials over a process pool and ``--results-dir`` attaches a persistent result
+store: an interrupted generation resumes from the records already stored, and
+re-generating against a warm store replays without simulating.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 
+from repro.engine import Engine, ResultStore
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown
 
@@ -115,12 +122,25 @@ def main() -> None:
         "--output",
         default=os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "EXPERIMENTS.md"),
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the trial engine (1 = in-process)",
+    )
+    parser.add_argument(
+        "--results-dir", default=None,
+        help="persistent result store: resume interrupted generations and "
+             "replay warm re-runs without simulating",
+    )
     args = parser.parse_args()
 
+    store = ResultStore(args.results_dir) if args.results_dir else None
+    engine = Engine(workers=args.workers, store=store)
     sections = [HEADER.format(scale=args.scale, seed=args.seed)]
     for experiment_id in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
         print(f"running {experiment_id} ...", flush=True)
-        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        report = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed, engine=engine
+        )
         sections.append(PAPER_CLAIMS[experiment_id])
         sections.append("")
         sections.append(format_markdown(report))

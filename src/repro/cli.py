@@ -5,6 +5,9 @@ Usage (after ``pip install -e .``)::
     repro experiments list
     repro experiments run E3 --scale small --seed 1
     repro experiments run-all --markdown --output EXPERIMENTS.md --json report.json
+    repro experiment E7 --scale small --workers 4 --results-dir .repro-results
+    repro experiment E7 --shard 2/4 --results-dir shard2
+    repro experiment E7 --results-dir merged --merge shard0 shard1 shard2 shard3
     repro flood edge-meg --nodes 200 --p 0.0025 --q 0.5 --trials 10
     repro flood waypoint --nodes 100 --side 10 --radius 1 --speed 1
     repro flood grid-walk --nodes 64 --grid-side 8 --radius 1
@@ -28,6 +31,13 @@ the sweep runner, and ``--shard i/K`` restricts the run to every ``K``-th
 trial (offset ``i``) of each sweep point *with the exact seeds the unsharded
 sweep would use* — so ``K`` shard jobs on ``K`` machines, merged afterwards
 with ``merge-results``, store results bit-identical to one unsharded run.
+
+The ``experiment`` subcommand runs one registered experiment (E1-E10)
+through the engine pipeline: the experiment compiles into a batch of tagged
+``TrialSpec`` jobs, ``--shard i/K`` executes only jobs ``i, i+K, ...`` (each
+persisted as a full batch record), and ``--merge`` unions shard stores and
+assembles the report purely from store records — the fan-out/fan-in path the
+CI experiment matrix exercises per push.
 """
 
 from __future__ import annotations
@@ -50,6 +60,12 @@ from repro.engine import (
     ResultStore,
     jsonify,
     parse_shard,
+)
+from repro.experiments.pipeline import (
+    MissingRecordError,
+    assemble_from_store,
+    compile_experiment,
+    execute_plan,
 )
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
@@ -145,17 +161,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results-dir", default=None,
         help="directory of the persistent result store (enables caching)",
     )
-    source_options = engine_options.add_mutually_exclusive_group()
-    source_options.add_argument(
-        "--all-sources", action="store_true",
-        help="flood from every node of each realization in one batch and "
-             "report the worst-case flooding time per trial",
-    )
-    source_options.add_argument(
-        "--source-sample", type=_positive_int, default=None, metavar="K",
-        help="flood from K sampled sources of each realization in one batch "
-             "and report the worst flooding time per trial",
-    )
     engine_options.add_argument(
         "--source-chunk", type=_positive_int, default=None, metavar="B",
         help="cap the sources flooded per kernel pass; wider batches record "
@@ -165,6 +170,21 @@ def _build_parser() -> argparse.ArgumentParser:
     engine_options.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
         help="write machine-readable results to PATH",
+    )
+
+    # Batched-source estimators apply to flood/sweep, not to the registered
+    # experiments (whose estimators are part of the experiment definition).
+    source_parent = argparse.ArgumentParser(add_help=False)
+    source_options = source_parent.add_mutually_exclusive_group()
+    source_options.add_argument(
+        "--all-sources", action="store_true",
+        help="flood from every node of each realization in one batch and "
+             "report the worst-case flooding time per trial",
+    )
+    source_options.add_argument(
+        "--source-sample", type=_positive_int, default=None, metavar="K",
+        help="flood from K sampled sources of each realization in one batch "
+             "and report the worst flooding time per trial",
     )
 
     experiments = subparsers.add_parser(
@@ -191,11 +211,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write every report's rows as JSON to PATH",
     )
 
+    experiment = subparsers.add_parser(
+        "experiment", parents=[engine_options],
+        help="run one registered experiment (E1-E10) through the engine "
+             "pipeline (shardable across machines)",
+    )
+    experiment.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    )
+    experiment.add_argument("--scale", choices=("small", "full"), default="small")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--shard", type=_shard_argument, default=None, metavar="i/K",
+        help="run only jobs i, i+K, i+2K, ... of the compiled experiment, "
+             "persisting full batch records to --results-dir (required); "
+             "merged shard stores are byte-identical to an unsharded run's",
+    )
+    experiment.add_argument(
+        "--merge", nargs="*", default=None, metavar="STORE",
+        help="merge the given shard STOREs into --results-dir (required) and "
+             "assemble the report purely from store records, executing "
+             "nothing; with no STOREs, assemble from --results-dir as-is",
+    )
+    experiment.add_argument("--markdown", action="store_true", help="render as markdown")
+
     flood = subparsers.add_parser("flood", help="measure flooding on a chosen model")
     flood_sub = flood.add_subparsers(dest="model", required=True)
 
     edge_meg = flood_sub.add_parser(
-        "edge-meg", parents=[engine_options],
+        "edge-meg", parents=[engine_options, source_parent],
         help="classic edge-MEG with birth/death rates",
     )
     edge_meg.add_argument("--nodes", type=int, default=100)
@@ -205,7 +249,8 @@ def _build_parser() -> argparse.ArgumentParser:
     edge_meg.add_argument("--seed", type=int, default=0)
 
     waypoint = flood_sub.add_parser(
-        "waypoint", parents=[engine_options], help="random waypoint over a square"
+        "waypoint", parents=[engine_options, source_parent],
+        help="random waypoint over a square",
     )
     waypoint.add_argument("--nodes", type=int, default=100)
     waypoint.add_argument("--side", type=float, default=10.0)
@@ -215,7 +260,7 @@ def _build_parser() -> argparse.ArgumentParser:
     waypoint.add_argument("--seed", type=int, default=0)
 
     grid_walk = flood_sub.add_parser(
-        "grid-walk", parents=[engine_options],
+        "grid-walk", parents=[engine_options, source_parent],
         help="random walks over a grid mobility graph",
     )
     grid_walk.add_argument("--nodes", type=int, default=64)
@@ -242,7 +287,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "point, with the exact seeds the unsharded sweep would use",
     )
     sweep_edge_meg = sweep_sub.add_parser(
-        "edge-meg", parents=[engine_options, sweep_common],
+        "edge-meg", parents=[engine_options, source_parent, sweep_common],
         help="edge-MEG at constant expected degree",
     )
     sweep_edge_meg.add_argument("--q", type=float, default=0.5, help="edge death rate")
@@ -250,14 +295,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--avg-degree", type=float, default=4.0, help="expected stationary degree"
     )
     sweep_waypoint = sweep_sub.add_parser(
-        "waypoint", parents=[engine_options, sweep_common],
+        "waypoint", parents=[engine_options, source_parent, sweep_common],
         help="random waypoint over a fixed square",
     )
     sweep_waypoint.add_argument("--side", type=float, default=6.0)
     sweep_waypoint.add_argument("--radius", type=float, default=1.2)
     sweep_waypoint.add_argument("--speed", type=float, default=1.0)
     sweep_grid_walk = sweep_sub.add_parser(
-        "grid-walk", parents=[engine_options, sweep_common],
+        "grid-walk", parents=[engine_options, source_parent, sweep_common],
         help="random walks over a fixed augmented grid",
     )
     sweep_grid_walk.add_argument("--grid-side", type=int, default=6)
@@ -328,6 +373,88 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(output)
     if args.json_path:
         _write_json(args.json_path, [report.as_dict() for report in reports])
+    return 0
+
+
+def _run_experiment_pipeline(args: argparse.Namespace) -> int:
+    renderer = format_markdown if args.markdown else format_table
+    if args.shard is not None and args.merge is not None:
+        print("error: --shard and --merge are mutually exclusive", file=sys.stderr)
+        return 2
+    if (args.shard is not None or args.merge is not None) and not args.results_dir:
+        print(
+            "error: --shard and --merge need --results-dir (the store that "
+            "carries results between the fan-out and fan-in steps)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = _build_engine(args)
+    plan = compile_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+
+    if args.merge is not None:
+        store = engine.store
+        assert store is not None  # enforced above
+        if args.merge:
+            try:
+                merge_report = store.merge(*args.merge)
+            except (MergeConflictError, FileNotFoundError) as error:
+                print(f"merge failed: {error}", file=sys.stderr)
+                return 1
+            print(
+                f"merged {len(args.merge)} store(s) into {store.path} "
+                f"({merge_report.records} records, {merge_report.adopted} adopted)"
+            )
+        try:
+            report = assemble_from_store(plan, store)
+        except MissingRecordError as error:
+            print(f"assembly failed: {error}", file=sys.stderr)
+            return 1
+        print(renderer(report))
+        if args.json_path:
+            _write_json(args.json_path, report.as_dict())
+        return 0
+
+    run = execute_plan(plan, engine=engine, shard=args.shard)
+    if args.shard is not None:
+        index, count = args.shard
+        print(
+            f"experiment {plan.experiment_id} (scale={plan.scale}, seed={plan.seed}), "
+            f"shard {index}/{count}: {len(run.batches)}/{len(plan.jobs)} jobs"
+        )
+        print(f"engine: workers={engine.workers}, backend={engine.backend}, "
+              f"results-dir={args.results_dir}")
+        for tag, batch in run.batches.items():
+            print(
+                f"  {tag:>16}  trials={batch.num_trials:>4}  mean {batch.mean:8.1f}"
+                + ("  [cached]" if batch.from_cache else "")
+            )
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {
+                    "experiment_id": plan.experiment_id,
+                    "scale": plan.scale,
+                    "seed": plan.seed,
+                    "shard": [index, count],
+                    "jobs": [
+                        {
+                            "tag": tag,
+                            "num_trials": batch.num_trials,
+                            "flooding_times": list(batch.flooding_times),
+                            "from_cache": batch.from_cache,
+                        }
+                        for tag, batch in run.batches.items()
+                    ],
+                },
+            )
+        return 0
+
+    assert run.report is not None
+    print(renderer(run.report))
+    if run.num_cached:
+        print(f"\n({run.num_cached}/{len(run.batches)} job(s) served from the result store)")
+    if args.json_path:
+        _write_json(args.json_path, run.report.as_dict())
     return 0
 
 
@@ -504,6 +631,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "experiments":
         return _run_experiments(args)
+    if args.command == "experiment":
+        return _run_experiment_pipeline(args)
     if args.command == "flood":
         return _run_flood(args)
     if args.command == "sweep":

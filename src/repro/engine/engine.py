@@ -198,6 +198,19 @@ def _execute_chunk(payload) -> list[tuple[int, int]]:
     ]
 
 
+def _store_payload(result: BatchResult, spec: TrialSpec) -> dict:
+    """The persisted form of a batch result (plus the spec's provenance tags)."""
+    payload = {
+        "label": result.label,
+        "num_nodes": result.num_nodes,
+        "flooding_times": list(result.flooding_times),
+        "backend": result.backend,
+    }
+    if spec.tags:
+        payload["tags"] = dict(spec.tags)
+    return payload
+
+
 def _chunk_evenly(items: Sequence, chunks: int) -> list[list]:
     """Split ``items`` into ``chunks`` contiguous, near-equal parts."""
     base, remainder = divmod(len(items), chunks)
@@ -340,15 +353,7 @@ class Engine:
             elapsed_seconds=time.perf_counter() - started,
         )
         if self.store is not None and key is not None:
-            self.store.put(
-                key,
-                {
-                    "label": result.label,
-                    "num_nodes": result.num_nodes,
-                    "flooding_times": list(result.flooding_times),
-                    "backend": result.backend,
-                },
-            )
+            self.store.put(key, _store_payload(result, spec))
         return result
 
     def run_shard(self, shard: ShardSpec) -> BatchResult:
@@ -400,12 +405,7 @@ class Engine:
             elapsed_seconds=time.perf_counter() - started,
         )
         if self.store is not None and key is not None and parent_key is not None:
-            payload = {
-                "label": result.label,
-                "num_nodes": result.num_nodes,
-                "flooding_times": list(result.flooding_times),
-                "backend": result.backend,
-            }
+            payload = _store_payload(result, spec)
             self.store.put(key, shard.store_record(payload, parent_key))
         return result
 

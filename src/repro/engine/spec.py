@@ -63,6 +63,14 @@ class TrialSpec:
         results are bit-identical regardless of worker count.
     label:
         Free-form tag carried into results and logs.
+    tags:
+        Optional structured provenance tags — a mapping (or tuple of
+        ``(key, value)`` pairs) of short strings, e.g.
+        ``{"experiment": "E7", "scale": "small", "point": "p=0.01"}``.  When
+        present, the tags enter the spec's cache token (so records of
+        different experiments never collide) and are persisted verbatim in
+        the stored payload, making every store record self-describing.  Specs
+        without tags keep the exact keys they had before tags existed.
     """
 
     factory: Callable[..., DynamicGraph]
@@ -75,6 +83,7 @@ class TrialSpec:
     max_steps: Optional[int] = None
     seed: RNGLike = None
     label: str = ""
+    tags: tuple = ()
 
     def __post_init__(self) -> None:
         if not callable(self.factory):
@@ -99,6 +108,11 @@ class TrialSpec:
         if self.max_steps is not None and self.max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
         object.__setattr__(self, "args", tuple(self.args))
+        pairs = self.tags.items() if isinstance(self.tags, dict) else self.tags
+        normalized = tuple((str(k), str(v)) for k, v in pairs)
+        if len(dict(normalized)) != len(normalized):
+            raise ValueError(f"tags must have unique keys, got {normalized}")
+        object.__setattr__(self, "tags", normalized)
 
     @classmethod
     def from_model(
@@ -111,6 +125,7 @@ class TrialSpec:
         max_steps: Optional[int] = None,
         seed: RNGLike = None,
         label: str = "",
+        tags: tuple = (),
     ) -> "TrialSpec":
         """Wrap an already-built model as a spec (the common library path)."""
         if not isinstance(model, DynamicGraph):
@@ -127,6 +142,7 @@ class TrialSpec:
             max_steps=max_steps,
             seed=seed,
             label=label or type(model).__name__,
+            tags=tags,
         )
 
     @property
@@ -169,6 +185,10 @@ class TrialSpec:
             )
         if self.num_sources is not None:
             token["num_sources"] = self.num_sources
+        # Tagged specs get tag-scoped keys (records of different experiments
+        # never collide); untagged specs keep their pre-tags keys.
+        if self.tags:
+            token["tags"] = dict(self.tags)
         return token
 
 

@@ -240,6 +240,18 @@ class ResultStore:
         """Path of the backing JSONL file."""
         return self._path
 
+    def touch(self) -> None:
+        """Ensure the backing file exists (as an empty store if new).
+
+        A shard that happens to own zero jobs still needs a store file on
+        disk so downstream tooling (artifact upload, ``merge-results``) can
+        treat every shard uniformly.
+        """
+        if not os.path.exists(self._path):
+            with self._locked():
+                with open(self._path, "a", encoding="utf-8"):
+                    pass
+
     def get(self, key: str) -> Optional[dict]:
         """The stored record for ``key``, or ``None`` on a cache miss."""
         return self._ensure_index().get(key)
@@ -407,7 +419,7 @@ def _assemble_shard_groups(merged: dict[str, dict]) -> tuple[int, int]:
                     f"{len(times)} trials, expected {expected}"
                 )
             full[index::count] = times
-            fields = (record.get("label"), record.get("num_nodes"))
+            fields = (record.get("label"), record.get("num_nodes"), record.get("tags"))
             if identity is None:
                 identity = fields
             elif identity != fields:
@@ -416,7 +428,7 @@ def _assemble_shard_groups(merged: dict[str, dict]) -> tuple[int, int]:
                 )
             backends.add(record.get("backend"))
         assert identity is not None
-        label, num_nodes = identity
+        label, num_nodes, tags = identity
         # The kernel choice never changes samples (the engine's core
         # contract), so shards executed with different backends still
         # assemble; the heterogeneous provenance is recorded as "mixed".
@@ -427,6 +439,8 @@ def _assemble_shard_groups(merged: dict[str, dict]) -> tuple[int, int]:
             "flooding_times": full,
             "backend": backend,
         }
+        if tags is not None:
+            parent_record["tags"] = tags
         if parent_key in merged and merged[parent_key] != parent_record:
             raise MergeConflictError(
                 f"assembled batch for parent {parent_key} conflicts with an "

@@ -8,11 +8,26 @@ DESIGN.md): a parameter sweep that measures empirical flooding times and
 reports them next to the corresponding bound formula and baselines.
 
 * :mod:`repro.experiments.runner` — generic sweep/measurement machinery;
-* :mod:`repro.experiments.registry` — the experiment definitions ``E1``–``E10``;
+* :mod:`repro.experiments.registry` — the experiment definitions ``E1``–``E10``
+  as declarative plan builders (engine ``TrialSpec`` jobs + assembly);
+* :mod:`repro.experiments.pipeline` — compiles an experiment into an
+  :class:`~repro.experiments.pipeline.ExperimentPlan` and executes it through
+  :class:`repro.engine.Engine` (worker pools, shards, result-store caching,
+  store-only assembly);
 * :mod:`repro.experiments.report` — text/markdown table rendering used by the
   benchmarks and EXPERIMENTS.md.
 """
 
+from repro.experiments.pipeline import (
+    ExperimentJob,
+    ExperimentPlan,
+    MissingRecordError,
+    PipelineRun,
+    assemble_from_store,
+    compile_experiment,
+    execute_plan,
+    run_experiment_pipeline,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.report import ExperimentReport, format_markdown, format_table
 from repro.experiments.runner import (
@@ -23,12 +38,20 @@ from repro.experiments.runner import (
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentJob",
+    "ExperimentPlan",
     "ExperimentReport",
+    "MissingRecordError",
+    "PipelineRun",
     "SweepMeasurement",
+    "assemble_from_store",
+    "compile_experiment",
+    "execute_plan",
     "format_markdown",
     "format_table",
     "get_experiment",
     "measure_flooding_sweep",
     "run_experiment",
+    "run_experiment_pipeline",
     "sweep_as_dicts",
 ]

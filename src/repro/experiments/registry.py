@@ -1,11 +1,22 @@
-"""The registered experiments E1–E10 (see DESIGN.md for the index).
+"""The registered experiments E1-E10, declared as engine workloads.
 
-Each experiment is a function ``(scale, seed) -> ExperimentReport`` where
+Each experiment is described by a *plan builder* ``(scale, seed) ->
+ExperimentPlan``: a batch of tagged, declarative
+:class:`~repro.engine.TrialSpec` jobs (the experiment's Monte-Carlo flooding
+workload) plus a pure assembly function that turns the per-job samples into
+the final :class:`~repro.experiments.report.ExperimentReport`.  Execution —
+serial, multi-worker, sharded across machines, or replayed from a warm
+result store — is owned entirely by :mod:`repro.experiments.pipeline`; the
+builders here only *describe* work.
+
 ``scale`` is ``"small"`` (seconds — the configuration the test-suite and the
 benchmarks use) or ``"full"`` (minutes — larger sweeps with more trials).
-The registry maps the experiment id to its metadata and runner so the
-benchmark harness and EXPERIMENTS.md generation can iterate over all of
-them uniformly.
+Every job seed is an explicitly reconstructed ``SeedSequence`` child, chosen
+to match the children the pre-pipeline registry obtained through
+``spawn_rngs`` — so the assembled reports are bit-identical to the historical
+direct-call numbers (pinned by ``tests/test_experiment_pipeline.py``'s
+golden values).  E9 and E10 measure proof machinery rather than flooding
+times; they compile to zero engine jobs and run entirely in assembly.
 """
 
 from __future__ import annotations
@@ -35,9 +46,20 @@ from repro.core.bounds import (
     waypoint_flooding_bound,
 )
 from repro.core.epochs import sample_degree_into_set, sample_set_expansion, sample_spread
-from repro.core.flooding import flooding_time_samples
 from repro.core.spreading import gossip_spread, si_epidemic
-from repro.core.stationarity import exact_parameters
+from repro.core.stationarity import (
+    estimate_beta,
+    estimate_edge_probability,
+    exact_parameters,
+)
+from repro.engine import Engine, TrialSpec
+from repro.experiments.pipeline import (
+    ExperimentJob,
+    ExperimentPlan,
+    advanced_rng,
+    execute_plan,
+    experiment_seed_sequence,
+)
 from repro.experiments.report import ExperimentReport
 from repro.graphs.grid import augmented_grid_graph, grid_graph
 from repro.graphs.paths import shortest_path_family
@@ -62,12 +84,25 @@ from repro.util.stats import summarize
 
 @dataclass(frozen=True)
 class Experiment:
-    """Registry entry: metadata plus the runner callable."""
+    """Registry entry: metadata plus the plan builder."""
 
     experiment_id: str
     title: str
     paper_reference: str
-    runner: Callable[[str, int], ExperimentReport]
+    planner: Callable[[str, int], ExperimentPlan]
+
+    @property
+    def runner(self) -> Callable[[str, int], ExperimentReport]:
+        """Legacy ``(scale, seed) -> ExperimentReport`` callable.
+
+        Compiles and executes the plan on a default serial engine — the
+        pre-pipeline behaviour, same numbers.
+        """
+
+        def run(scale: str = "small", seed: int = 0) -> ExperimentReport:
+            return _run_legacy(self.planner, scale, seed)
+
+        return run
 
 
 def _scales(scale: str, small, full):
@@ -78,580 +113,840 @@ def _scales(scale: str, small, full):
     raise ValueError(f"scale must be 'small' or 'full', got {scale!r}")
 
 
+def _tags(experiment_id: str, scale: str, point: str) -> tuple[tuple[str, str], ...]:
+    """Provenance tags stamped on every job spec (and its store records)."""
+    return (("experiment", experiment_id), ("scale", scale), ("point", point))
+
+
+# --------------------------------------------------------------------------- #
+# Model factories.
+#
+# Module-level functions (never closures) so the compiled specs are picklable
+# for worker pools and carry machine-independent cache tokens: a job's store
+# key depends only on the factory's qualified name, its primitive arguments,
+# the trial parameters and the seed material — identical across shard jobs,
+# CI runners and local machines, which is what lets K sharded experiment runs
+# share one logical store with an unsharded reference run.
+# --------------------------------------------------------------------------- #
+def edge_meg_model(num_nodes: int, p: float, q: float) -> EdgeMEG:
+    """Classic edge-MEG with birth rate ``p`` and death rate ``q``."""
+    return EdgeMEG(num_nodes, p=p, q=q)
+
+
+def colocation_node_meg_model(num_nodes: int, num_states: int) -> NodeMEG:
+    """Node-MEG whose agents meet when their complete-graph walks coincide."""
+    chain = complete_graph_walk(num_states)
+    connection = np.eye(chain.num_states, dtype=bool)
+    return NodeMEG(num_nodes, chain, connection)
+
+
+def waypoint_model(num_nodes: int, side: float, radius: float, speed: float) -> RandomWaypoint:
+    """Random waypoint over an ``side x side`` square at a fixed speed."""
+    return RandomWaypoint(num_nodes, side=side, radius=radius, v_min=speed, v_max=speed)
+
+
+def grid_walk_model(num_nodes: int, grid_side: int) -> RandomWalkMobility:
+    """Lazy random-walk mobility on an ``grid_side x grid_side`` grid."""
+    return RandomWalkMobility(
+        num_nodes, grid_side=grid_side, radius=1.0, holding_probability=0.2
+    )
+
+
+def grid_path_model(grid_side: int, agents_per_point: int) -> RandomPathModel:
+    """Shortest-path random-path model on a grid (lazy variant).
+
+    The grid is bipartite, so the strict one-hop-per-step model has a parity
+    invariant that prevents opposite-colour agents from ever meeting (see
+    RandomPathModel docs); the lazy variant breaks it.
+    """
+    graph = grid_graph(grid_side)
+    family = shortest_path_family(graph)
+    num_agents = agents_per_point * graph.number_of_nodes()
+    return RandomPathModel(num_agents, family, radius_hops=0, holding_probability=0.25)
+
+
+def augmented_grid_walk_model(grid_side: int, augment_k: int) -> GraphRandomWalkMobility:
+    """Lazy random walks (two agents per point) on a k-augmented grid."""
+    graph = augmented_grid_graph(grid_side, augment_k)
+    return GraphRandomWalkMobility(
+        2 * graph.number_of_nodes(), graph, radius_hops=0, holding_probability=0.5
+    )
+
+
 # --------------------------------------------------------------------------- #
 # E1 — Theorem 1 on a controlled (M, alpha, beta)-stationary process
 # --------------------------------------------------------------------------- #
-def run_theorem1(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_theorem1(scale: str, seed: int) -> ExperimentPlan:
     """E1: flooding time vs n for a sparse edge-MEG against the Theorem-1 bound."""
     sizes, trials = _scales(scale, ([50, 100, 200], 5), ([100, 200, 400, 800], 10))
     q = 0.5
-    report = ExperimentReport(
-        experiment_id="E1",
-        title="Theorem 1 bound on a sparse stationary edge-MEG",
-        paper_reference="Theorem 1 (general (M, alpha, beta)-stationary bound)",
-        columns=[
-            "n",
-            "alpha",
-            "beta",
-            "epoch_length",
-            "measured_mean",
-            "measured_whp",
-            "theorem1_bound",
-            "ratio",
-        ],
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"n={n}",
+            spec=TrialSpec(
+                factory=edge_meg_model,
+                args=(n, 1.0 / (2.0 * n), q),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E1[n={n}]",
+                tags=_tags("E1", scale, f"n={n}"),
+            ),
+        )
+        for index, n in enumerate(sizes)
     )
-    means = []
-    bounds = []
-    for n, generator in zip(sizes, spawn_rngs(seed, len(sizes))):
-        p = 1.0 / (2.0 * n)
-        model = EdgeMEG(n, p=p, q=q)
-        alpha, beta = exact_parameters(model)
-        epoch = max(1, mixing_time(model.edge_chain()))
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        bound = theorem1_bound(n, epoch, alpha, beta)
-        means.append(summary.mean)
-        bounds.append(bound)
-        report.add_row(
-            n=n,
-            alpha=alpha,
-            beta=beta,
-            epoch_length=epoch,
-            measured_mean=summary.mean,
-            measured_whp=summary.q90,
-            theorem1_bound=bound,
-            ratio=summary.mean / bound,
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E1",
+            title="Theorem 1 bound on a sparse stationary edge-MEG",
+            paper_reference="Theorem 1 (general (M, alpha, beta)-stationary bound)",
+            columns=[
+                "n",
+                "alpha",
+                "beta",
+                "epoch_length",
+                "measured_mean",
+                "measured_whp",
+                "theorem1_bound",
+                "ratio",
+            ],
         )
-    if len(sizes) >= 2:
-        report.add_note(
-            f"log-log slope of measured flooding time vs n: "
-            f"{loglog_slope(sizes, means):.2f} (bound slope "
-            f"{loglog_slope(sizes, bounds):.2f}); the bound grows at least as fast."
-        )
-    return report
+        means = []
+        bounds = []
+        for n in sizes:
+            model = edge_meg_model(n, 1.0 / (2.0 * n), q)
+            alpha, beta = exact_parameters(model)
+            epoch = max(1, mixing_time(model.edge_chain()))
+            summary = summarize(samples[f"n={n}"])
+            bound = theorem1_bound(n, epoch, alpha, beta)
+            means.append(summary.mean)
+            bounds.append(bound)
+            report.add_row(
+                n=n,
+                alpha=alpha,
+                beta=beta,
+                epoch_length=epoch,
+                measured_mean=summary.mean,
+                measured_whp=summary.q90,
+                theorem1_bound=bound,
+                ratio=summary.mean / bound,
+            )
+        if len(sizes) >= 2:
+            report.add_note(
+                f"log-log slope of measured flooding time vs n: "
+                f"{loglog_slope(sizes, means):.2f} (bound slope "
+                f"{loglog_slope(sizes, bounds):.2f}); the bound grows at least as fast."
+            )
+        return report
+
+    return ExperimentPlan("E1", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E2 — Theorem 3 on an explicit node-MEG
 # --------------------------------------------------------------------------- #
-def run_node_meg(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_node_meg(scale: str, seed: int) -> ExperimentPlan:
     """E2: flooding time of a co-location node-MEG against the Theorem-3 bound."""
     sizes, trials, num_states = _scales(
         scale, ([40, 80, 160], 5, 16), ([80, 160, 320, 640], 10, 24)
     )
-    chain = complete_graph_walk(num_states)
-    t_mix = mixing_time(chain)
-    connection = np.eye(chain.num_states, dtype=bool)
-    report = ExperimentReport(
-        experiment_id="E2",
-        title="Theorem 3 bound on a co-location node-MEG",
-        paper_reference="Theorem 3 (node-MEG flooding bound)",
-        columns=[
-            "n",
-            "P_NM",
-            "eta",
-            "T_mix",
-            "measured_mean",
-            "measured_whp",
-            "theorem3_bound",
-            "ratio",
-        ],
-    )
-    for n, generator in zip(sizes, spawn_rngs(seed, len(sizes))):
-        model = NodeMEG(n, chain, connection)
-        p_nm = model.edge_probability()
-        eta = model.eta()
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        bound = theorem3_bound(n, max(t_mix, 1), p_nm, max(eta, 1.0))
-        report.add_row(
-            n=n,
-            P_NM=p_nm,
-            eta=eta,
-            T_mix=t_mix,
-            measured_mean=summary.mean,
-            measured_whp=summary.q90,
-            theorem3_bound=bound,
-            ratio=summary.mean / bound,
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"n={n}",
+            spec=TrialSpec(
+                factory=colocation_node_meg_model,
+                args=(n, num_states),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E2[n={n}]",
+                tags=_tags("E2", scale, f"n={n}"),
+            ),
         )
-    report.add_note(
-        "Connection map: two agents are linked when their hidden states coincide "
-        "(agents hopping on a complete graph of meeting points)."
+        for index, n in enumerate(sizes)
     )
-    return report
+
+    def assemble(samples) -> ExperimentReport:
+        t_mix = mixing_time(complete_graph_walk(num_states))
+        report = ExperimentReport(
+            experiment_id="E2",
+            title="Theorem 3 bound on a co-location node-MEG",
+            paper_reference="Theorem 3 (node-MEG flooding bound)",
+            columns=[
+                "n",
+                "P_NM",
+                "eta",
+                "T_mix",
+                "measured_mean",
+                "measured_whp",
+                "theorem3_bound",
+                "ratio",
+            ],
+        )
+        for n in sizes:
+            model = colocation_node_meg_model(n, num_states)
+            p_nm = model.edge_probability()
+            eta = model.eta()
+            summary = summarize(samples[f"n={n}"])
+            bound = theorem3_bound(n, max(t_mix, 1), p_nm, max(eta, 1.0))
+            report.add_row(
+                n=n,
+                P_NM=p_nm,
+                eta=eta,
+                T_mix=t_mix,
+                measured_mean=summary.mean,
+                measured_whp=summary.q90,
+                theorem3_bound=bound,
+                ratio=summary.mean / bound,
+            )
+        report.add_note(
+            "Connection map: two agents are linked when their hidden states coincide "
+            "(agents hopping on a complete graph of meeting points)."
+        )
+        return report
+
+    return ExperimentPlan("E2", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E3 — Random waypoint (Corollary 4 / Section 4.1)
 # --------------------------------------------------------------------------- #
-def run_random_waypoint(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_random_waypoint(scale: str, seed: int) -> ExperimentPlan:
     """E3: sparse-regime random waypoint vs the paper's first waypoint bound."""
     sizes, trials = _scales(scale, ([30, 60, 120], 3), ([60, 120, 240, 480], 6))
     radius = 1.0
     speed = 1.0
-    report = ExperimentReport(
-        experiment_id="E3",
-        title="Random waypoint in the sparse regime (L ~ sqrt(n), r = 1)",
-        paper_reference="Corollary 4 + Section 4.1 waypoint bound "
-        "O((L/v)(L^2/(n r^2)+1)^2 log^3 n)",
-        columns=[
-            "n",
-            "L",
-            "measured_mean",
-            "measured_whp",
-            "waypoint_bound",
-            "lower_bound",
-            "ratio_to_lower",
-        ],
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"n={n}",
+            spec=TrialSpec(
+                factory=waypoint_model,
+                args=(n, math.sqrt(n), radius, speed),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E3[n={n}]",
+                tags=_tags("E3", scale, f"n={n}"),
+            ),
+        )
+        for index, n in enumerate(sizes)
     )
-    sides = []
-    means = []
-    for n, generator in zip(sizes, spawn_rngs(seed, len(sizes))):
-        side = math.sqrt(n)
-        model = RandomWaypoint(n, side=side, radius=radius, v_min=speed, v_max=speed)
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        bound = waypoint_flooding_bound(n, side, radius, speed)
-        lower = max(geometric_lower_bound(side, radius, speed), 1.0)
-        sides.append(side)
-        means.append(summary.mean)
-        report.add_row(
-            n=n,
-            L=side,
-            measured_mean=summary.mean,
-            measured_whp=summary.q90,
-            waypoint_bound=bound,
-            lower_bound=lower,
-            ratio_to_lower=summary.mean / lower,
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E3",
+            title="Random waypoint in the sparse regime (L ~ sqrt(n), r = 1)",
+            paper_reference="Corollary 4 + Section 4.1 waypoint bound "
+            "O((L/v)(L^2/(n r^2)+1)^2 log^3 n)",
+            columns=[
+                "n",
+                "L",
+                "measured_mean",
+                "measured_whp",
+                "waypoint_bound",
+                "lower_bound",
+                "ratio_to_lower",
+            ],
         )
-    if len(sizes) >= 2:
-        report.add_note(
-            f"log-log slope of flooding time vs n: {loglog_slope(sizes, means):.2f} "
-            "(the sparse-regime bound predicts ~0.5 up to polylog factors)."
-        )
-        report.add_note(
-            f"sparse-regime upper bound at the largest n: "
-            f"{sparse_waypoint_lower_bound(sizes[-1], speed):.1f} * polylog(n)."
-        )
-    return report
+        means = []
+        for n in sizes:
+            side = math.sqrt(n)
+            summary = summarize(samples[f"n={n}"])
+            bound = waypoint_flooding_bound(n, side, radius, speed)
+            lower = max(geometric_lower_bound(side, radius, speed), 1.0)
+            means.append(summary.mean)
+            report.add_row(
+                n=n,
+                L=side,
+                measured_mean=summary.mean,
+                measured_whp=summary.q90,
+                waypoint_bound=bound,
+                lower_bound=lower,
+                ratio_to_lower=summary.mean / lower,
+            )
+        if len(sizes) >= 2:
+            report.add_note(
+                f"log-log slope of flooding time vs n: {loglog_slope(sizes, means):.2f} "
+                "(the sparse-regime bound predicts ~0.5 up to polylog factors)."
+            )
+            report.add_note(
+                f"sparse-regime upper bound at the largest n: "
+                f"{sparse_waypoint_lower_bound(sizes[-1], speed):.1f} * polylog(n)."
+            )
+        return report
+
+    return ExperimentPlan("E3", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E4 — Random walk mobility on the grid
 # --------------------------------------------------------------------------- #
-def run_random_walk(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_random_walk(scale: str, seed: int) -> ExperimentPlan:
     """E4: random-walk mobility model on an m x m grid (sanity baseline)."""
     sizes, trials = _scales(scale, ([36, 64, 100], 3), ([64, 144, 256, 400], 6))
     radius = 1.0
-    report = ExperimentReport(
-        experiment_id="E4",
-        title="Random walk mobility on the grid",
-        paper_reference="Introduction / Section 4.1 (random walk model, rho = 1)",
-        columns=["n", "grid_side", "measured_mean", "measured_whp", "lower_bound"],
-    )
-    for n, generator in zip(sizes, spawn_rngs(seed, len(sizes))):
-        side = int(round(math.sqrt(n)))
-        model = RandomWalkMobility(
-            n, grid_side=side, radius=radius, holding_probability=0.2
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"n={n}",
+            spec=TrialSpec(
+                factory=grid_walk_model,
+                args=(n, int(round(math.sqrt(n)))),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E4[n={n}]",
+                tags=_tags("E4", scale, f"n={n}"),
+            ),
         )
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        report.add_row(
-            n=n,
-            grid_side=side,
-            measured_mean=summary.mean,
-            measured_whp=summary.q90,
-            lower_bound=max(1.0, geometric_lower_bound(side - 1.0, radius, 1.0)),
-        )
-    report.add_note(
-        "Prior work gives almost tight Õ(sqrt(n)) bounds for this model; it serves "
-        "as a calibration baseline for the simulator."
+        for index, n in enumerate(sizes)
     )
-    return report
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E4",
+            title="Random walk mobility on the grid",
+            paper_reference="Introduction / Section 4.1 (random walk model, rho = 1)",
+            columns=["n", "grid_side", "measured_mean", "measured_whp", "lower_bound"],
+        )
+        for n in sizes:
+            side = int(round(math.sqrt(n)))
+            summary = summarize(samples[f"n={n}"])
+            report.add_row(
+                n=n,
+                grid_side=side,
+                measured_mean=summary.mean,
+                measured_whp=summary.q90,
+                lower_bound=max(1.0, geometric_lower_bound(side - 1.0, radius, 1.0)),
+            )
+        report.add_note(
+            "Prior work gives almost tight Õ(sqrt(n)) bounds for this model; it serves "
+            "as a calibration baseline for the simulator."
+        )
+        return report
+
+    return ExperimentPlan("E4", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E5 — Random paths on a grid (Corollary 5)
 # --------------------------------------------------------------------------- #
-def run_random_paths(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_random_paths(scale: str, seed: int) -> ExperimentPlan:
     """E5: shortest-path random-path model on grids vs the Corollary-5 bound."""
     sides, trials, agents_per_point = _scales(
         scale, ([3, 4, 5], 3, 2), ([4, 5, 6, 7], 6, 3)
     )
-    report = ExperimentReport(
-        experiment_id="E5",
-        title="Random paths on a grid (all-pairs shortest paths)",
-        paper_reference="Corollary 5; O(D polylog n) instance discussed after it",
-        columns=[
-            "grid_side",
-            "num_points",
-            "diameter",
-            "delta",
-            "n",
-            "measured_mean",
-            "corollary5_bound",
-            "diameter_lower_bound",
-        ],
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"side={side}",
+            spec=TrialSpec(
+                factory=grid_path_model,
+                args=(side, agents_per_point),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E5[side={side}]",
+                tags=_tags("E5", scale, f"side={side}"),
+            ),
+        )
+        for index, side in enumerate(sides)
     )
-    diameters = []
-    means = []
-    for side, generator in zip(sides, spawn_rngs(seed, len(sides))):
-        graph = grid_graph(side)
-        family = shortest_path_family(graph)
-        delta = path_family_regularity(family)
-        num_points = graph.number_of_nodes()
-        n = agents_per_point * num_points
-        # Lazy variant: the grid is bipartite, so the strict one-hop-per-step
-        # model has a parity invariant that prevents opposite-colour agents
-        # from ever meeting (see RandomPathModel docs).
-        model = RandomPathModel(n, family, radius_hops=0, holding_probability=0.25)
-        d = diameter(graph)
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        bound = corollary5_bound(n, mixing_time=max(d, 1), num_points=num_points, delta=delta)
-        diameters.append(d)
-        means.append(summary.mean)
-        report.add_row(
-            grid_side=side,
-            num_points=num_points,
-            diameter=d,
-            delta=delta,
-            n=n,
-            measured_mean=summary.mean,
-            corollary5_bound=bound,
-            diameter_lower_bound=diameter_lower_bound(d),
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E5",
+            title="Random paths on a grid (all-pairs shortest paths)",
+            paper_reference="Corollary 5; O(D polylog n) instance discussed after it",
+            columns=[
+                "grid_side",
+                "num_points",
+                "diameter",
+                "delta",
+                "n",
+                "measured_mean",
+                "corollary5_bound",
+                "diameter_lower_bound",
+            ],
         )
-    if len(sides) >= 2:
-        report.add_note(
-            f"log-log slope of flooding time vs grid diameter: "
-            f"{loglog_slope(diameters, means):.2f} "
-            "(Corollary 5 predicts O(D polylog n), i.e. slope ~1 in D)."
-        )
-    return report
+        diameters = []
+        means = []
+        for side in sides:
+            graph = grid_graph(side)
+            family = shortest_path_family(graph)
+            delta = path_family_regularity(family)
+            num_points = graph.number_of_nodes()
+            n = agents_per_point * num_points
+            d = diameter(graph)
+            summary = summarize(samples[f"side={side}"])
+            bound = corollary5_bound(
+                n, mixing_time=max(d, 1), num_points=num_points, delta=delta
+            )
+            diameters.append(d)
+            means.append(summary.mean)
+            report.add_row(
+                grid_side=side,
+                num_points=num_points,
+                diameter=d,
+                delta=delta,
+                n=n,
+                measured_mean=summary.mean,
+                corollary5_bound=bound,
+                diameter_lower_bound=diameter_lower_bound(d),
+            )
+        if len(sides) >= 2:
+            report.add_note(
+                f"log-log slope of flooding time vs grid diameter: "
+                f"{loglog_slope(diameters, means):.2f} "
+                "(Corollary 5 predicts O(D polylog n), i.e. slope ~1 in D)."
+            )
+        return report
+
+    return ExperimentPlan("E5", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E6 — k-augmented grids: Corollary 6 vs the meeting-time bound of [15]
 # --------------------------------------------------------------------------- #
-def run_augmented_grid(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_augmented_grid(scale: str, seed: int) -> ExperimentPlan:
     """E6: random walks on k-augmented grids — our bound vs the [15] baseline."""
     (side, ks, trials, meeting_trials) = _scales(
         scale, (6, [1, 2, 3], 3, 60), (10, [1, 2, 3, 4, 5], 6, 200)
     )
-    report = ExperimentReport(
-        experiment_id="E6",
-        title="Random walks on k-augmented grids",
-        paper_reference="Corollary 6 and the comparison with [15] (meeting-time bound)",
-        columns=[
-            "k",
-            "num_points",
-            "delta",
-            "T_mix",
-            "measured_mean",
-            "corollary6_bound",
-            "meeting_time",
-            "prior_bound_[15]",
-        ],
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"k={k}",
+            spec=TrialSpec(
+                factory=augmented_grid_walk_model,
+                args=(side, k),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E6[k={k}]",
+                tags=_tags("E6", scale, f"k={k}"),
+            ),
+        )
+        for index, k in enumerate(ks)
     )
-    measured = []
-    mixing_times = []
-    meeting_times = []
-    for k, generator in zip(ks, spawn_rngs(seed, len(ks))):
-        graph = augmented_grid_graph(side, k)
-        num_points = graph.number_of_nodes()
-        n = 2 * num_points
-        model = GraphRandomWalkMobility(
-            n, graph, radius_hops=0, holding_probability=0.5
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E6",
+            title="Random walks on k-augmented grids",
+            paper_reference="Corollary 6 and the comparison with [15] (meeting-time bound)",
+            columns=[
+                "k",
+                "num_points",
+                "delta",
+                "T_mix",
+                "measured_mean",
+                "corollary6_bound",
+                "meeting_time",
+                "prior_bound_[15]",
+            ],
         )
-        chain = model.to_markov_chain()
-        t_mix = mixing_time(chain)
-        delta = degree_regularity(graph)
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        meeting = expected_meeting_time(graph, num_trials=meeting_trials, rng=generator)
-        measured.append(summary.mean)
-        mixing_times.append(t_mix)
-        meeting_times.append(meeting)
-        report.add_row(
-            k=k,
-            num_points=num_points,
-            delta=delta,
-            T_mix=t_mix,
-            measured_mean=summary.mean,
-            corollary6_bound=corollary6_bound(n, t_mix, num_points, delta),
-            meeting_time=meeting,
-            **{"prior_bound_[15]": meeting_time_bound(meeting, n)},
-        )
-    if len(ks) >= 2:
-        drop_mix = mixing_times[0] / mixing_times[-1]
-        drop_meet = meeting_times[0] / max(meeting_times[-1], 1e-9)
-        report.add_note(
-            f"Mixing time drops by a factor {drop_mix:.1f} from k={ks[0]} to "
-            f"k={ks[-1]} while the meeting time only drops by {drop_meet:.1f}; "
-            "the paper's bound (driven by T_mix) therefore improves on the "
-            "meeting-time bound of [15] as k grows."
-        )
-        report.add_note(
-            f"Measured flooding time drops by a factor "
-            f"{measured[0] / max(measured[-1], 1e-9):.1f} over the same range."
-        )
-    return report
+        measured = []
+        mixing_times = []
+        meeting_times = []
+        for index, k in enumerate(ks):
+            graph = augmented_grid_graph(side, k)
+            num_points = graph.number_of_nodes()
+            n = 2 * num_points
+            model = GraphRandomWalkMobility(n, graph, radius_hops=0, holding_probability=0.5)
+            t_mix = mixing_time(model.to_markov_chain())
+            delta = degree_regularity(graph)
+            summary = summarize(samples[f"k={k}"])
+            # The flooding trials consumed the first `trials` children of this
+            # point's seed stream; the meeting-time estimator historically
+            # continued from the very next child — reproduce that offset.
+            meeting = expected_meeting_time(
+                graph,
+                num_trials=meeting_trials,
+                rng=advanced_rng(seed, (index,), trials),
+            )
+            measured.append(summary.mean)
+            mixing_times.append(t_mix)
+            meeting_times.append(meeting)
+            report.add_row(
+                k=k,
+                num_points=num_points,
+                delta=delta,
+                T_mix=t_mix,
+                measured_mean=summary.mean,
+                corollary6_bound=corollary6_bound(n, t_mix, num_points, delta),
+                meeting_time=meeting,
+                **{"prior_bound_[15]": meeting_time_bound(meeting, n)},
+            )
+        if len(ks) >= 2:
+            drop_mix = mixing_times[0] / mixing_times[-1]
+            drop_meet = meeting_times[0] / max(meeting_times[-1], 1e-9)
+            report.add_note(
+                f"Mixing time drops by a factor {drop_mix:.1f} from k={ks[0]} to "
+                f"k={ks[-1]} while the meeting time only drops by {drop_meet:.1f}; "
+                "the paper's bound (driven by T_mix) therefore improves on the "
+                "meeting-time bound of [15] as k grows."
+            )
+            report.add_note(
+                f"Measured flooding time drops by a factor "
+                f"{measured[0] / max(measured[-1], 1e-9):.1f} over the same range."
+            )
+        return report
+
+    return ExperimentPlan("E6", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E7 — Generalised edge-MEG (Appendix A)
 # --------------------------------------------------------------------------- #
-def run_edge_meg(scale: str = "small", seed: int = 0) -> ExperimentReport:
+def plan_edge_meg(scale: str, seed: int) -> ExperimentPlan:
     """E7: classic edge-MEG sweep — our general bound vs the prior bound of [10]."""
     (n, p_multipliers, trials) = _scales(
         scale, (100, [0.5, 1.0, 4.0, 16.0], 5), (300, [0.25, 0.5, 1.0, 4.0, 16.0, 64.0], 10)
     )
     q = 0.5
-    report = ExperimentReport(
-        experiment_id="E7",
-        title="Classic edge-MEG: general bound vs the prior bound of [10]",
-        paper_reference="Appendix A (generalised edge-MEGs) and Eq. 2",
-        columns=[
-            "n",
-            "p",
-            "q",
-            "measured_mean",
-            "general_bound",
-            "prior_bound_[10]",
-            "tight_region(q>=np)",
-        ],
-    )
-    for multiplier, generator in zip(p_multipliers, spawn_rngs(seed, len(p_multipliers))):
-        p = multiplier / n
-        model = EdgeMEG(n, p=p, q=q)
-        samples = flooding_time_samples(model, trials, rng=generator)
-        summary = summarize(samples)
-        report.add_row(
-            n=n,
-            p=p,
-            q=q,
-            measured_mean=summary.mean,
-            general_bound=classic_edge_meg_bound(n, p, q),
-            **{
-                "prior_bound_[10]": classic_edge_meg_prior_bound(n, p),
-                "tight_region(q>=np)": general_bound_is_tight(n, p, q),
-            },
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"np={multiplier}",
+            spec=TrialSpec(
+                factory=edge_meg_model,
+                args=(n, multiplier / n, q),
+                num_trials=trials,
+                seed=experiment_seed_sequence(seed, index),
+                label=f"E7[np={multiplier}]",
+                tags=_tags("E7", scale, f"np={multiplier}"),
+            ),
         )
-    report.add_note(
-        "In the q >= n p region the two bounds agree up to polylog factors; for "
-        "denser graphs (n p >> q) the prior bound is tighter, as Appendix A states."
+        for index, multiplier in enumerate(p_multipliers)
     )
-    return report
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E7",
+            title="Classic edge-MEG: general bound vs the prior bound of [10]",
+            paper_reference="Appendix A (generalised edge-MEGs) and Eq. 2",
+            columns=[
+                "n",
+                "p",
+                "q",
+                "measured_mean",
+                "general_bound",
+                "prior_bound_[10]",
+                "tight_region(q>=np)",
+            ],
+        )
+        for multiplier in p_multipliers:
+            p = multiplier / n
+            summary = summarize(samples[f"np={multiplier}"])
+            report.add_row(
+                n=n,
+                p=p,
+                q=q,
+                measured_mean=summary.mean,
+                general_bound=classic_edge_meg_bound(n, p, q),
+                **{
+                    "prior_bound_[10]": classic_edge_meg_prior_bound(n, p),
+                    "tight_region(q>=np)": general_bound_is_tight(n, p, q),
+                },
+            )
+        report.add_note(
+            "In the q >= n p region the two bounds agree up to polylog factors; for "
+            "denser graphs (n p >> q) the prior bound is tighter, as Appendix A states."
+        )
+        return report
+
+    return ExperimentPlan("E7", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E8 — Randomised gossip vs flooding (Section 5 reduction)
 # --------------------------------------------------------------------------- #
-def run_gossip(scale: str = "small", seed: int = 0) -> ExperimentReport:
+# (protocol label, spec) pairs; None = plain flooding, the baseline.
+_E8_PROTOCOLS = [
+    ("flooding", None),
+    ("gossip p=0.5", ("probability", 0.5)),
+    ("gossip fanout=1", ("fanout", 1)),
+    ("SI epidemic p=0.5", ("si", 0.5)),
+]
+
+
+def plan_gossip(scale: str, seed: int) -> ExperimentPlan:
     """E8: push-gossip variants on the same dynamic graphs as plain flooding."""
     (n, trials) = _scales(scale, (100, 5), (300, 10))
     p = 2.0 / n
     q = 0.5
-    protocols = [
-        ("flooding", None),
-        ("gossip p=0.5", ("probability", 0.5)),
-        ("gossip fanout=1", ("fanout", 1)),
-        ("SI epidemic p=0.5", ("si", 0.5)),
-    ]
-    report = ExperimentReport(
-        experiment_id="E8",
-        title="Randomised gossip reduced to flooding on a virtual dynamic graph",
-        paper_reference="Section 5 (conclusions): randomised-subset protocols",
-        columns=["protocol", "n", "mean_completion", "max_completion", "slowdown_vs_flooding"],
-    )
-    model = EdgeMEG(n, p=p, q=q)
-    baseline_mean = None
-    for (label, spec), generator in zip(protocols, spawn_rngs(seed, len(protocols))):
-        completions = []
-        for trial_rng in spawn_rngs(generator, trials):
-            if spec is None:
-                samples = flooding_time_samples(model, 1, rng=trial_rng)
-                completions.append(samples[0])
-                continue
-            kind, value = spec
-            if kind == "probability":
-                result = gossip_spread(
-                    model, transmission_probability=value, rng=trial_rng
-                )
-            elif kind == "fanout":
-                result = gossip_spread(model, fanout=value, rng=trial_rng)
-            else:
-                result = si_epidemic(model, infection_probability=value, rng=trial_rng)
-            if result.completion_time is None:
-                raise RuntimeError(f"{label} did not complete")
-            completions.append(result.completion_time)
-        summary = summarize(completions)
-        if baseline_mean is None:
-            baseline_mean = summary.mean
-        report.add_row(
-            protocol=label,
-            n=n,
-            mean_completion=summary.mean,
-            max_completion=summary.maximum,
-            slowdown_vs_flooding=summary.mean / baseline_mean,
+    # Only the flooding baseline is an engine workload; the gossip variants
+    # use the randomised-spreading simulators and run in assembly.  The
+    # historical code ran flooding as `trials` one-trial batches, each seeded
+    # from a per-trial child of the protocol's stream — mirror that exactly.
+    jobs = tuple(
+        ExperimentJob(
+            tag=f"flooding/{trial}",
+            spec=TrialSpec(
+                factory=edge_meg_model,
+                args=(n, p, q),
+                num_trials=1,
+                seed=experiment_seed_sequence(seed, 0, trial),
+                label=f"E8[flooding/{trial}]",
+                tags=_tags("E8", scale, f"flooding/{trial}"),
+            ),
         )
-    report.add_note(
-        "Removing edges at random (transmission probability 1/2) costs only a "
-        "small constant slowdown, as predicted by the virtual-dynamic-graph "
-        "reduction: the virtual process is still (M, alpha/2, beta)-stationary."
+        for trial in range(trials)
     )
-    return report
+
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E8",
+            title="Randomised gossip reduced to flooding on a virtual dynamic graph",
+            paper_reference="Section 5 (conclusions): randomised-subset protocols",
+            columns=[
+                "protocol",
+                "n",
+                "mean_completion",
+                "max_completion",
+                "slowdown_vs_flooding",
+            ],
+        )
+        model = edge_meg_model(n, p, q)
+        baseline_mean = None
+        for index, (label, spec) in enumerate(_E8_PROTOCOLS):
+            if spec is None:
+                completions = [samples[f"flooding/{trial}"][0] for trial in range(trials)]
+            else:
+                kind, value = spec
+                completions = []
+                for trial_rng in spawn_rngs(experiment_seed_sequence(seed, index), trials):
+                    if kind == "probability":
+                        result = gossip_spread(
+                            model, transmission_probability=value, rng=trial_rng
+                        )
+                    elif kind == "fanout":
+                        result = gossip_spread(model, fanout=value, rng=trial_rng)
+                    else:
+                        result = si_epidemic(model, infection_probability=value, rng=trial_rng)
+                    if result.completion_time is None:
+                        raise RuntimeError(f"{label} did not complete")
+                    completions.append(result.completion_time)
+            summary = summarize(completions)
+            if baseline_mean is None:
+                baseline_mean = summary.mean
+            report.add_row(
+                protocol=label,
+                n=n,
+                mean_completion=summary.mean,
+                max_completion=summary.maximum,
+                slowdown_vs_flooding=summary.mean / baseline_mean,
+            )
+        report.add_note(
+            "Removing edges at random (transmission probability 1/2) costs only a "
+            "small constant slowdown, as predicted by the virtual-dynamic-graph "
+            "reduction: the virtual process is still (M, alpha/2, beta)-stationary."
+        )
+        return report
+
+    return ExperimentPlan("E8", scale, seed, jobs, assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E9 — Expansion machinery of Lemmas 9-11
 # --------------------------------------------------------------------------- #
-def run_expansion(scale: str = "small", seed: int = 0) -> ExperimentReport:
-    """E9: empirical check of the expansion quantities used in Theorem 1's proof."""
+def plan_expansion(scale: str, seed: int) -> ExperimentPlan:
+    """E9: empirical check of the expansion quantities used in Theorem 1's proof.
+
+    No flooding trials — the whole experiment is epoch-level sampling of the
+    proof quantities, so it compiles to zero engine jobs and runs in assembly
+    (one shared generator consumed sequentially, as the sampling helpers'
+    interleaved draws require).
+    """
     (n, samples_count) = _scales(scale, (120, 60), (400, 200))
-    p = 2.0 / n
-    q = 0.5
-    model = EdgeMEG(n, p=p, q=q)
-    alpha = model.stationary_edge_probability()
-    generator = ensure_rng(seed)
-    set_a = set(range(n // 2))
-    set_b = set(range(n // 2, n))
-    node = n - 1
-    report = ExperimentReport(
-        experiment_id="E9",
-        title="Expansion quantities deg_{i,A}, deg_{A,B}, spread_{A}^{T}",
-        paper_reference="Lemmas 9, 10, 11 (proof machinery of Theorem 1)",
-        columns=["quantity", "predicted_mean", "measured_mean", "measured_q10"],
-    )
-    degree_samples = sample_degree_into_set(
-        model, node, set_a, samples_count, epoch_length=1, rng=generator
-    )
-    degree_summary = summarize(degree_samples)
-    report.add_row(
-        quantity="deg_{i,A} (|A|=n/2)",
-        predicted_mean=len(set_a) * alpha,
-        measured_mean=degree_summary.mean,
-        measured_q10=float(np.quantile(degree_samples, 0.1)),
-    )
-    expansion_samples = sample_set_expansion(
-        model, set_a, set_b, samples_count, epoch_length=1, rng=generator
-    )
-    expansion_summary = summarize(expansion_samples)
-    predicted_expansion = len(set_b) * (1.0 - (1.0 - alpha) ** len(set_a))
-    report.add_row(
-        quantity="deg_{A,B} (|A|=|B|=n/2)",
-        predicted_mean=predicted_expansion,
-        measured_mean=expansion_summary.mean,
-        measured_q10=float(np.quantile(expansion_samples, 0.1)),
-    )
-    small_set = set(range(4))
-    window = 8
-    spread_samples = sample_spread(
-        model, small_set, window=window, num_samples=max(10, samples_count // 4), rng=generator
-    )
-    spread_summary = summarize(spread_samples)
-    predicted_spread = (n - len(small_set)) * (
-        1.0 - (1.0 - alpha) ** (len(small_set) * window)
-    )
-    report.add_row(
-        quantity=f"spread_A^T (|A|=4, T={window})",
-        predicted_mean=predicted_spread,
-        measured_mean=spread_summary.mean,
-        measured_q10=float(np.quantile(spread_samples, 0.1)),
-    )
-    report.add_note(
-        "Measured means track the independent-edge predictions (beta = 1 for "
-        "edge-MEGs) and the lower quantiles stay well above half the mean, the "
-        "concentration the Paley-Zygmund step of Lemmas 9-11 requires."
-    )
-    return report
+
+    def assemble(samples) -> ExperimentReport:
+        p = 2.0 / n
+        q = 0.5
+        model = EdgeMEG(n, p=p, q=q)
+        alpha = model.stationary_edge_probability()
+        generator = ensure_rng(seed)
+        set_a = set(range(n // 2))
+        set_b = set(range(n // 2, n))
+        node = n - 1
+        report = ExperimentReport(
+            experiment_id="E9",
+            title="Expansion quantities deg_{i,A}, deg_{A,B}, spread_{A}^{T}",
+            paper_reference="Lemmas 9, 10, 11 (proof machinery of Theorem 1)",
+            columns=["quantity", "predicted_mean", "measured_mean", "measured_q10"],
+        )
+        degree_samples = sample_degree_into_set(
+            model, node, set_a, samples_count, epoch_length=1, rng=generator
+        )
+        degree_summary = summarize(degree_samples)
+        report.add_row(
+            quantity="deg_{i,A} (|A|=n/2)",
+            predicted_mean=len(set_a) * alpha,
+            measured_mean=degree_summary.mean,
+            measured_q10=float(np.quantile(degree_samples, 0.1)),
+        )
+        expansion_samples = sample_set_expansion(
+            model, set_a, set_b, samples_count, epoch_length=1, rng=generator
+        )
+        expansion_summary = summarize(expansion_samples)
+        predicted_expansion = len(set_b) * (1.0 - (1.0 - alpha) ** len(set_a))
+        report.add_row(
+            quantity="deg_{A,B} (|A|=|B|=n/2)",
+            predicted_mean=predicted_expansion,
+            measured_mean=expansion_summary.mean,
+            measured_q10=float(np.quantile(expansion_samples, 0.1)),
+        )
+        small_set = set(range(4))
+        window = 8
+        spread_samples = sample_spread(
+            model,
+            small_set,
+            window=window,
+            num_samples=max(10, samples_count // 4),
+            rng=generator,
+        )
+        spread_summary = summarize(spread_samples)
+        predicted_spread = (n - len(small_set)) * (
+            1.0 - (1.0 - alpha) ** (len(small_set) * window)
+        )
+        report.add_row(
+            quantity=f"spread_A^T (|A|=4, T={window})",
+            predicted_mean=predicted_spread,
+            measured_mean=spread_summary.mean,
+            measured_q10=float(np.quantile(spread_samples, 0.1)),
+        )
+        report.add_note(
+            "Measured means track the independent-edge predictions (beta = 1 for "
+            "edge-MEGs) and the lower quantiles stay well above half the mean, the "
+            "concentration the Paley-Zygmund step of Lemmas 9-11 requires."
+        )
+        return report
+
+    return ExperimentPlan("E9", scale, seed, (), assemble)
 
 
 # --------------------------------------------------------------------------- #
 # E10 — Conditions (i)/(ii): stationarity parameters of the concrete models
 # --------------------------------------------------------------------------- #
-def run_stationarity(scale: str = "small", seed: int = 0) -> ExperimentReport:
-    """E10: density/independence conditions measured for the concrete models."""
+def plan_stationarity(scale: str, seed: int) -> ExperimentPlan:
+    """E10: density/independence conditions measured for the concrete models.
+
+    Like E9 this is pure proof-condition sampling (positional densities,
+    alpha/beta estimates) with no flooding workload: zero engine jobs,
+    everything in assembly over one sequentially consumed generator.
+    """
     (waypoint_n, snapshots, mc_samples) = _scales(scale, (60, 120, 80), (200, 400, 300))
-    report = ExperimentReport(
-        experiment_id="E10",
-        title="Density and independence conditions of the concrete models",
-        paper_reference="Fact 2, Lemma 15, Corollary 4 conditions (a)/(b)",
-        columns=["model", "quantity", "value"],
-    )
-    generator = ensure_rng(seed)
 
-    # Random waypoint: positional density uniformity (Corollary 4 conditions).
-    side = math.sqrt(waypoint_n)
-    region = SquareRegion(side)
-    radius = 1.0
-    analytic = uniformity_parameters(
-        lambda x, y: waypoint_density(x, y, side), region, radius=radius, resolution=30
-    )
-    report.add_row(model="random waypoint", quantity="delta (analytic density)", value=analytic.delta)
-    report.add_row(model="random waypoint", quantity="lambda (analytic density)", value=analytic.lam)
-    report.add_row(model="random waypoint", quantity="eta = delta^6/lambda^2", value=analytic.eta())
-    waypoint = RandomWaypoint(waypoint_n, side=side, radius=radius, v_min=1.0)
-    empirical_density = empirical_positional_distribution(
-        waypoint, region, resolution=12, num_snapshots=snapshots, spacing=2, rng=generator
-    )
-    empirical = uniformity_parameters(empirical_density, region, radius=radius, resolution=12)
-    report.add_row(model="random waypoint", quantity="delta (empirical density)", value=empirical.delta)
-    report.add_row(model="random waypoint", quantity="lambda (empirical density)", value=empirical.lam)
+    def assemble(samples) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id="E10",
+            title="Density and independence conditions of the concrete models",
+            paper_reference="Fact 2, Lemma 15, Corollary 4 conditions (a)/(b)",
+            columns=["model", "quantity", "value"],
+        )
+        generator = ensure_rng(seed)
 
-    # Node-MEG: exact alpha / beta vs Monte-Carlo estimates.
-    chain = complete_graph_walk(12)
-    connection = np.eye(chain.num_states, dtype=bool)
-    node_meg = NodeMEG(48, chain, connection)
-    exact_alpha, exact_beta = exact_parameters(node_meg)
-    report.add_row(model="co-location node-MEG", quantity="alpha = P_NM (exact)", value=exact_alpha)
-    report.add_row(model="co-location node-MEG", quantity="beta = 17 eta (Lemma 15)", value=exact_beta)
-    epoch = max(1, mixing_time(chain))
-    from repro.core.stationarity import estimate_beta, estimate_edge_probability
+        # Random waypoint: positional density uniformity (Corollary 4 conditions).
+        side = math.sqrt(waypoint_n)
+        region = SquareRegion(side)
+        radius = 1.0
+        analytic = uniformity_parameters(
+            lambda x, y: waypoint_density(x, y, side), region, radius=radius, resolution=30
+        )
+        report.add_row(
+            model="random waypoint", quantity="delta (analytic density)", value=analytic.delta
+        )
+        report.add_row(
+            model="random waypoint", quantity="lambda (analytic density)", value=analytic.lam
+        )
+        report.add_row(
+            model="random waypoint", quantity="eta = delta^6/lambda^2", value=analytic.eta()
+        )
+        waypoint = RandomWaypoint(waypoint_n, side=side, radius=radius, v_min=1.0)
+        empirical_density = empirical_positional_distribution(
+            waypoint, region, resolution=12, num_snapshots=snapshots, spacing=2, rng=generator
+        )
+        empirical = uniformity_parameters(
+            empirical_density, region, radius=radius, resolution=12
+        )
+        report.add_row(
+            model="random waypoint", quantity="delta (empirical density)", value=empirical.delta
+        )
+        report.add_row(
+            model="random waypoint", quantity="lambda (empirical density)", value=empirical.lam
+        )
 
-    estimated_alpha = estimate_edge_probability(
-        node_meg, epoch_length=epoch, num_samples=mc_samples, rng=generator
-    )
-    estimated_beta = estimate_beta(
-        node_meg, epoch_length=epoch, num_samples=mc_samples, rng=generator
-    )
-    report.add_row(
-        model="co-location node-MEG", quantity="alpha (Monte-Carlo)", value=estimated_alpha
-    )
-    report.add_row(
-        model="co-location node-MEG", quantity="beta ratio (Monte-Carlo)", value=estimated_beta
-    )
+        # Node-MEG: exact alpha / beta vs Monte-Carlo estimates.
+        chain = complete_graph_walk(12)
+        connection = np.eye(chain.num_states, dtype=bool)
+        node_meg = NodeMEG(48, chain, connection)
+        exact_alpha, exact_beta = exact_parameters(node_meg)
+        report.add_row(
+            model="co-location node-MEG", quantity="alpha = P_NM (exact)", value=exact_alpha
+        )
+        report.add_row(
+            model="co-location node-MEG",
+            quantity="beta = 17 eta (Lemma 15)",
+            value=exact_beta,
+        )
+        epoch = max(1, mixing_time(chain))
+        estimated_alpha = estimate_edge_probability(
+            node_meg, epoch_length=epoch, num_samples=mc_samples, rng=generator
+        )
+        estimated_beta = estimate_beta(
+            node_meg, epoch_length=epoch, num_samples=mc_samples, rng=generator
+        )
+        report.add_row(
+            model="co-location node-MEG", quantity="alpha (Monte-Carlo)", value=estimated_alpha
+        )
+        report.add_row(
+            model="co-location node-MEG",
+            quantity="beta ratio (Monte-Carlo)",
+            value=estimated_beta,
+        )
 
-    # Classic edge-MEG: alpha exact, beta = 1 by construction.
-    edge_meg = EdgeMEG(80, p=2.0 / 80, q=0.5)
-    alpha_edge, beta_edge = exact_parameters(edge_meg)
-    report.add_row(model="classic edge-MEG", quantity="alpha = p/(p+q)", value=alpha_edge)
-    report.add_row(model="classic edge-MEG", quantity="beta (independent edges)", value=beta_edge)
+        # Classic edge-MEG: alpha exact, beta = 1 by construction.
+        edge_meg = EdgeMEG(80, p=2.0 / 80, q=0.5)
+        alpha_edge, beta_edge = exact_parameters(edge_meg)
+        report.add_row(
+            model="classic edge-MEG", quantity="alpha = p/(p+q)", value=alpha_edge
+        )
+        report.add_row(
+            model="classic edge-MEG", quantity="beta (independent edges)", value=beta_edge
+        )
 
-    report.add_note(
-        "The waypoint's positional density is bounded by a constant multiple of the "
-        "uniform density (condition (a)) and exceeds 1/(delta vol) on a constant "
-        "fraction of the square (condition (b)), as Corollary 4 requires."
-    )
-    report.add_note(
-        "Monte-Carlo estimates of alpha and of the pairwise correlation ratio agree "
-        "with the exact node-MEG quantities, and the measured beta ratio stays far "
-        "below the conservative 17*eta constant of Lemma 15."
-    )
-    return report
+        report.add_note(
+            "The waypoint's positional density is bounded by a constant multiple of the "
+            "uniform density (condition (a)) and exceeds 1/(delta vol) on a constant "
+            "fraction of the square (condition (b)), as Corollary 4 requires."
+        )
+        report.add_note(
+            "Monte-Carlo estimates of alpha and of the pairwise correlation ratio agree "
+            "with the exact node-MEG quantities, and the measured beta ratio stays far "
+            "below the conservative 17*eta constant of Lemma 15."
+        )
+        return report
+
+    return ExperimentPlan("E10", scale, seed, (), assemble)
 
 
+# --------------------------------------------------------------------------- #
+# Registry and legacy runner entry points
+# --------------------------------------------------------------------------- #
 EXPERIMENTS: dict[str, Experiment] = {
-    "E1": Experiment("E1", "Theorem 1 on a sparse edge-MEG", "Theorem 1", run_theorem1),
-    "E2": Experiment("E2", "Theorem 3 on a co-location node-MEG", "Theorem 3", run_node_meg),
-    "E3": Experiment("E3", "Random waypoint (sparse regime)", "Corollary 4 / Section 4.1", run_random_waypoint),
-    "E4": Experiment("E4", "Random walk mobility on the grid", "Introduction / Section 4.1", run_random_walk),
-    "E5": Experiment("E5", "Random paths on a grid", "Corollary 5", run_random_paths),
-    "E6": Experiment("E6", "k-augmented grids vs meeting-time bound", "Corollary 6 + [15]", run_augmented_grid),
-    "E7": Experiment("E7", "Classic edge-MEG vs prior bound", "Appendix A", run_edge_meg),
-    "E8": Experiment("E8", "Randomised gossip vs flooding", "Section 5", run_gossip),
-    "E9": Experiment("E9", "Expansion machinery of Lemmas 9-11", "Lemmas 9-11", run_expansion),
-    "E10": Experiment("E10", "Stationarity conditions of concrete models", "Fact 2 / Lemma 15 / Corollary 4", run_stationarity),
+    "E1": Experiment("E1", "Theorem 1 on a sparse edge-MEG", "Theorem 1", plan_theorem1),
+    "E2": Experiment("E2", "Theorem 3 on a co-location node-MEG", "Theorem 3", plan_node_meg),
+    "E3": Experiment(
+        "E3", "Random waypoint (sparse regime)", "Corollary 4 / Section 4.1", plan_random_waypoint
+    ),
+    "E4": Experiment(
+        "E4", "Random walk mobility on the grid", "Introduction / Section 4.1", plan_random_walk
+    ),
+    "E5": Experiment("E5", "Random paths on a grid", "Corollary 5", plan_random_paths),
+    "E6": Experiment(
+        "E6", "k-augmented grids vs meeting-time bound", "Corollary 6 + [15]", plan_augmented_grid
+    ),
+    "E7": Experiment("E7", "Classic edge-MEG vs prior bound", "Appendix A", plan_edge_meg),
+    "E8": Experiment("E8", "Randomised gossip vs flooding", "Section 5", plan_gossip),
+    "E9": Experiment("E9", "Expansion machinery of Lemmas 9-11", "Lemmas 9-11", plan_expansion),
+    "E10": Experiment(
+        "E10",
+        "Stationarity conditions of concrete models",
+        "Fact 2 / Lemma 15 / Corollary 4",
+        plan_stationarity,
+    ),
 }
 
 
@@ -664,6 +959,78 @@ def get_experiment(experiment_id: str) -> Experiment:
         raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {known}") from None
 
 
-def run_experiment(experiment_id: str, scale: str = "small", seed: int = 0) -> ExperimentReport:
-    """Run a registered experiment and return its report."""
-    return get_experiment(experiment_id).runner(scale, seed)
+def run_experiment(
+    experiment_id: str,
+    scale: str = "small",
+    seed: int = 0,
+    engine: Engine | None = None,
+) -> ExperimentReport:
+    """Run a registered experiment through the pipeline and return its report.
+
+    ``engine`` configures execution (worker pool, kernel backend, attached
+    result store); the default is a serial in-process engine.  The report is
+    identical whatever the engine configuration — that is the pipeline's
+    determinism contract.
+    """
+    plan = get_experiment(experiment_id).planner(scale, int(seed))
+    report = execute_plan(plan, engine=engine).report
+    assert report is not None  # unsharded executions always assemble
+    return report
+
+
+def _run_legacy(
+    planner: Callable[[str, int], ExperimentPlan], scale: str, seed: int
+) -> ExperimentReport:
+    report = execute_plan(planner(scale, seed)).report
+    assert report is not None
+    return report
+
+
+def run_theorem1(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E1: flooding time vs n for a sparse edge-MEG against the Theorem-1 bound."""
+    return _run_legacy(plan_theorem1, scale, seed)
+
+
+def run_node_meg(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E2: flooding time of a co-location node-MEG against the Theorem-3 bound."""
+    return _run_legacy(plan_node_meg, scale, seed)
+
+
+def run_random_waypoint(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E3: sparse-regime random waypoint vs the paper's first waypoint bound."""
+    return _run_legacy(plan_random_waypoint, scale, seed)
+
+
+def run_random_walk(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E4: random-walk mobility model on an m x m grid (sanity baseline)."""
+    return _run_legacy(plan_random_walk, scale, seed)
+
+
+def run_random_paths(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E5: shortest-path random-path model on grids vs the Corollary-5 bound."""
+    return _run_legacy(plan_random_paths, scale, seed)
+
+
+def run_augmented_grid(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E6: random walks on k-augmented grids — our bound vs the [15] baseline."""
+    return _run_legacy(plan_augmented_grid, scale, seed)
+
+
+def run_edge_meg(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E7: classic edge-MEG sweep — our general bound vs the prior bound of [10]."""
+    return _run_legacy(plan_edge_meg, scale, seed)
+
+
+def run_gossip(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E8: push-gossip variants on the same dynamic graphs as plain flooding."""
+    return _run_legacy(plan_gossip, scale, seed)
+
+
+def run_expansion(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E9: empirical check of the expansion quantities used in Theorem 1's proof."""
+    return _run_legacy(plan_expansion, scale, seed)
+
+
+def run_stationarity(scale: str = "small", seed: int = 0) -> ExperimentReport:
+    """E10: density/independence conditions measured for the concrete models."""
+    return _run_legacy(plan_stationarity, scale, seed)

@@ -52,6 +52,13 @@ def spawn_seed_sequences(rng: RNGLike, count: int) -> list[np.random.SeedSequenc
     producing fresh, non-overlapping streams; bit generators without an
     attached seed sequence fall back to a ``SeedSequence`` built from entropy
     drawn from the generator.
+
+    A plain ``SeedSequence`` input is *not* mutated: the children are spawned
+    from a copy carrying the input's entropy, spawn key and spawn counter, so
+    repeated calls return the same children.  This is what makes computing a
+    :class:`~repro.engine.TrialSpec`'s store key idempotent — the engine and
+    the experiments pipeline may each derive the per-trial seeds of one spec
+    without stepping on each other.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -62,7 +69,13 @@ def spawn_seed_sequences(rng: RNGLike, count: int) -> list[np.random.SeedSequenc
             seq = np.random.SeedSequence(entropy)
         return list(seq.spawn(count))
     if isinstance(rng, np.random.SeedSequence):
-        return list(rng.spawn(count))
+        frozen = np.random.SeedSequence(
+            entropy=rng.entropy,
+            spawn_key=tuple(rng.spawn_key),
+            pool_size=rng.pool_size,
+            n_children_spawned=rng.n_children_spawned,
+        )
+        return list(frozen.spawn(count))
     if rng is None or isinstance(rng, (int, np.integer)):
         seed = None if rng is None else int(rng)
         return list(np.random.SeedSequence(seed).spawn(count))

@@ -1,0 +1,274 @@
+"""Tests for the engine-routed experiments pipeline (repro.experiments.pipeline).
+
+Covers the three contracts the CI experiment fan-out matrix enforces:
+
+* **Golden values** — every E1-E10 small-scale report is bit-compatible with
+  the values the pre-pipeline registry produced (captured in
+  ``tests/data/experiments_golden_small.json`` before the refactor).
+* **Execution invariance** — the same id/scale/seed yields an identical
+  report dict across serial, multi-worker, and sharded+merged execution.
+* **Store semantics** — shard stores merge byte-identical to an unsharded
+  run's store, partial runs resume from the store, warm re-runs are pure
+  replay, and the CLI ``repro experiment`` path round-trips through a
+  ResultStore.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import Engine, ResultStore, jsonify
+from repro.experiments.pipeline import (
+    MissingRecordError,
+    assemble_from_store,
+    compile_experiment,
+    execute_plan,
+    run_experiment_pipeline,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "experiments_golden_small.json"
+)
+ALL_IDS = sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _approx_equal(actual, expected, rel=1e-9) -> bool:
+    """Recursive equality with relative tolerance on floats (notes stay exact)."""
+    if isinstance(expected, dict):
+        return (
+            isinstance(actual, dict)
+            and actual.keys() == expected.keys()
+            and all(_approx_equal(actual[k], expected[k], rel) for k in expected)
+        )
+    if isinstance(expected, list):
+        return (
+            isinstance(actual, list)
+            and len(actual) == len(expected)
+            and all(_approx_equal(a, e, rel) for a, e in zip(actual, expected))
+        )
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        return actual == pytest.approx(expected, rel=rel)
+    return actual == expected
+
+
+def _store_lines(path: str) -> list[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return sorted(line for line in handle if line.strip())
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_small_scale_report_matches_pre_pipeline_values(self, experiment_id, golden):
+        report = jsonify(run_experiment(experiment_id, scale="small", seed=0).as_dict())
+        assert _approx_equal(report, golden[experiment_id]), (
+            f"{experiment_id} drifted from its pre-pipeline golden values"
+        )
+
+
+class TestCompile:
+    def test_plans_have_tagged_jobs(self):
+        plan = compile_experiment("E1", scale="small", seed=0)
+        assert plan.experiment_id == "E1"
+        assert len(plan.jobs) == 3
+        for job in plan.jobs:
+            assert dict(job.spec.tags)["experiment"] == "E1"
+            assert dict(job.spec.tags)["scale"] == "small"
+
+    def test_proof_machinery_experiments_compile_to_zero_jobs(self):
+        for experiment_id in ("E9", "E10"):
+            plan = compile_experiment(experiment_id, scale="small", seed=0)
+            assert plan.jobs == ()
+            assert execute_plan(plan).report is not None
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            compile_experiment("E1", scale="huge")
+
+    def test_shard_jobs_stride(self):
+        plan = compile_experiment("E7", scale="small", seed=0)
+        tags = [job.tag for job in plan.jobs]
+        assert [j.tag for j in plan.shard_jobs(0, 2)] == tags[0::2]
+        assert [j.tag for j in plan.shard_jobs(1, 2)] == tags[1::2]
+        assert plan.shard_jobs(4, 5) == ()
+        with pytest.raises(ValueError):
+            plan.shard_jobs(2, 2)
+
+    def test_store_keys_stable_across_compilations(self):
+        first = compile_experiment("E7", scale="small", seed=3)
+        second = compile_experiment("E7", scale="small", seed=3)
+        assert [j.store_key() for j in first.jobs] == [j.store_key() for j in second.jobs]
+        # and idempotent on one plan instance (keys must not drift per call)
+        assert [j.store_key() for j in first.jobs] == [j.store_key() for j in first.jobs]
+
+
+class TestExecutionInvariance:
+    def test_multi_worker_report_identical_to_serial(self):
+        serial = run_experiment("E1", scale="small", seed=0)
+        pooled = run_experiment("E1", scale="small", seed=0, engine=Engine(workers=2))
+        assert jsonify(pooled.as_dict()) == jsonify(serial.as_dict())
+
+    def test_sharded_stores_merge_byte_identical_and_assemble(self, tmp_path):
+        scale, seed = "small", 3
+        reference_store = ResultStore(tmp_path / "reference")
+        reference = run_experiment_pipeline(
+            "E7", scale, seed, engine=Engine(store=reference_store)
+        )
+        assert reference.report is not None
+
+        shard_dirs = []
+        for index in range(2):
+            shard_dir = tmp_path / f"shard{index}"
+            run = run_experiment_pipeline(
+                "E7", scale, seed,
+                engine=Engine(store=ResultStore(shard_dir)),
+                shard=(index, 2),
+            )
+            assert run.report is None
+            assert len(run.batches) == 2  # E7 small has 4 jobs
+            shard_dirs.append(shard_dir)
+
+        merged = ResultStore(tmp_path / "merged")
+        merge_report = merged.merge(*shard_dirs)
+        assert merge_report.records == 4
+        assert merge_report.pending_shards == 0
+
+        reference_store.compact()
+        assert _store_lines(merged.path) == _store_lines(reference_store.path)
+
+        plan = compile_experiment("E7", scale, seed)
+        assembled = assemble_from_store(plan, merged)
+        assert jsonify(assembled.as_dict()) == jsonify(reference.report.as_dict())
+
+    def test_partial_run_resumes_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        shard = run_experiment_pipeline(
+            "E1", "small", 0, engine=Engine(store=store), shard=(0, 2)
+        )
+        assert all(not batch.from_cache for batch in shard.batches.values())
+
+        full = run_experiment_pipeline("E1", "small", 0, engine=Engine(store=store))
+        assert full.report is not None
+        for tag, batch in full.batches.items():
+            assert batch.from_cache == (tag in shard.batches)
+        assert jsonify(full.report.as_dict()) == jsonify(
+            run_experiment("E1", scale="small", seed=0).as_dict()
+        )
+
+    def test_warm_store_rerun_is_pure_replay(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = run_experiment_pipeline("E7", "small", 0, engine=Engine(store=store))
+        assert cold.num_cached == 0
+        warm = run_experiment_pipeline("E7", "small", 0, engine=Engine(store=store))
+        assert warm.num_cached == len(warm.plan.jobs)
+        assert jsonify(warm.report.as_dict()) == jsonify(cold.report.as_dict())
+
+
+class TestStoreRecords:
+    def test_records_carry_experiment_tags(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run = run_experiment_pipeline("E1", "small", 0, engine=Engine(store=store))
+        assert run.report is not None
+        for job in run.plan.jobs:
+            record = store.get(job.store_key())
+            assert record is not None
+            assert record["tags"]["experiment"] == "E1"
+            assert record["tags"]["point"] == job.tag
+
+    def test_missing_record_raises_with_job_name(self, tmp_path):
+        plan = compile_experiment("E1", "small", 0)
+        with pytest.raises(MissingRecordError, match="n=50"):
+            assemble_from_store(plan, ResultStore(tmp_path / "empty"))
+
+    def test_empty_shard_still_touches_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run = run_experiment_pipeline(
+            "E1", "small", 0, engine=Engine(store=store), shard=(4, 5)
+        )
+        assert run.batches == {}
+        assert os.path.exists(store.path)
+        # and an empty store file is a legal merge source
+        merged = ResultStore(tmp_path / "merged")
+        assert merged.merge(tmp_path / "store").records == 0
+
+
+class TestExperimentCLI:
+    def test_run_prints_report_and_writes_json(self, tmp_path, capsys, golden):
+        json_path = tmp_path / "report.json"
+        rc = main(
+            ["experiment", "E1", "--results-dir", str(tmp_path / "store"),
+             "--json", str(json_path)]
+        )
+        assert rc == 0
+        assert "E1: Theorem 1 bound" in capsys.readouterr().out
+        with open(json_path, "r", encoding="utf-8") as handle:
+            assert _approx_equal(json.load(handle), golden["E1"])
+
+    def test_rerun_is_served_from_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["experiment", "E7", "--results-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "E7", "--results-dir", store_dir]) == 0
+        assert "served from the result store" in capsys.readouterr().out
+
+    def test_shard_and_merge_round_trip(self, tmp_path, capsys):
+        scale_args = ["--scale", "small", "--seed", "3"]
+        for index in range(2):
+            rc = main(
+                ["experiment", "E7", *scale_args, "--shard", f"{index}/2",
+                 "--results-dir", str(tmp_path / f"shard{index}")]
+            )
+            assert rc == 0
+        merged_json = tmp_path / "merged.json"
+        rc = main(
+            ["experiment", "E7", *scale_args,
+             "--results-dir", str(tmp_path / "merged"),
+             "--merge", str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+             "--json", str(merged_json)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+        reference_json = tmp_path / "reference.json"
+        rc = main(
+            ["experiment", "E7", *scale_args,
+             "--results-dir", str(tmp_path / "reference"),
+             "--json", str(reference_json)]
+        )
+        assert rc == 0
+        with open(merged_json) as a, open(reference_json) as b:
+            assert json.load(a) == json.load(b)
+
+    def test_merge_with_missing_shard_fails_loudly(self, tmp_path, capsys):
+        rc = main(
+            ["experiment", "E7", "--results-dir", str(tmp_path / "merged"), "--merge"]
+        )
+        assert rc == 1
+        assert "assembly failed" in capsys.readouterr().err
+
+    def test_shard_requires_results_dir(self, capsys):
+        rc = main(["experiment", "E7", "--shard", "0/2"])
+        assert rc == 2
+        assert "--results-dir" in capsys.readouterr().err
+
+    def test_shard_and_merge_mutually_exclusive(self, tmp_path, capsys):
+        rc = main(
+            ["experiment", "E7", "--shard", "0/2", "--merge",
+             "--results-dir", str(tmp_path / "store")]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_zero_job_experiment_runs_plain(self, capsys):
+        assert main(["experiment", "E9"]) == 0
+        assert "E9: Expansion quantities" in capsys.readouterr().out
