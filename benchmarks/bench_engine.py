@@ -186,6 +186,26 @@ def test_engine_worker_count_invariance():
     assert serial.flooding_times == parallel.flooding_times
 
 
+def test_engine_executor_invariance_and_startup():
+    """Thread and process pools agree bit-for-bit; report their overheads.
+
+    The timing print tracks pool start-up cost (the thread pool's edge for
+    short batches); correctness — not the timing — is the assertion, since
+    CI machine load makes pool start-up noisy.
+    """
+    serial = Engine(workers=1).run(_spec())
+    timings = {}
+    for executor in ("process", "thread"):
+        engine = Engine(workers=4, executor=executor)
+        best = min(engine.run(_spec()).elapsed_seconds for _ in range(3))
+        timings[executor] = best
+        assert engine.run(_spec()).flooding_times == serial.flooding_times
+    print(
+        f"\nengine 4-worker batch   process pool {timings['process'] * 1e3:8.1f} ms   "
+        f"thread pool {timings['thread'] * 1e3:8.1f} ms"
+    )
+
+
 def test_engine_result_store_roundtrip(tmp_path):
     store = ResultStore(tmp_path)
     engine = Engine(store=store)

@@ -53,7 +53,15 @@ from repro.mobility.random_path import RandomPathModel
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypoint
 
-__version__ = "1.2.0"
+# Single source of truth is the installed package metadata (pyproject.toml);
+# the literal fallback covers source checkouts driven via PYTHONPATH=src,
+# where no distribution is installed.
+try:
+    from importlib.metadata import PackageNotFoundError, version as _distribution_version
+
+    __version__ = _distribution_version("repro-dynamic-graphs")
+except PackageNotFoundError:  # pragma: no cover - depends on install mode
+    __version__ = "1.4.0"
 
 __all__ = [
     "DynamicGraph",

@@ -16,6 +16,12 @@ Usage (after ``pip install -e .``)::
     repro sweep edge-meg --nodes 64,128,256 --trials 30 --seed 7 \
         --shard 0/3 --results-dir shard0
     repro merge-results merged.jsonl shard0 shard1 shard2
+    repro fleet run sweep edge-meg --nodes 64,128 --trials 30 --seed 7 \
+        --shards 6 --local-workers 2 --spool spool --results-dir merged
+    repro fleet run experiment E7 --scale small --seed 3 --shards 2 \
+        --local-workers 2 --spool exp-spool --results-dir merged-exp
+    repro worker --spool /mnt/shared/spool
+    repro fleet status spool
 
 The ``flood`` subcommand reports the measured flooding-time statistics next
 to the paper's bound for the chosen model, mirroring what the examples do in
@@ -38,15 +44,24 @@ through the engine pipeline: the experiment compiles into a batch of tagged
 persisted as a full batch record), and ``--merge`` unions shard stores and
 assembles the report purely from store records — the fan-out/fan-in path the
 CI experiment matrix exercises per push.
+
+The ``fleet`` and ``worker`` subcommands automate the fan-out/fan-in
+entirely (:mod:`repro.fleet`): ``repro fleet run`` compiles a sweep or
+experiment into ``K`` shard jobs in a crash-safe file spool, drives local
+and/or external ``repro worker`` processes to drain it (leases, heartbeats,
+expiry requeue, bounded retries), and fans in to a merged store and report
+byte-identical to a one-shot run.  ``repro fleet status`` inspects a spool.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
+from repro import __version__
 from repro.core.bounds import (
     classic_edge_meg_bound,
     corollary6_bound,
@@ -55,6 +70,7 @@ from repro.core.bounds import (
 from repro.core.flooding import batched_flooding_time_samples, flooding_time_samples
 from repro.engine import (
     BACKENDS,
+    EXECUTORS,
     Engine,
     MergeConflictError,
     ResultStore,
@@ -70,6 +86,28 @@ from repro.experiments.pipeline import (
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
 from repro.experiments.runner import measure_flooding_sweep, sweep_as_dicts
+from repro.fleet import (
+    FleetError,
+    JobSpool,
+    assemble_experiment_report,
+    experiment_job_payloads,
+    format_status,
+    merge_fleet_stores,
+    run_fleet,
+    run_worker,
+    spool_status,
+    sweep_job_payloads,
+    sweep_results_from_store,
+)
+# The family factories moved to repro.sweeps (shared with the fleet worker);
+# the redundant ``as`` aliases are explicit re-exports keeping the historical
+# ``repro.cli`` names importable.
+from repro.sweeps import (
+    SWEEP_FAMILIES as SWEEP_FAMILIES,
+    sweep_edge_meg_model as sweep_edge_meg_model,
+    sweep_grid_walk_model as sweep_grid_walk_model,
+    sweep_waypoint_model as sweep_waypoint_model,
+)
 from repro.util.stats import summarize
 
 
@@ -97,52 +135,14 @@ def _shard_argument(text: str) -> tuple[int, int]:
         raise argparse.ArgumentTypeError(str(error))
 
 
-# --------------------------------------------------------------------- #
-# sweep model factories
-#
-# Module-level functions (not closures or partials) so the built specs are
-# picklable for worker pools and carry stable cache tokens: the result-store
-# key of a sweep point depends only on the factory's qualified name, the
-# sweep value and these keyword arguments — identical across machines, which
-# is what lets sharded CI jobs and local runs share one logical store.
-# --------------------------------------------------------------------- #
-def sweep_edge_meg_model(num_nodes: int, q: float = 0.5, avg_degree: float = 4.0):
-    """Edge-MEG at constant expected degree (sparse regime) for node sweeps."""
-    from repro.meg.edge_meg import EdgeMEG
-
-    birth = min(1.0, avg_degree / max(num_nodes - 1, 1))
-    return EdgeMEG(num_nodes, p=birth, q=q)
-
-
-def sweep_waypoint_model(
-    num_nodes: int, side: float = 6.0, radius: float = 1.2, speed: float = 1.0
-):
-    """Random-waypoint model with fixed geometry for node sweeps."""
-    from repro.mobility.random_waypoint import RandomWaypoint
-
-    return RandomWaypoint(num_nodes, side=side, radius=radius, v_min=speed)
-
-
-def sweep_grid_walk_model(num_nodes: int, grid_side: int = 6, augment_k: int = 1):
-    """Random walks on an augmented grid with fixed geometry for node sweeps."""
-    from repro.graphs.grid import augmented_grid_graph
-    from repro.mobility.random_path import GraphRandomWalkMobility
-
-    graph = augmented_grid_graph(grid_side, augment_k)
-    return GraphRandomWalkMobility(num_nodes, graph, holding_probability=0.5)
-
-
-SWEEP_FAMILIES = {
-    "edge-meg": sweep_edge_meg_model,
-    "waypoint": sweep_waypoint_model,
-    "grid-walk": sweep_grid_walk_model,
-}
-
-
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Information Spreading in Dynamic Graphs' (PODC 2012)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -156,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS, default="auto",
         help="flooding kernel: auto, set (python loop), vectorized (dense NumPy) "
              "or sparse (CSR matvec)",
+    )
+    engine_options.add_argument(
+        "--executor", choices=EXECUTORS, default="process",
+        help="pool kind when --workers > 1: process (CPU parallelism, default) "
+             "or thread (cheap start-up, IO-bound models); samples are "
+             "bit-identical either way",
     )
     engine_options.add_argument(
         "--results-dir", default=None,
@@ -269,6 +275,37 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_walk.add_argument("--trials", type=int, default=5)
     grid_walk.add_argument("--seed", type=int, default=0)
 
+    # Per-family model parameters, shared between `sweep` and `fleet run sweep`.
+    family_params = {
+        "edge-meg": argparse.ArgumentParser(add_help=False),
+        "waypoint": argparse.ArgumentParser(add_help=False),
+        "grid-walk": argparse.ArgumentParser(add_help=False),
+    }
+    family_params["edge-meg"].add_argument(
+        "--q", type=float, default=0.5, help="edge death rate"
+    )
+    family_params["edge-meg"].add_argument(
+        "--avg-degree", type=float, default=4.0, help="expected stationary degree"
+    )
+    family_params["waypoint"].add_argument("--side", type=float, default=6.0)
+    family_params["waypoint"].add_argument("--radius", type=float, default=1.2)
+    family_params["waypoint"].add_argument("--speed", type=float, default=1.0)
+    family_params["grid-walk"].add_argument("--grid-side", type=int, default=6)
+    family_params["grid-walk"].add_argument("--augment-k", type=int, default=1)
+    family_help = {
+        "edge-meg": "edge-MEG at constant expected degree",
+        "waypoint": "random waypoint over a fixed square",
+        "grid-walk": "random walks over a fixed augmented grid",
+    }
+
+    sweep_points = argparse.ArgumentParser(add_help=False)
+    sweep_points.add_argument(
+        "--nodes", type=_int_list, default=[64, 128, 256], metavar="N1,N2,...",
+        help="comma-separated node counts (the sweep points)",
+    )
+    sweep_points.add_argument("--trials", type=_positive_int, default=10)
+    sweep_points.add_argument("--seed", type=int, default=0)
+
     sweep = subparsers.add_parser(
         "sweep",
         help="run a node-count sweep of a model family (shardable across machines)",
@@ -276,37 +313,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_sub = sweep.add_subparsers(dest="family", required=True)
     sweep_common = argparse.ArgumentParser(add_help=False)
     sweep_common.add_argument(
-        "--nodes", type=_int_list, default=[64, 128, 256], metavar="N1,N2,...",
-        help="comma-separated node counts (the sweep points)",
-    )
-    sweep_common.add_argument("--trials", type=_positive_int, default=10)
-    sweep_common.add_argument("--seed", type=int, default=0)
-    sweep_common.add_argument(
         "--shard", type=_shard_argument, default=None, metavar="i/K",
         help="run only shard i of K: trials i, i+K, i+2K, ... of every sweep "
              "point, with the exact seeds the unsharded sweep would use",
     )
-    sweep_edge_meg = sweep_sub.add_parser(
-        "edge-meg", parents=[engine_options, source_parent, sweep_common],
-        help="edge-MEG at constant expected degree",
-    )
-    sweep_edge_meg.add_argument("--q", type=float, default=0.5, help="edge death rate")
-    sweep_edge_meg.add_argument(
-        "--avg-degree", type=float, default=4.0, help="expected stationary degree"
-    )
-    sweep_waypoint = sweep_sub.add_parser(
-        "waypoint", parents=[engine_options, source_parent, sweep_common],
-        help="random waypoint over a fixed square",
-    )
-    sweep_waypoint.add_argument("--side", type=float, default=6.0)
-    sweep_waypoint.add_argument("--radius", type=float, default=1.2)
-    sweep_waypoint.add_argument("--speed", type=float, default=1.0)
-    sweep_grid_walk = sweep_sub.add_parser(
-        "grid-walk", parents=[engine_options, source_parent, sweep_common],
-        help="random walks over a fixed augmented grid",
-    )
-    sweep_grid_walk.add_argument("--grid-side", type=int, default=6)
-    sweep_grid_walk.add_argument("--augment-k", type=int, default=1)
+    for family in SWEEP_FAMILIES:
+        sweep_sub.add_parser(
+            family,
+            parents=[engine_options, source_parent, sweep_points, sweep_common,
+                     family_params[family]],
+            help=family_help[family],
+        )
 
     merge = subparsers.add_parser(
         "merge-results",
@@ -321,6 +338,108 @@ def _build_parser() -> argparse.ArgumentParser:
         help="source stores: .jsonl files or directories holding results.jsonl",
     )
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a fleet worker daemon: lease jobs from a spool, execute, "
+             "heartbeat, mark done/failed",
+    )
+    worker.add_argument("--spool", required=True, help="shared spool directory")
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="identity recorded in lease metadata (default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, help="seconds between idle spool scans"
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="seconds of heartbeat silence before a lease is presumed dead "
+             "(default: the spool's persisted configuration)",
+    )
+    worker.add_argument(
+        "--max-attempts", type=_positive_int, default=None, metavar="N",
+        help="total execution attempts per job before it is marked failed "
+             "(default: the spool's persisted configuration)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=_positive_int, default=None, metavar="N",
+        help="exit after executing N jobs (worker recycling)",
+    )
+    worker.add_argument(
+        "--exit-when-empty", action="store_true",
+        help="exit once every job has reached a terminal state instead of "
+             "polling forever",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="drive a whole sharded workload through a worker fleet"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_options = argparse.ArgumentParser(add_help=False)
+    fleet_options.add_argument(
+        "--spool", required=True,
+        help="spool directory (fresh per run; shared across machines for "
+             "multi-machine fleets)",
+    )
+    fleet_options.add_argument(
+        "--shards", type=_positive_int, required=True, metavar="K",
+        help="number of shard jobs to compile the workload into",
+    )
+    fleet_options.add_argument(
+        "--local-workers", type=int, default=0, metavar="N",
+        help="drain-mode worker processes to spawn locally (0 = external "
+             "fleet: run `repro worker --spool DIR` elsewhere)",
+    )
+    fleet_options.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="seconds of heartbeat silence before a lease is requeued",
+    )
+    fleet_options.add_argument(
+        "--max-attempts", type=_positive_int, default=None, metavar="N",
+        help="total execution attempts per job before it is marked failed",
+    )
+    fleet_options.add_argument(
+        "--poll", type=float, default=0.2, help="monitor seconds between spool scans"
+    )
+    fleet_options.add_argument(
+        "--max-wait", type=float, default=None, metavar="S",
+        help="abort (leaving the spool for inspection) after S seconds",
+    )
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="compile, execute and fan in one workload"
+    )
+    fleet_run_sub = fleet_run.add_subparsers(dest="workload", required=True)
+    fleet_sweep = fleet_run_sub.add_parser(
+        "sweep", help="fleet-execute a node-count sweep of a model family"
+    )
+    fleet_sweep_sub = fleet_sweep.add_subparsers(dest="family", required=True)
+    for family in SWEEP_FAMILIES:
+        fleet_sweep_sub.add_parser(
+            family,
+            parents=[engine_options, source_parent, sweep_points, fleet_options,
+                     family_params[family]],
+            help=family_help[family],
+        )
+    fleet_experiment = fleet_run_sub.add_parser(
+        "experiment", parents=[engine_options, fleet_options],
+        help="fleet-execute one registered experiment (E1-E10)",
+    )
+    fleet_experiment.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    )
+    fleet_experiment.add_argument("--scale", choices=("small", "full"), default="small")
+    fleet_experiment.add_argument("--seed", type=int, default=0)
+    fleet_experiment.add_argument(
+        "--markdown", action="store_true", help="render the report as markdown"
+    )
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="inspect a spool: progress, leases, heartbeats, failures"
+    )
+    fleet_status.add_argument("spool", help="spool directory to inspect")
+
     return parser
 
 
@@ -332,6 +451,7 @@ def _build_engine(args: argparse.Namespace) -> Engine:
     return Engine(
         workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", "auto"),
+        executor=getattr(args, "executor", "process"),
         store=store,
         source_chunk=getattr(args, "source_chunk", None),
     )
@@ -610,6 +730,153 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker(args: argparse.Namespace) -> int:
+    try:
+        return run_worker(
+            args.spool,
+            worker_id=args.worker_id,
+            poll=args.poll,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            exit_when_empty=args.exit_when_empty,
+            max_jobs=args.max_jobs,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("worker interrupted", file=sys.stderr)
+        return 130
+
+
+def _fleet_engine_config(args: argparse.Namespace) -> dict:
+    """The per-job engine configuration carried in fleet job descriptors."""
+    return {
+        "workers": args.workers,
+        "backend": args.backend,
+        "executor": args.executor,
+        "source_chunk": args.source_chunk,
+    }
+
+
+def _run_fleet_run(args: argparse.Namespace) -> int:
+    if not args.results_dir:
+        print(
+            "error: fleet run needs --results-dir (the destination the job "
+            "stores are merged into)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.workload == "sweep":
+            if args.all_sources:
+                sources, num_sources = "all", None
+            elif args.source_sample is not None:
+                sources, num_sources = None, args.source_sample
+            else:
+                sources, num_sources = None, None
+            payloads = sweep_job_payloads(
+                args.family,
+                args.nodes,
+                args.trials,
+                args.seed,
+                args.shards,
+                sources=sources,
+                num_sources=num_sources,
+                factory_kwargs=_sweep_factory_kwargs(args),
+                engine=_fleet_engine_config(args),
+            )
+        else:
+            payloads = experiment_job_payloads(
+                args.experiment_id,
+                args.scale,
+                args.seed,
+                args.shards,
+                engine=_fleet_engine_config(args),
+            )
+        spool = JobSpool(args.spool, lease_ttl=args.lease_ttl, max_attempts=args.max_attempts)
+        outcome = run_fleet(
+            spool,
+            payloads,
+            local_workers=args.local_workers,
+            poll=args.poll,
+            max_wait=args.max_wait,
+        )
+    except (FleetError, ValueError) as error:
+        print(f"fleet run failed: {error}", file=sys.stderr)
+        return 1
+    if not outcome.ok:
+        for job_id in outcome.failed:
+            print(f"job {job_id} failed: {outcome.errors.get(job_id)}", file=sys.stderr)
+        print(
+            f"fleet run failed: {len(outcome.failed)} job(s) exhausted their "
+            f"retry budget; inspect with: repro fleet status {spool.root}",
+            file=sys.stderr,
+        )
+        return 1
+
+    destination = ResultStore.at(args.results_dir)
+    try:
+        merge_report = merge_fleet_stores(spool, payloads, destination)
+    except (FleetError, MergeConflictError, FileNotFoundError) as error:
+        print(f"fleet fan-in failed: {error}", file=sys.stderr)
+        return 1
+    requeued = f", {len(outcome.requeued)} lease(s) requeued" if outcome.requeued else ""
+    print(
+        f"fleet: {len(outcome.done)} job(s) done in "
+        f"{outcome.elapsed_seconds:.1f}s{requeued}"
+    )
+    print(
+        f"merged {len(payloads)} job store(s) into {destination.path} "
+        f"({merge_report.records} records, {merge_report.assembled} batches assembled)"
+    )
+
+    if args.workload == "sweep":
+        measurements = sweep_results_from_store(payloads[0], destination)
+        if args.all_sources:
+            estimator = "worst case over all sources"
+        elif args.source_sample is not None:
+            estimator = f"worst case over {args.source_sample} sampled sources"
+        else:
+            estimator = "single source"
+        print(f"sweep:  {args.family} over n = {args.nodes}  ({args.shards} fleet shards)")
+        print(f"estimator: {estimator} per realization")
+        for measurement in measurements:
+            summary = measurement.summary
+            print(
+                f"  n={measurement.parameter:>6}  trials={summary.count:>4}  "
+                f"mean {summary.mean:8.1f}  median {summary.median:8.1f}  "
+                f"max {summary.maximum:8.0f}"
+            )
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {
+                    "family": args.family,
+                    "nodes": args.nodes,
+                    "trials": args.trials,
+                    "seed": args.seed,
+                    "shards": args.shards,
+                    "estimator": estimator,
+                    "factory_kwargs": _sweep_factory_kwargs(args),
+                    "measurements": sweep_as_dicts(measurements),
+                },
+            )
+        return 0
+
+    report = assemble_experiment_report(payloads[0], destination)
+    renderer = format_markdown if args.markdown else format_table
+    print(renderer(report))
+    if args.json_path:
+        _write_json(args.json_path, report.as_dict())
+    return 0
+
+
+def _run_fleet_status(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.spool):
+        print(f"error: no spool directory at {args.spool}", file=sys.stderr)
+        return 2
+    print(format_status(spool_status(JobSpool(args.spool))))
+    return 0
+
+
 def _run_merge(args: argparse.Namespace) -> int:
     destination = ResultStore.at(args.output)
     try:
@@ -639,6 +906,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "merge-results":
         return _run_merge(args)
+    if args.command == "worker":
+        return _run_worker(args)
+    if args.command == "fleet":
+        if args.fleet_command == "run":
+            return _run_fleet_run(args)
+        return _run_fleet_status(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

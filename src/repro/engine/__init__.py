@@ -29,6 +29,7 @@ The execution backbone all trial-running code routes through:
 
 from repro.engine.engine import (
     BACKENDS,
+    EXECUTORS,
     SPARSE_AUTO_MAX_DENSITY,
     SPARSE_AUTO_MIN_NODES,
     Engine,
@@ -63,6 +64,7 @@ from repro.engine.store import (
 __all__ = [
     "BACKENDS",
     "BatchResult",
+    "EXECUTORS",
     "Engine",
     "MergeConflictError",
     "MergeReport",

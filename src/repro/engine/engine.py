@@ -4,10 +4,13 @@
 trials get executed.  It owns three orthogonal decisions:
 
 * **scheduling** — trials run serially in-process (``workers=1``) or fan out
-  over a ``concurrent.futures.ProcessPoolExecutor`` (``workers>1``).  Every
+  over a ``concurrent.futures`` pool (``workers>1``): a
+  ``ProcessPoolExecutor`` by default, or a ``ThreadPoolExecutor`` with
+  ``executor="thread"`` (cheaper start-up, shared memory; useful for
+  IO-bound models and models that release the GIL in NumPy kernels).  Every
   trial's seed is a ``SeedSequence`` child spawned *before* scheduling, so
-  the samples are bit-identical regardless of worker count or scheduling
-  order;
+  the samples are bit-identical regardless of worker count, executor kind or
+  scheduling order;
 * **kernel** — the set-based loop of :func:`repro.core.flooding.flood` or
   the vectorized kernel of :func:`repro.engine.kernel.flood_vectorized`.
   ``backend="auto"`` selects the vectorized kernel exactly when the model
@@ -21,8 +24,9 @@ trials get executed.  It owns three orthogonal decisions:
 
 from __future__ import annotations
 
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence
 
 import numpy as np
@@ -42,6 +46,7 @@ from repro.meg.base import DynamicGraph
 from repro.util.rng import spawn_seed_sequences
 
 BACKENDS = ("auto", "set", "vectorized", "sparse")
+EXECUTORS = ("process", "thread")
 
 # ``backend="auto"`` upgrades from the dense to the sparse kernel when the
 # model is at least this large and its estimated snapshot density is at most
@@ -233,6 +238,13 @@ class Engine:
         Number of worker processes (1 = run in-process, the default).
     backend:
         ``"auto"`` (default), ``"set"`` or ``"vectorized"``.
+    executor:
+        Pool kind used when ``workers > 1``: ``"process"`` (default, one
+        OS process per worker — true CPU parallelism) or ``"thread"``
+        (a ``ThreadPoolExecutor`` — cheap start-up and shared memory, the
+        right choice for IO-bound models; each worker chunk still gets its
+        own model copy, via the same pickle round-trip the process pool
+        performs, so the two executors run byte-identical trials).
     store:
         Optional :class:`ResultStore`; when given, completed batches are
         persisted and identical re-runs are served from the store.
@@ -250,22 +262,26 @@ class Engine:
         backend: str = "auto",
         store: Optional[ResultStore] = None,
         source_chunk: Optional[int] = None,
+        executor: str = "process",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         if source_chunk is not None and source_chunk < 1:
             raise ValueError(f"source_chunk must be >= 1, got {source_chunk}")
         self.workers = workers
         self.backend = backend
         self.store = store
         self.source_chunk = source_chunk
+        self.executor = executor
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Engine(workers={self.workers}, backend={self.backend!r}, "
-            f"store={'yes' if self.store else 'no'})"
+            f"executor={self.executor!r}, store={'yes' if self.store else 'no'})"
         )
 
     # ------------------------------------------------------------------ #
@@ -289,9 +305,21 @@ class Engine:
                 )
                 for seed in seeds
             ]
+        chunks = _chunk_evenly(seeds, min(self.workers, len(seeds)))
+        if self.executor == "thread":
+            # Threads share one address space, but trials mutate their model
+            # in place, so each chunk gets a private copy — produced by the
+            # same pickle round-trip the process pool performs when it ships
+            # the model, keeping the two executors byte-identical.
+            frozen = pickle.dumps(model)
+            models = [model] + [pickle.loads(frozen) for _ in chunks[1:]]
+            pool_type = ThreadPoolExecutor
+        else:
+            models = [model] * len(chunks)
+            pool_type = ProcessPoolExecutor
         payloads = [
             (
-                model,
+                chunk_model,
                 chunk,
                 spec.source,
                 spec.sources,
@@ -300,9 +328,9 @@ class Engine:
                 self.backend,
                 self.source_chunk,
             )
-            for chunk in _chunk_evenly(seeds, min(self.workers, len(seeds)))
+            for chunk_model, chunk in zip(models, chunks)
         ]
-        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+        with pool_type(max_workers=self.workers) as executor:
             return [
                 outcome
                 for chunk_outcomes in executor.map(_execute_chunk, payloads)

@@ -203,6 +203,16 @@ def run_experiment_pipeline(
     return execute_plan(plan, engine=engine, shard=shard)
 
 
+def plan_store_keys(plan: ExperimentPlan) -> list[str]:
+    """The store keys of every job of a plan, in job order.
+
+    The fan-in side of fleet execution uses these as a completeness check: a
+    merged store that holds all of them can assemble the report offline; a
+    missing key names the job whose shard never ran or never merged.
+    """
+    return [job.store_key() for job in plan.jobs]
+
+
 def assemble_from_store(plan: ExperimentPlan, store: ResultStore) -> ExperimentReport:
     """Assemble a plan's report purely from stored records (no execution).
 

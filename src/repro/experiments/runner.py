@@ -52,6 +52,47 @@ class SweepMeasurement:
         }
 
 
+def sweep_trial_specs(
+    model_factory: Callable[[object], DynamicGraph],
+    parameter_values: Sequence,
+    num_trials: int,
+    source: int = 0,
+    sources: Optional[object] = None,
+    num_sources: Optional[int] = None,
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    factory_kwargs: Optional[dict] = None,
+) -> list[TrialSpec]:
+    """The :class:`TrialSpec` batch of one sweep, one spec per sweep point.
+
+    This is the single place sweep specs are constructed: the sweep runner
+    below and the fleet worker (:mod:`repro.fleet.worker`) both call it, so a
+    fleet job descriptor that names the same family, points, trial count and
+    seed material reproduces exactly the specs — and therefore exactly the
+    per-trial ``SeedSequence`` children and store keys — of a local run.
+    """
+    values = list(parameter_values)
+    if not values:
+        raise ValueError("the sweep needs at least one parameter value")
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    return [
+        TrialSpec(
+            factory=model_factory,
+            args=(value,),
+            kwargs=dict(factory_kwargs) if factory_kwargs else {},
+            num_trials=num_trials,
+            source=source,
+            sources=sources,
+            num_sources=num_sources,
+            max_steps=max_steps,
+            seed=seed,
+            label=f"sweep[{value!r}]",
+        )
+        for value, seed in zip(values, spawn_seed_sequences(rng, len(values)))
+    ]
+
+
 def measure_flooding_sweep(
     model_factory: Callable[[object], DynamicGraph],
     parameter_values: Sequence,
@@ -111,11 +152,6 @@ def measure_flooding_sweep(
         value (kept out of the sweep parameter so the factory can stay a
         plain module-level function — picklable, with a stable cache token).
     """
-    values = list(parameter_values)
-    if not values:
-        raise ValueError("the sweep needs at least one parameter value")
-    if num_trials < 1:
-        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
     if shard is not None:
         shard_index, shard_count = (int(shard[0]), int(shard[1]))
         if shard_count > num_trials:
@@ -125,20 +161,19 @@ def measure_flooding_sweep(
             )
     if engine is None:
         engine = Engine(workers=workers, backend=backend)
+    specs = sweep_trial_specs(
+        model_factory,
+        parameter_values,
+        num_trials,
+        source=source,
+        sources=sources,
+        num_sources=num_sources,
+        rng=rng,
+        max_steps=max_steps,
+        factory_kwargs=factory_kwargs,
+    )
     measurements = []
-    for value, seed in zip(values, spawn_seed_sequences(rng, len(values))):
-        spec = TrialSpec(
-            factory=model_factory,
-            args=(value,),
-            kwargs=dict(factory_kwargs) if factory_kwargs else {},
-            num_trials=num_trials,
-            source=source,
-            sources=sources,
-            num_sources=num_sources,
-            max_steps=max_steps,
-            seed=seed,
-            label=f"sweep[{value!r}]",
-        )
+    for spec in specs:
         if shard is None:
             batch = engine.run(spec)
         else:
@@ -146,7 +181,7 @@ def measure_flooding_sweep(
         samples = list(batch.flooding_times)
         measurements.append(
             SweepMeasurement(
-                parameter=value,
+                parameter=spec.args[0],
                 num_nodes=batch.num_nodes,
                 summary=summarize(samples),
                 whp_value=whp_quantile(samples, batch.num_nodes),

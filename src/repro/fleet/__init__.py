@@ -1,0 +1,76 @@
+"""Fleet execution: a crash-safe work queue that drives shard fleets.
+
+The last mile of the sharding story.  PR 3/4 made every sweep and
+experiment splittable into byte-identical shards; this package schedules
+those shards onto a fleet of workers automatically:
+
+``repro.fleet.queue``
+    :class:`JobSpool` — a directory-backed work queue with atomic
+    claim-by-rename leases, heartbeat timestamps, lease-expiry requeue and
+    a bounded retry budget.
+``repro.fleet.jobs``
+    JSON job descriptors (one shard of a sweep/experiment workload) and the
+    worker-side execution hook that routes them through the engine's
+    existing shard paths.
+``repro.fleet.worker``
+    The ``repro worker --spool DIR`` daemon loop: lease, execute,
+    heartbeat, mark done/failed — and reclaim dead peers' leases while
+    idle.
+``repro.fleet.coordinator``
+    ``repro fleet run``: compile a workload into shard jobs, spawn local
+    workers (or monitor an external fleet), requeue expired leases, then
+    fan in — merged stores and assembled reports byte-identical to a
+    one-shot run.
+``repro.fleet.status``
+    ``repro fleet status``: progress and failure inspection of a spool.
+"""
+
+from repro.fleet.coordinator import (
+    FleetError,
+    FleetOutcome,
+    assemble_experiment_report,
+    merge_fleet_stores,
+    run_fleet,
+    spawn_local_worker,
+    sweep_results_from_store,
+)
+from repro.fleet.jobs import (
+    JOB_KINDS,
+    engine_from_config,
+    execute_job,
+    expected_store_keys,
+    experiment_job_payloads,
+    sweep_job_payloads,
+)
+from repro.fleet.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    Job,
+    JobSpool,
+)
+from repro.fleet.status import SpoolStatus, format_status, spool_status
+from repro.fleet.worker import default_worker_id, run_worker
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FleetError",
+    "FleetOutcome",
+    "JOB_KINDS",
+    "Job",
+    "JobSpool",
+    "SpoolStatus",
+    "assemble_experiment_report",
+    "default_worker_id",
+    "engine_from_config",
+    "execute_job",
+    "expected_store_keys",
+    "experiment_job_payloads",
+    "format_status",
+    "merge_fleet_stores",
+    "run_fleet",
+    "run_worker",
+    "spawn_local_worker",
+    "spool_status",
+    "sweep_job_payloads",
+]

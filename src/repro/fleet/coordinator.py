@@ -1,0 +1,237 @@
+"""The fleet coordinator: compile a workload, drive the spool, fan in.
+
+``repro fleet run sweep|experiment`` is this module: it compiles a sweep or
+experiment workload into ``K`` shard-job descriptors
+(:mod:`repro.fleet.jobs`), enqueues them into a spool, optionally spawns
+``N`` local worker processes (``repro worker --spool … --exit-when-empty``),
+monitors the spool — requeueing expired leases and replacing crashed local
+workers — and, once every job has reached a terminal state, fans in: the
+per-job stores are unioned with :meth:`ResultStore.merge
+<repro.engine.store.ResultStore.merge>` (which reassembles the shard groups
+into full batch records), the merged store is checked for completeness
+against the workload's expected keys, and the sweep summary or experiment
+report is rebuilt purely from store records.
+
+Because every execution path below the coordinator is the engine's existing
+shard machinery, a fleet run's merged store — and the report assembled from
+it — is byte-identical to a one-shot unsharded run of the same workload,
+whatever the worker count, machine count, crash history or lease-expiry
+requeues along the way.
+
+With ``local_workers=0`` the coordinator drives an *external* fleet: start
+``repro worker --spool DIR`` on any number of machines sharing the spool
+directory, and the coordinator only enqueues, monitors and merges.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.engine import MergeReport, ResultStore, batch_store_key
+from repro.experiments.pipeline import assemble_from_store, compile_experiment
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import SweepMeasurement
+from repro.fleet.jobs import _sweep_specs, expected_store_keys
+from repro.fleet.queue import JobSpool
+from repro.util.stats import summarize, whp_quantile
+
+
+class FleetError(RuntimeError):
+    """A fleet run could not produce a complete, verified result."""
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """Terminal state of one fleet run's execution phase."""
+
+    done: tuple[str, ...]
+    failed: tuple[str, ...]
+    requeued: tuple[str, ...]
+    elapsed_seconds: float
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job completed successfully."""
+        return not self.failed
+
+
+def spawn_local_worker(spool_dir: str, poll: float = 0.2) -> subprocess.Popen:
+    """Start one drain-mode worker process against ``spool_dir``.
+
+    The worker runs ``repro worker --spool … --exit-when-empty`` through the
+    same interpreter.  The directory this very package was imported from is
+    prepended to the child's ``PYTHONPATH``, so source checkouts (where
+    ``repro`` is on ``sys.path`` but not installed) spawn working workers
+    exactly like installed packages do.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--spool",
+        str(spool_dir),
+        "--exit-when-empty",
+        "--poll",
+        str(poll),
+    ]
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else os.pathsep.join([package_root, existing])
+    )
+    return subprocess.Popen(command, env=env)
+
+
+def run_fleet(
+    spool: JobSpool,
+    payloads: Sequence[dict],
+    local_workers: int = 0,
+    poll: float = 0.2,
+    max_wait: Optional[float] = None,
+    log=print,
+) -> FleetOutcome:
+    """Enqueue ``payloads``, drive the spool until drained, report the outcome.
+
+    Parameters
+    ----------
+    spool:
+        The (configured) job spool; its lease/retry settings are persisted
+        so external workers joining later agree on the clock.
+    payloads:
+        Job descriptors from :mod:`repro.fleet.jobs`.
+    local_workers:
+        Drain-mode worker processes to spawn locally (0 = external fleet:
+        the operator runs ``repro worker`` wherever the spool is mounted).
+    poll:
+        Monitor sleep between spool scans.
+    max_wait:
+        Optional wall-clock cap; exceeding it raises :class:`FleetError`
+        (the spool is left intact for ``repro fleet status`` forensics).
+    """
+    if local_workers < 0:
+        raise ValueError(f"local_workers must be >= 0, got {local_workers}")
+    spool.write_config()
+    for payload in payloads:
+        spool.enqueue(payload)
+    log(f"fleet: enqueued {len(payloads)} job(s) into {spool.root}")
+
+    started = time.perf_counter()
+    requeued: list[str] = []
+    workers: list[subprocess.Popen] = []
+    # Crashed local workers are replaced (a drain-mode worker only exits
+    # voluntarily once the spool is drained); the overall retry budget bounds
+    # how much work replacements can possibly redo.
+    respawn_budget = max(1, len(payloads)) * spool.max_attempts
+    try:
+        workers = [spawn_local_worker(spool.root, poll=poll) for _ in range(local_workers)]
+        while not spool.is_drained():
+            requeued.extend(spool.requeue_expired())
+            if local_workers:
+                alive = [proc for proc in workers if proc.poll() is None]
+                if not alive and not spool.is_drained():
+                    if respawn_budget <= 0:
+                        raise FleetError(
+                            f"all local workers exited with jobs outstanding in "
+                            f"{spool.root} and the respawn budget is exhausted"
+                        )
+                    respawn_budget -= 1
+                    log("fleet: all local workers exited early; spawning a replacement")
+                    workers.append(spawn_local_worker(spool.root, poll=poll))
+            if max_wait is not None and time.perf_counter() - started > max_wait:
+                raise FleetError(
+                    f"fleet run exceeded max_wait={max_wait}s with "
+                    f"{spool.counts()} — inspect with: repro fleet status {spool.root}"
+                )
+            time.sleep(poll)
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                proc.kill()
+
+    failed = spool.failed_ids()
+    errors = {}
+    for job_id in failed:
+        descriptor = spool.read_job("failed", job_id)
+        errors[job_id] = str(descriptor.get("last_error", "unknown error"))
+    return FleetOutcome(
+        done=tuple(spool.done_ids()),
+        failed=tuple(failed),
+        requeued=tuple(requeued),
+        elapsed_seconds=time.perf_counter() - started,
+        errors=errors,
+    )
+
+
+def merge_fleet_stores(
+    spool: JobSpool, payloads: Sequence[dict], destination: ResultStore
+) -> MergeReport:
+    """Fan in: union every job's store into ``destination`` and verify it.
+
+    Merging reassembles the shard groups into full batch records; the merged
+    store is then checked against the workload's expected parent keys, so an
+    incomplete fan-in fails loudly naming the missing slice instead of
+    yielding a silently partial store.
+    """
+    report = destination.merge(*[spool.resolve(p["store"]) for p in payloads])
+    missing = [key for key in expected_store_keys(payloads[0]) if key not in destination]
+    if missing:
+        raise FleetError(
+            f"merged store {destination.path} is missing {len(missing)} expected "
+            f"batch record(s); first missing key: {missing[0]}"
+        )
+    return report
+
+
+def sweep_results_from_store(payload: dict, store: ResultStore) -> list[SweepMeasurement]:
+    """Every sweep point's full sample set, read back from a merged store.
+
+    Returns the same :class:`~repro.experiments.runner.SweepMeasurement`
+    objects a live :func:`~repro.experiments.runner.measure_flooding_sweep`
+    produces (``from_cache=True``: these samples come from records, not
+    execution), so the CLI renders and serialises fleet and non-fleet sweeps
+    through one code path.
+    """
+    results = []
+    for spec in _sweep_specs(payload):
+        record = store.get(batch_store_key(spec))
+        if record is None:
+            raise FleetError(
+                f"store {store.path} holds no record for {spec.label} "
+                f"(was the fan-in merge run?)"
+            )
+        samples = [int(t) for t in record["flooding_times"]]
+        num_nodes = int(record["num_nodes"])
+        results.append(
+            SweepMeasurement(
+                parameter=spec.args[0],
+                num_nodes=num_nodes,
+                summary=summarize(samples),
+                whp_value=whp_quantile(samples, num_nodes),
+                samples=tuple(samples),
+                from_cache=True,
+            )
+        )
+    return results
+
+
+def assemble_experiment_report(payload: dict, store: ResultStore) -> ExperimentReport:
+    """The experiment report of a fleet workload, purely from store records."""
+    plan = compile_experiment(
+        payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+    )
+    return assemble_from_store(plan, store)

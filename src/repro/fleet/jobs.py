@@ -1,0 +1,198 @@
+"""Fleet job descriptors: serializable shards of sweep/experiment workloads.
+
+A fleet job is one shard of a workload, described entirely by JSON-able
+values — workload kind, family or experiment id, the workload's parameters
+and integer seed, shard coordinates ``i/K``, an engine configuration and a
+spool-relative result-store path.  Any worker that reads the descriptor
+reconstructs exactly the :class:`~repro.engine.TrialSpec` batch (and
+therefore exactly the per-trial ``SeedSequence`` children and store keys)
+the equivalent local run would use:
+
+* sweep jobs go through :func:`repro.experiments.runner.sweep_trial_specs`
+  — the same constructor the ``repro sweep`` CLI path uses — and execute
+  shard ``i/K`` of every sweep point via :meth:`Engine.run_shard
+  <repro.engine.engine.Engine.run_shard>`;
+* experiment jobs go through :func:`repro.experiments.pipeline
+  .compile_experiment` / :func:`~repro.experiments.pipeline.execute_plan`
+  with ``shard=(i, K)``, persisting full batch records.
+
+Job ids are deterministic: a short digest of the workload token plus the
+shard coordinates.  Re-enqueueing the same workload into the same spool is
+therefore detected (and rejected) by the spool instead of silently doubling
+the work, and per-job store directories (``stores/<id>/``) never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Sequence
+
+from repro.engine import Engine, ResultStore, ShardSpec, batch_store_key
+from repro.engine.store import jsonify
+from repro.experiments.pipeline import compile_experiment, execute_plan, plan_store_keys
+from repro.experiments.runner import sweep_trial_specs
+from repro.fleet.queue import JobSpool
+from repro.sweeps import resolve_family
+
+JOB_KINDS = ("sweep", "experiment")
+
+
+def _engine_config(engine: Optional[dict]) -> dict:
+    """Normalised engine configuration carried in a job descriptor."""
+    config = dict(engine or {})
+    unknown = set(config) - {"workers", "backend", "executor", "source_chunk"}
+    if unknown:
+        raise ValueError(f"unknown engine config keys: {sorted(unknown)}")
+    return config
+
+
+def engine_from_config(config: Optional[dict], store: ResultStore) -> Engine:
+    """The :class:`Engine` a worker builds from a descriptor's config."""
+    config = dict(config or {})
+    return Engine(
+        workers=int(config.get("workers", 1)),
+        backend=config.get("backend", "auto"),
+        executor=config.get("executor", "process"),
+        source_chunk=config.get("source_chunk"),
+        store=store,
+    )
+
+
+def _workload_digest(token: dict) -> str:
+    """Short stable digest identifying a workload (same idiom as store keys)."""
+    canonical = json.dumps(jsonify(token), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+
+
+def _shard_payloads(kind: str, token: dict, shards: int, engine: Optional[dict]) -> list[dict]:
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    digest = _workload_digest(token)
+    payloads = []
+    for index in range(shards):
+        job_id = f"{kind}-{digest}-{index:03d}of{shards:03d}"
+        payloads.append(
+            {
+                "id": job_id,
+                "kind": kind,
+                **token,
+                "shard": [index, shards],
+                "engine": _engine_config(engine),
+                "store": f"stores/{job_id}",
+            }
+        )
+    return payloads
+
+
+def sweep_job_payloads(
+    family: str,
+    nodes: Sequence[int],
+    trials: int,
+    seed: int,
+    shards: int,
+    sources: Optional[str] = None,
+    num_sources: Optional[int] = None,
+    factory_kwargs: Optional[dict] = None,
+    engine: Optional[dict] = None,
+) -> list[dict]:
+    """The ``K`` job descriptors of a sweep workload sharded ``K`` ways."""
+    resolve_family(family)  # fail on a typo at compile time, not on a worker
+    if sources is not None and sources != "all":
+        raise ValueError(f"sweep job sources must be 'all' or None, got {sources!r}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if shards > trials:
+        raise ValueError(
+            f"shards ({shards}) exceeds trials ({trials}): some shards would be empty"
+        )
+    token = {
+        "family": family,
+        "nodes": [int(n) for n in nodes],
+        "trials": int(trials),
+        "seed": int(seed),
+        "sources": sources,
+        "num_sources": None if num_sources is None else int(num_sources),
+        "factory_kwargs": dict(factory_kwargs or {}),
+    }
+    return _shard_payloads("sweep", token, shards, engine)
+
+
+def experiment_job_payloads(
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    shards: int,
+    engine: Optional[dict] = None,
+) -> list[dict]:
+    """The ``K`` job descriptors of an experiment workload sharded ``K`` ways."""
+    compile_experiment(experiment_id, scale=scale, seed=seed)  # validate early
+    token = {"experiment_id": experiment_id, "scale": scale, "seed": int(seed)}
+    return _shard_payloads("experiment", token, shards, engine)
+
+
+def _sweep_specs(payload: dict):
+    """The sweep's full (unsharded) spec batch, rebuilt from a descriptor."""
+    return sweep_trial_specs(
+        resolve_family(payload["family"]),
+        payload["nodes"],
+        payload["trials"],
+        sources=payload.get("sources"),
+        num_sources=payload.get("num_sources"),
+        rng=payload["seed"],
+        factory_kwargs=payload.get("factory_kwargs") or None,
+    )
+
+
+def expected_store_keys(payload: dict) -> list[str]:
+    """The parent-batch store keys a workload's fan-in merge must produce.
+
+    The coordinator checks these against the merged store after fan-in: all
+    present means every shard group assembled; a missing key names exactly
+    which workload slice never completed.
+    """
+    if payload["kind"] == "sweep":
+        return [batch_store_key(spec) for spec in _sweep_specs(payload)]
+    if payload["kind"] == "experiment":
+        plan = compile_experiment(
+            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+        )
+        return plan_store_keys(plan)
+    raise ValueError(f"unknown job kind {payload['kind']!r}")
+
+
+def execute_job(payload: dict, spool: JobSpool) -> dict:
+    """Run one claimed job into its own result store; returns outcome stats.
+
+    This is the worker's execution hook.  Everything routes through the
+    existing shard paths — :meth:`Engine.run_shard
+    <repro.engine.engine.Engine.run_shard>` for sweeps,
+    :func:`~repro.experiments.pipeline.execute_plan` with ``shard=(i, K)``
+    for experiments — so a fleet-executed shard's store records are
+    byte-identical to the records the CLI's ``--shard i/K`` path writes.
+    """
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
+    store = ResultStore(spool.resolve(payload["store"]))
+    store.touch()
+    engine = engine_from_config(payload.get("engine"), store=store)
+    index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
+
+    if kind == "sweep":
+        trials = cached = 0
+        for spec in _sweep_specs(payload):
+            batch = engine.run_shard(ShardSpec(spec, index, count))
+            trials += batch.num_trials
+            cached += 1 if batch.from_cache else 0
+        return {"points": len(payload["nodes"]), "trials": trials, "cached": cached}
+
+    plan = compile_experiment(
+        payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+    )
+    run = execute_plan(plan, engine=engine, shard=(index, count))
+    return {
+        "jobs": len(run.batches),
+        "trials": sum(batch.num_trials for batch in run.batches.values()),
+        "cached": run.num_cached,
+    }

@@ -1,0 +1,403 @@
+"""Crash-safe, file-backed job spool shared by fleet workers.
+
+The spool is a directory any number of workers (on one machine or many, over
+a shared filesystem) can drain concurrently.  One job is one JSON descriptor
+— a self-describing shard of a sweep or experiment workload (see
+:mod:`repro.fleet.jobs`) — and its entire lifecycle is expressed as atomic
+file renames between sub-directories:
+
+``jobs/<id>.json``
+    Pending descriptors, waiting to be claimed.
+``active/<id>.json``
+    Leased descriptors.  A claim is ``os.rename(jobs/… , active/…)`` —
+    atomic on POSIX, so exactly one of any number of concurrent claimers
+    wins and the losers simply move on to the next pending job.  The file's
+    mtime is the lease heartbeat: the executing worker touches it
+    periodically, and a lease whose mtime is older than ``lease_ttl``
+    seconds is presumed dead and requeued by :meth:`JobSpool.requeue_expired`.
+``active/<id>.meta.json``
+    Advisory lease metadata (worker id, claim/heartbeat timestamps) for
+    ``repro fleet status``; correctness never depends on it.
+``done/<id>.json`` / ``failed/<id>.json``
+    Terminal states.  A failed execution (or an expired lease) sends the job
+    back to ``jobs/`` with its ``attempts`` counter bumped until the
+    spool's ``max_attempts`` budget is exhausted, then to ``failed/``.
+``stores/<id>/``
+    Per-job result stores, by convention (descriptors carry spool-relative
+    store paths so a spool mounted at different paths on different machines
+    still works).
+
+Multi-step transitions (requeue with an attempts bump) are serialised
+through the same sidecar-``fcntl``-lock idiom as
+:class:`repro.engine.store.ResultStore`; single-step transitions (claim,
+complete) are plain renames and need no lock.  Claims are crash-safe by
+construction: a worker that dies mid-job leaves its descriptor in
+``active/`` where the lease clock reclaims it, and the deterministic
+execution contract (shards replay exact ``SeedSequence`` children) makes a
+re-run of a half-finished job byte-identical to a clean first run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: Default seconds of heartbeat silence after which a lease is presumed dead.
+DEFAULT_LEASE_TTL = 60.0
+#: Default total execution attempts per job (first run + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+_CONFIG_FILE = "spool.json"
+_STATE_DIRS = ("jobs", "active", "done", "failed")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One claimed job: its id, descriptor payload and prior attempt count."""
+
+    id: str
+    payload: dict
+
+    @property
+    def attempts(self) -> int:
+        """Execution attempts already spent on this job (0 on first claim)."""
+        return int(self.payload.get("attempts", 0))
+
+
+class JobSpool:
+    """Directory-backed work queue with rename leases and expiry requeue.
+
+    Parameters
+    ----------
+    root:
+        Spool directory (created if missing).
+    lease_ttl:
+        Seconds of heartbeat silence before a lease is presumed dead.
+        ``None`` reads the value persisted in the spool's ``spool.json``
+        (written by whoever enqueues with an explicit value), falling back
+        to :data:`DEFAULT_LEASE_TTL` — so a coordinator configures the
+        spool once and every worker agrees on the clock.
+    max_attempts:
+        Total execution attempts per job before it lands in ``failed/``;
+        ``None`` resolves like ``lease_ttl``.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        lease_ttl: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        for name in _STATE_DIRS:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+        self._lock_path = os.path.join(self.root, ".lock")
+        config = self._read_config()
+        if lease_ttl is None:
+            lease_ttl = config.get("lease_ttl", DEFAULT_LEASE_TTL)
+        if max_attempts is None:
+            max_attempts = config.get("max_attempts", DEFAULT_MAX_ATTEMPTS)
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobSpool({self.root!r}, lease_ttl={self.lease_ttl}, max_attempts={self.max_attempts})"
+
+    # ------------------------------------------------------------------ #
+    # paths and helpers
+    # ------------------------------------------------------------------ #
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.root, state)
+
+    def _job_path(self, state: str, job_id: str) -> str:
+        return os.path.join(self.root, state, f"{job_id}.json")
+
+    def _meta_path(self, job_id: str) -> str:
+        return os.path.join(self.root, "active", f"{job_id}.meta.json")
+
+    def resolve(self, relative: str) -> str:
+        """A descriptor's spool-relative path as an absolute path.
+
+        Descriptors reference their result stores relative to the spool
+        root, so a spool shared over NFS works no matter where each machine
+        mounts it.  Absolute paths pass through unchanged.
+        """
+        if os.path.isabs(relative):
+            return relative
+        return os.path.join(self.root, relative)
+
+    def _write_json(self, path: str, payload: dict) -> None:
+        """Write ``payload`` so the file appears atomically (tmp + rename)."""
+        temp = f"{path}.tmp{os.getpid()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+        os.replace(temp, path)
+
+    def _read_json(self, path: str) -> dict:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _read_config(self) -> dict:
+        path = os.path.join(self.root, _CONFIG_FILE)
+        if not os.path.exists(path):
+            return {}
+        try:
+            return self._read_json(path)
+        except (json.JSONDecodeError, OSError):  # pragma: no cover - defensive
+            return {}
+
+    def write_config(self) -> None:
+        """Persist this instance's lease/retry settings for later joiners."""
+        self._write_json(
+            os.path.join(self.root, _CONFIG_FILE),
+            {"lease_ttl": self.lease_ttl, "max_attempts": self.max_attempts},
+        )
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive lock over multi-step spool transitions (requeue paths).
+
+        Same sidecar-file idiom as :class:`repro.engine.store.ResultStore`:
+        claims and completions are single atomic renames and skip the lock;
+        only read-modify-write transitions (attempts bump on requeue or
+        failure) serialise through it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self._lock_path, "a", encoding="utf-8") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def _ids(self, state: str) -> list[str]:
+        names = []
+        for name in os.listdir(self._dir(state)):
+            if name.endswith(".json") and not name.endswith(".meta.json"):
+                if ".tmp" in name:
+                    continue
+                names.append(name[: -len(".json")])
+        return sorted(names)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def enqueue(self, payload: dict) -> str:
+        """Add one job descriptor; returns its id.
+
+        The descriptor must carry a unique ``"id"``.  Ids are rejected if
+        they exist in *any* state — fleet job ids are deterministic
+        functions of the workload (see :mod:`repro.fleet.jobs`), so a
+        duplicate means the same workload was already enqueued into this
+        spool, and silently re-adding it would double-execute.
+        """
+        job_id = str(payload.get("id") or "")
+        if not job_id or "/" in job_id or job_id.startswith("."):
+            raise ValueError(f"job payload needs a filesystem-safe 'id', got {job_id!r}")
+        for state in _STATE_DIRS:
+            if os.path.exists(self._job_path(state, job_id)):
+                raise ValueError(f"job {job_id!r} already exists in {state}/ of {self.root}")
+        descriptor = {**payload, "attempts": int(payload.get("attempts", 0))}
+        self._write_json(self._job_path("jobs", job_id), descriptor)
+        return job_id
+
+    def claim(self, worker: str) -> Optional[Job]:
+        """Lease the first claimable pending job, or ``None`` if none.
+
+        The claim itself is one ``os.rename`` into ``active/`` — exactly one
+        concurrent claimer can win it; the rest see ``FileNotFoundError``
+        and try the next id.
+        """
+        for job_id in self._ids("jobs"):
+            pending = self._job_path("jobs", job_id)
+            lease = self._job_path("active", job_id)
+            try:
+                # Freshen the mtime *before* the rename: the rename preserves
+                # it, and the lease clock starts from the file's mtime — a job
+                # that sat pending longer than lease_ttl must not look expired
+                # (and get spuriously requeued) the instant it is claimed.
+                os.utime(pending)
+                os.rename(pending, lease)
+            except FileNotFoundError:
+                continue  # lost the race for this id; try the next one
+            now = time.time()
+            self._write_json(
+                self._meta_path(job_id),
+                {"worker": str(worker), "claimed_at": now, "heartbeat_at": now},
+            )
+            return Job(id=job_id, payload=self._read_json(lease))
+        return None
+
+    def heartbeat(self, job_id: str) -> None:
+        """Refresh the lease clock of a running job (worker calls this)."""
+        lease = self._job_path("active", job_id)
+        try:
+            os.utime(lease)
+        except FileNotFoundError:
+            # The lease expired and was requeued from under us; the retry
+            # budget (not this worker) now owns the job's fate.
+            return
+        meta_path = self._meta_path(job_id)
+        try:
+            meta = self._read_json(meta_path)
+        except (FileNotFoundError, json.JSONDecodeError):
+            meta = {}
+        meta["heartbeat_at"] = time.time()
+        self._write_json(meta_path, meta)
+
+    def mark_done(self, job_id: str, outcome: Optional[dict] = None) -> bool:
+        """Move a leased job to ``done/``, recording its outcome.
+
+        The completed descriptor is written into ``done/`` *before* the
+        lease is removed, so a crash between the two steps leaves both files
+        and :meth:`requeue_expired` later discards the stale lease instead
+        of re-running a finished job.
+
+        Returns ``False`` (without writing anything) when the lease is gone
+        — the worker stalled past ``lease_ttl`` and the job was requeued
+        from under it.  The retry budget owns the job's fate then; the
+        re-execution is byte-identical by the shard determinism contract, so
+        the late finisher simply discards its result.
+        """
+        lease = self._job_path("active", job_id)
+        try:
+            descriptor = self._read_json(lease)
+        except FileNotFoundError:
+            return False
+        descriptor["outcome"] = dict(outcome or {})
+        descriptor["completed_at"] = time.time()
+        self._write_json(self._job_path("done", job_id), descriptor)
+        self._remove_lease(job_id)
+        return True
+
+    def mark_failed(self, job_id: str, error: str) -> bool:
+        """Record a failed execution; returns ``True`` if the job was requeued.
+
+        The job goes back to ``jobs/`` with ``attempts`` bumped while budget
+        remains, to ``failed/`` once ``max_attempts`` executions have been
+        spent.
+        """
+        with self._locked():
+            return self._retire_lease(job_id, error)
+
+    def requeue_expired(self, now: Optional[float] = None) -> list[str]:
+        """Reclaim leases whose heartbeat went silent; returns requeued ids.
+
+        Any process may call this (idle workers and the coordinator monitor
+        both do): the whole scan-and-requeue runs under the spool lock, so
+        two concurrent reclaimers never double-requeue one lease.
+        """
+        now = time.time() if now is None else now
+        requeued = []
+        with self._locked():
+            for job_id in self._ids("active"):
+                lease = self._job_path("active", job_id)
+                # A crash between mark_done's write and its lease removal
+                # leaves a terminal record next to a stale lease; finish the
+                # cleanup rather than re-running a completed job.
+                if os.path.exists(self._job_path("done", job_id)) or os.path.exists(
+                    self._job_path("failed", job_id)
+                ):
+                    self._remove_lease(job_id)
+                    continue
+                try:
+                    age = now - os.path.getmtime(lease)
+                except FileNotFoundError:
+                    continue  # completed or failed since listing
+                if age <= self.lease_ttl:
+                    continue
+                if self._retire_lease(job_id, f"lease expired after {age:.1f}s"):
+                    requeued.append(job_id)
+        return requeued
+
+    def _retire_lease(self, job_id: str, error: str) -> bool:
+        """Requeue or fail a leased job (callers hold the spool lock).
+
+        Returns ``True`` when the job went back to ``jobs/``.  The new state
+        file is written before the lease is unlinked, so a crash in between
+        duplicates nothing: the leftover lease is discarded by the terminal-
+        state check in :meth:`requeue_expired`, and a leftover *pending*
+        duplicate is impossible because the pending file is the rename
+        target.
+        """
+        lease = self._job_path("active", job_id)
+        try:
+            descriptor = self._read_json(lease)
+        except FileNotFoundError:
+            return False
+        attempts = int(descriptor.get("attempts", 0)) + 1
+        descriptor["attempts"] = attempts
+        descriptor["last_error"] = str(error)
+        if attempts >= self.max_attempts:
+            descriptor["failed_at"] = time.time()
+            self._write_json(self._job_path("failed", job_id), descriptor)
+            self._remove_lease(job_id)
+            return False
+        self._write_json(self._job_path("jobs", job_id), descriptor)
+        self._remove_lease(job_id)
+        return True
+
+    def _remove_lease(self, job_id: str) -> None:
+        for path in (self._job_path("active", job_id), self._meta_path(job_id)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def pending_ids(self) -> list[str]:
+        """Ids waiting in ``jobs/``."""
+        return self._ids("jobs")
+
+    def active_ids(self) -> list[str]:
+        """Ids currently leased."""
+        return self._ids("active")
+
+    def done_ids(self) -> list[str]:
+        """Ids completed successfully."""
+        return self._ids("done")
+
+    def failed_ids(self) -> list[str]:
+        """Ids that exhausted their retry budget."""
+        return self._ids("failed")
+
+    def read_job(self, state: str, job_id: str) -> dict:
+        """The descriptor of ``job_id`` in ``state`` (jobs/active/done/failed)."""
+        if state not in _STATE_DIRS:
+            raise ValueError(f"state must be one of {_STATE_DIRS}, got {state!r}")
+        return self._read_json(self._job_path(state, job_id))
+
+    def read_meta(self, job_id: str) -> Optional[dict]:
+        """Advisory lease metadata of an active job (``None`` if absent)."""
+        try:
+            return self._read_json(self._meta_path(job_id))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def is_drained(self) -> bool:
+        """Whether every job has reached a terminal state (done or failed)."""
+        return not self.pending_ids() and not self.active_ids()
+
+    def counts(self) -> dict[str, int]:
+        """``{state: job count}`` across the four lifecycle states."""
+        return {state: len(self._ids(state)) for state in _STATE_DIRS}

@@ -1,0 +1,129 @@
+"""Spool inspection: the data behind ``repro fleet status``.
+
+A read-only scan of the spool's four state directories plus the advisory
+lease metadata, rendered as a compact progress/forensics report: how far
+the run is, who holds which lease and how stale each heartbeat is, and why
+any job failed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fleet.queue import JobSpool
+
+
+@dataclass(frozen=True)
+class ActiveLease:
+    """One leased job as seen by a status scan."""
+
+    job_id: str
+    worker: Optional[str]
+    attempts: int
+    lease_age_seconds: float
+    heartbeat_age_seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class FailedJob:
+    """One job that exhausted its retry budget."""
+
+    job_id: str
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class SpoolStatus:
+    """Snapshot of a spool's lifecycle state."""
+
+    root: str
+    lease_ttl: float
+    max_attempts: int
+    pending: tuple[str, ...]
+    active: tuple[ActiveLease, ...]
+    done: tuple[str, ...]
+    failed: tuple[FailedJob, ...]
+
+    @property
+    def total(self) -> int:
+        """Total jobs known to the spool."""
+        return len(self.pending) + len(self.active) + len(self.done) + len(self.failed)
+
+    @property
+    def drained(self) -> bool:
+        """Whether every job has reached a terminal state."""
+        return not self.pending and not self.active
+
+
+def spool_status(spool: JobSpool, now: Optional[float] = None) -> SpoolStatus:
+    """Scan ``spool`` into a :class:`SpoolStatus` snapshot."""
+    now = time.time() if now is None else now
+    active = []
+    for job_id in spool.active_ids():
+        try:
+            descriptor = spool.read_job("active", job_id)
+        except FileNotFoundError:
+            continue  # completed between listing and reading
+        meta = spool.read_meta(job_id) or {}
+        claimed_at = meta.get("claimed_at")
+        heartbeat_at = meta.get("heartbeat_at")
+        active.append(
+            ActiveLease(
+                job_id=job_id,
+                worker=meta.get("worker"),
+                attempts=int(descriptor.get("attempts", 0)),
+                lease_age_seconds=max(0.0, now - claimed_at) if claimed_at else 0.0,
+                heartbeat_age_seconds=(
+                    max(0.0, now - heartbeat_at) if heartbeat_at else None
+                ),
+            )
+        )
+    failed = []
+    for job_id in spool.failed_ids():
+        descriptor = spool.read_job("failed", job_id)
+        failed.append(
+            FailedJob(
+                job_id=job_id,
+                attempts=int(descriptor.get("attempts", 0)),
+                error=str(descriptor.get("last_error", "unknown error")),
+            )
+        )
+    return SpoolStatus(
+        root=spool.root,
+        lease_ttl=spool.lease_ttl,
+        max_attempts=spool.max_attempts,
+        pending=tuple(spool.pending_ids()),
+        active=tuple(active),
+        done=tuple(spool.done_ids()),
+        failed=tuple(failed),
+    )
+
+
+def format_status(status: SpoolStatus) -> str:
+    """Human-readable rendering of a spool snapshot."""
+    lines = [
+        f"spool: {status.root}  (lease_ttl={status.lease_ttl:g}s, "
+        f"max_attempts={status.max_attempts})",
+        f"jobs:  {status.total} total — {len(status.pending)} pending, "
+        f"{len(status.active)} active, {len(status.done)} done, "
+        f"{len(status.failed)} failed",
+    ]
+    for lease in status.active:
+        heartbeat = (
+            f"{lease.heartbeat_age_seconds:.1f}s ago"
+            if lease.heartbeat_age_seconds is not None
+            else "never"
+        )
+        lines.append(
+            f"  active {lease.job_id}  worker={lease.worker or '?'}  "
+            f"leased {lease.lease_age_seconds:.1f}s  heartbeat {heartbeat}  "
+            f"attempts={lease.attempts}"
+        )
+    for job in status.failed:
+        lines.append(f"  failed {job.job_id}  attempts={job.attempts}  {job.error}")
+    if status.drained and not status.failed and status.total:
+        lines.append("all jobs completed")
+    return "\n".join(lines)

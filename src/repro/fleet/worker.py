@@ -1,0 +1,144 @@
+"""The fleet worker: a ``repro worker --spool DIR`` daemon loop.
+
+A worker repeatedly leases one job from the spool, executes it through the
+engine's shard path (:func:`repro.fleet.jobs.execute_job`) into the job's
+own result store, and marks it done — heartbeating the lease from a
+background thread the whole time, so the spool can tell a slow job from a
+dead worker.  A job that raises is handed back to the spool, which requeues
+it while retry budget remains.
+
+Idle workers help with crash recovery: before sleeping they call
+:meth:`JobSpool.requeue_expired <repro.fleet.queue.JobSpool.requeue_expired>`,
+so a pair of plain workers on a shared spool self-heals after one of them is
+killed mid-job — no coordinator required.
+
+``--exit-when-empty`` turns the daemon into a drain: the worker exits once
+every job has reached a terminal state.  While *other* workers still hold
+leases it keeps waiting (their jobs may yet expire and requeue), which is
+exactly the behaviour the coordinator relies on when it spawns local
+workers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Optional
+
+from repro.fleet.jobs import execute_job
+from repro.fleet.queue import JobSpool
+
+#: Heartbeats per lease TTL — frequent enough that one missed beat (a busy
+#: filesystem, a paused VM) never looks like a death.
+HEARTBEATS_PER_TTL = 4
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique enough across a fleet, readable in status."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeat(threading.Thread):
+    """Background thread refreshing one job's lease clock until stopped."""
+
+    def __init__(self, spool: JobSpool, job_id: str, interval: float) -> None:
+        super().__init__(daemon=True)
+        self._spool = spool
+        self._job_id = job_id
+        self._interval = interval
+        # Not named _stop: threading.Thread owns that attribute internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval):
+            self._spool.heartbeat(self._job_id)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+
+def run_worker(
+    spool_dir: str,
+    worker_id: Optional[str] = None,
+    poll: float = 0.5,
+    lease_ttl: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+    exit_when_empty: bool = False,
+    max_jobs: Optional[int] = None,
+    log=print,
+) -> int:
+    """The worker daemon loop; returns a process exit code.
+
+    Parameters
+    ----------
+    spool_dir:
+        The shared spool directory.
+    worker_id:
+        Identity recorded in lease metadata (defaults to hostname-pid).
+    poll:
+        Seconds to sleep when no job is claimable.
+    lease_ttl / max_attempts:
+        Spool configuration overrides (``None`` reads the spool's persisted
+        config; see :class:`~repro.fleet.queue.JobSpool`).
+    exit_when_empty:
+        Exit once the spool is drained instead of polling forever.
+    max_jobs:
+        Optional cap on executed jobs before exiting (useful for tests and
+        for recycling long-lived workers).
+    """
+    if poll <= 0:
+        raise ValueError(f"poll must be positive, got {poll}")
+    spool = JobSpool(spool_dir, lease_ttl=lease_ttl, max_attempts=max_attempts)
+    worker = worker_id or default_worker_id()
+    heartbeat_interval = spool.lease_ttl / HEARTBEATS_PER_TTL
+    executed = 0
+    log(f"worker {worker}: draining spool {spool.root} (lease_ttl={spool.lease_ttl}s)")
+    while True:
+        job = spool.claim(worker)
+        if job is None:
+            # Nothing claimable: reclaim any dead peers' leases, then either
+            # finish (drained + drain mode) or wait for work to appear.
+            spool.requeue_expired()
+            job = spool.claim(worker)
+        if job is None:
+            if exit_when_empty and spool.is_drained():
+                break
+            time.sleep(poll)
+            continue
+        heartbeat = _Heartbeat(spool, job.id, heartbeat_interval)
+        heartbeat.start()
+        started = time.perf_counter()
+        try:
+            outcome = execute_job(job.payload, spool)
+        except Exception as error:
+            heartbeat.stop()
+            traceback.print_exc(file=sys.stderr)
+            requeued = spool.mark_failed(job.id, f"{type(error).__name__}: {error}")
+            log(
+                f"worker {worker}: job {job.id} failed "
+                f"({'requeued' if requeued else 'retry budget exhausted'}): {error}"
+            )
+        else:
+            heartbeat.stop()
+            outcome["worker"] = worker
+            outcome["elapsed_seconds"] = time.perf_counter() - started
+            if spool.mark_done(job.id, outcome):
+                log(
+                    f"worker {worker}: job {job.id} done in "
+                    f"{outcome['elapsed_seconds']:.2f}s"
+                )
+            else:
+                log(
+                    f"worker {worker}: job {job.id} finished after its lease "
+                    f"expired and was requeued; discarding the late result"
+                )
+        executed += 1
+        if max_jobs is not None and executed >= max_jobs:
+            break
+    log(f"worker {worker}: exiting after {executed} job(s)")
+    return 0

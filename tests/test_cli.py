@@ -120,6 +120,69 @@ class TestEngineFlags:
         assert len(payload["rows"]) >= 1
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_semver_shape(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_version_agrees_with_pyproject(self):
+        """Guards the source-checkout fallback in repro/__init__.py against
+
+        drifting from pyproject.toml (which happened once before the
+        fallback and the metadata were unified): whichever path supplied
+        ``__version__`` — installed metadata or the literal — it must equal
+        the version pyproject declares.
+        """
+        import os
+        import re
+
+        import repro
+
+        pyproject = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "pyproject.toml",
+        )
+        with open(pyproject, encoding="utf-8") as handle:
+            match = re.search(r'^version\s*=\s*"([^"]+)"', handle.read(), re.M)
+        assert match, "pyproject.toml lost its version field"
+        assert repro.__version__ == match.group(1)
+
+
+class TestMergeResultsErrors:
+    def test_missing_source_exits_cleanly(self, tmp_path, capsys):
+        """A typo'd shard path is a clean exit-1 message, not a traceback."""
+        code = main(
+            ["merge-results", str(tmp_path / "merged.jsonl"), str(tmp_path / "nope")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "merge failed:" in err
+        assert "no result store" in err
+
+    def test_conflicting_payloads_exit_cleanly(self, tmp_path, capsys):
+        from repro.engine import ResultStore
+
+        a = ResultStore(str(tmp_path / "a"))
+        b = ResultStore(str(tmp_path / "b"))
+        a.put("k", {"value": 1})
+        b.put("k", {"value": 2})
+        code = main(
+            ["merge-results", str(tmp_path / "merged.jsonl"),
+             str(tmp_path / "a"), str(tmp_path / "b")]
+        )
+        assert code == 1
+        assert "merge failed:" in capsys.readouterr().err
+
+
 class TestRunAll:
     def test_run_all_to_file(self, tmp_path, capsys):
         output_file = tmp_path / "report.md"

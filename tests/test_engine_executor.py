@@ -1,0 +1,91 @@
+"""Tests for the engine's executor choice: process pool vs thread pool.
+
+The scheduling contract extends to the executor kind: per-trial seeds are
+spawned before scheduling and each worker chunk runs on its own model copy,
+so serial, process-pool and thread-pool runs of one spec produce
+bit-identical samples.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import EXECUTORS, Engine, TrialSpec
+from repro.meg.edge_meg import EdgeMEG
+
+
+def _spec(num_trials: int = 8) -> TrialSpec:
+    return TrialSpec(
+        factory=EdgeMEG,
+        args=(30,),
+        kwargs={"p": 0.05, "q": 0.5},
+        num_trials=num_trials,
+        seed=42,
+        label="executor-test",
+    )
+
+
+class TestThreadExecutor:
+    def test_executors_registered(self):
+        assert EXECUTORS == ("process", "thread")
+
+    def test_thread_samples_match_serial(self):
+        serial = Engine(workers=1).run(_spec())
+        threaded = Engine(workers=4, executor="thread").run(_spec())
+        assert threaded.flooding_times == serial.flooding_times
+
+    def test_thread_samples_match_process(self):
+        process = Engine(workers=2, executor="process").run(_spec())
+        threaded = Engine(workers=2, executor="thread").run(_spec())
+        assert threaded.flooding_times == process.flooding_times
+
+    def test_thread_shard_matches_unsharded_slice(self):
+        from repro.engine import ShardSpec
+
+        full = Engine(workers=1).run(_spec())
+        shard = Engine(workers=3, executor="thread").run_shard(
+            ShardSpec(_spec(), index=1, count=3)
+        )
+        assert shard.flooding_times == full.flooding_times[1::3]
+
+    def test_more_threads_than_trials(self):
+        serial = Engine(workers=1).run(_spec(num_trials=2))
+        threaded = Engine(workers=8, executor="thread").run(_spec(num_trials=2))
+        assert threaded.flooding_times == serial.flooding_times
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor must be one of"):
+            Engine(executor="rocket")
+
+    def test_wrapped_model_is_not_shared_across_thread_chunks(self):
+        # A spec wrapping a prototype instance must not let thread chunks
+        # race on that one instance: the pickle round-trip gives each chunk
+        # its own copy, and the samples still match the serial run.
+        model = EdgeMEG(30, p=0.05, q=0.5)
+        spec = TrialSpec.from_model(model, num_trials=8, seed=11)
+        serial = Engine(workers=1).run(spec)
+        threaded = Engine(workers=4, executor="thread").run(spec)
+        assert threaded.flooding_times == serial.flooding_times
+
+
+class TestExecutorCli:
+    ARGS = ["flood", "edge-meg", "--nodes", "40", "--p", "0.05", "--q", "0.5",
+            "--trials", "4", "--seed", "1"]
+
+    def test_executor_flag_does_not_change_samples(self, tmp_path, capsys):
+        runs = {}
+        for name, extra in (
+            ("process", ["--workers", "2", "--executor", "process"]),
+            ("thread", ["--workers", "2", "--executor", "thread"]),
+        ):
+            json_path = tmp_path / f"{name}.json"
+            assert main(self.ARGS + extra + ["--json", str(json_path)]) == 0
+            runs[name] = json.loads(json_path.read_text())["samples"]
+        assert runs["process"] == runs["thread"]
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--executor", "fiber"])

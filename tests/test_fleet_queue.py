@@ -1,0 +1,275 @@
+"""Tests for the fleet job spool: leases, contention, expiry, retry budget.
+
+The spool's contract (alongside ``tests/test_store_concurrency.py`` for the
+result store): a job is claimable by exactly one worker at a time, a dead
+worker's lease is reclaimed after ``lease_ttl`` seconds of heartbeat
+silence, and the retry budget bounds how often a job can fail before it is
+parked in ``failed/``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.fleet import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, JobSpool
+
+
+def _payload(job_id: str) -> dict:
+    return {"id": job_id, "kind": "sweep", "store": f"stores/{job_id}"}
+
+
+def _backdate(spool: JobSpool, job_id: str, seconds: float) -> None:
+    """Age an active lease as if its heartbeat stopped ``seconds`` ago."""
+    lease = os.path.join(spool.root, "active", f"{job_id}.json")
+    stale = time.time() - seconds
+    os.utime(lease, (stale, stale))
+
+
+class TestLifecycle:
+    def test_enqueue_claim_done(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        spool.enqueue(_payload("job-a"))
+        assert spool.pending_ids() == ["job-a"]
+        assert not spool.is_drained()
+
+        job = spool.claim("worker-1")
+        assert job.id == "job-a"
+        assert job.attempts == 0
+        assert spool.pending_ids() == []
+        assert spool.active_ids() == ["job-a"]
+        meta = spool.read_meta("job-a")
+        assert meta["worker"] == "worker-1"
+
+        spool.mark_done("job-a", {"trials": 5})
+        assert spool.active_ids() == []
+        assert spool.done_ids() == ["job-a"]
+        assert spool.is_drained()
+        descriptor = spool.read_job("done", "job-a")
+        assert descriptor["outcome"]["trials"] == 5
+
+    def test_claim_order_is_sorted_and_empty_returns_none(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        assert spool.claim("w") is None
+        for job_id in ("job-b", "job-a"):
+            spool.enqueue(_payload(job_id))
+        assert spool.claim("w").id == "job-a"
+        assert spool.claim("w").id == "job-b"
+        assert spool.claim("w") is None
+
+    def test_duplicate_enqueue_rejected_in_every_state(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        spool.enqueue(_payload("job-a"))
+        with pytest.raises(ValueError, match="already exists in jobs/"):
+            spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        with pytest.raises(ValueError, match="already exists in active/"):
+            spool.enqueue(_payload("job-a"))
+        spool.mark_done("job-a")
+        with pytest.raises(ValueError, match="already exists in done/"):
+            spool.enqueue(_payload("job-a"))
+
+    def test_bad_ids_rejected(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="filesystem-safe"):
+                spool.enqueue({"id": bad})
+
+    def test_config_persists_for_later_joiners(self, tmp_path):
+        first = JobSpool(tmp_path / "spool", lease_ttl=5.0, max_attempts=7)
+        first.write_config()
+        second = JobSpool(tmp_path / "spool")  # no explicit settings
+        assert second.lease_ttl == 5.0
+        assert second.max_attempts == 7
+        # Explicit settings still override the persisted configuration.
+        third = JobSpool(tmp_path / "spool", lease_ttl=2.0)
+        assert third.lease_ttl == 2.0
+        assert third.max_attempts == 7
+
+    def test_defaults_without_config(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        assert spool.lease_ttl == DEFAULT_LEASE_TTL
+        assert spool.max_attempts == DEFAULT_MAX_ATTEMPTS
+
+    def test_invalid_settings_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            JobSpool(tmp_path / "a", lease_ttl=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobSpool(tmp_path / "b", max_attempts=0)
+
+    def test_counts(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        for job_id in ("a", "b", "c"):
+            spool.enqueue(_payload(job_id))
+        spool.claim("w")
+        assert spool.counts() == {"jobs": 2, "active": 1, "done": 0, "failed": 0}
+
+
+class TestFailureAndRetry:
+    def test_failed_job_requeues_with_bumped_attempts(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", max_attempts=3)
+        spool.enqueue(_payload("job-a"))
+        job = spool.claim("w")
+        assert spool.mark_failed(job.id, "boom") is True
+        assert spool.pending_ids() == ["job-a"]
+        requeued = spool.read_job("jobs", "job-a")
+        assert requeued["attempts"] == 1
+        assert requeued["last_error"] == "boom"
+
+    def test_retry_budget_exhausts_to_failed(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", max_attempts=2)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        assert spool.mark_failed("job-a", "first") is True
+        spool.claim("w")
+        assert spool.mark_failed("job-a", "second") is False
+        assert spool.pending_ids() == []
+        assert spool.failed_ids() == ["job-a"]
+        descriptor = spool.read_job("failed", "job-a")
+        assert descriptor["attempts"] == 2
+        assert descriptor["last_error"] == "second"
+        assert spool.is_drained()
+
+
+class TestLeaseExpiry:
+    def test_fresh_lease_is_not_requeued(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", lease_ttl=30.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("dead-worker")
+        assert spool.requeue_expired() == []
+        assert spool.active_ids() == ["job-a"]
+
+    def test_expired_lease_requeues_with_bumped_attempts(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("dead-worker")
+        _backdate(spool, "job-a", seconds=60.0)
+        assert spool.requeue_expired() == ["job-a"]
+        assert spool.active_ids() == []
+        requeued = spool.read_job("jobs", "job-a")
+        assert requeued["attempts"] == 1
+        assert "lease expired" in requeued["last_error"]
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        _backdate(spool, "job-a", seconds=60.0)
+        spool.heartbeat("job-a")  # the worker is alive after all
+        assert spool.requeue_expired() == []
+        assert spool.read_meta("job-a")["heartbeat_at"] == pytest.approx(
+            time.time(), abs=5.0
+        )
+
+    def test_expiry_exhausts_retry_budget_to_failed(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0, max_attempts=1)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("dead-worker")
+        _backdate(spool, "job-a", seconds=60.0)
+        assert spool.requeue_expired() == []
+        assert spool.failed_ids() == ["job-a"]
+
+    def test_mark_done_after_requeue_discards_the_late_result(self, tmp_path):
+        """A stalled worker finishing after its lease was reclaimed must not
+
+        crash, and must not overwrite the requeued job's lifecycle.
+        """
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        job = spool.claim("stalled-worker")
+        _backdate(spool, job.id, seconds=60.0)
+        assert spool.requeue_expired() == ["job-a"]
+        # The stalled worker comes back to life and reports completion.
+        assert spool.mark_done(job.id, {"trials": 5}) is False
+        assert spool.done_ids() == []
+        assert spool.pending_ids() == ["job-a"]  # the requeue stands
+
+    def test_long_pending_job_is_not_expired_at_claim_time(self, tmp_path):
+        """The lease clock starts at claim, not at enqueue: a job that sat
+
+        pending longer than lease_ttl must not be requeued from under the
+        worker that just claimed it.
+        """
+        spool = JobSpool(tmp_path / "spool", lease_ttl=5.0)
+        spool.enqueue(_payload("job-a"))
+        # Age the *pending* descriptor far beyond the TTL (a deep queue).
+        pending = os.path.join(spool.root, "jobs", "job-a.json")
+        stale = time.time() - 120.0
+        os.utime(pending, (stale, stale))
+        job = spool.claim("w")
+        assert job is not None
+        assert spool.requeue_expired() == []
+        assert spool.active_ids() == ["job-a"]
+        assert spool.read_job("active", "job-a")["attempts"] == 0
+
+    def test_stale_lease_next_to_done_record_is_discarded(self, tmp_path):
+        # A crash between mark_done's write and its lease removal leaves
+        # both files; the reclaim pass must clean up, not re-run.
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        done_path = os.path.join(spool.root, "done", "job-a.json")
+        with open(done_path, "w", encoding="utf-8") as handle:
+            json.dump({"id": "job-a", "outcome": {}}, handle)
+        _backdate(spool, "job-a", seconds=60.0)
+        assert spool.requeue_expired() == []
+        assert spool.active_ids() == []
+        assert spool.pending_ids() == []
+        assert spool.done_ids() == ["job-a"]
+
+
+def _claim_all(root: str, worker: str, out_path: str) -> None:
+    """Claim-loop used by the contention test: record every claimed id."""
+    spool = JobSpool(root)
+    claimed = []
+    while True:
+        job = spool.claim(worker)
+        if job is None:
+            if spool.is_drained():
+                break
+            time.sleep(0.01)
+            continue
+        claimed.append(job.id)
+        spool.mark_done(job.id, {"worker": worker})
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(claimed, handle)
+
+
+class TestClaimContention:
+    def test_concurrent_claimers_never_share_a_job(self, tmp_path):
+        """N processes hammering one spool partition the jobs exactly."""
+        spool = JobSpool(tmp_path / "spool")
+        job_ids = [f"job-{i:03d}" for i in range(40)]
+        for job_id in job_ids:
+            spool.enqueue(_payload(job_id))
+
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        outputs = [str(tmp_path / f"claims-{w}.json") for w in range(4)]
+        processes = [
+            context.Process(
+                target=_claim_all, args=(str(spool.root), f"worker-{w}", out)
+            )
+            for w, out in enumerate(outputs)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+
+        claims = [json.loads(open(out, encoding="utf-8").read()) for out in outputs]
+        flat = [job_id for claimed in claims for job_id in claimed]
+        # Exactly once each: no job lost, no job double-executed.
+        assert sorted(flat) == job_ids
+        assert len(set(flat)) == len(flat)
+        assert spool.done_ids() == job_ids
+        # And the recorded executor of each done job matches who claimed it.
+        for worker_index, claimed in enumerate(claims):
+            for job_id in claimed:
+                outcome = spool.read_job("done", job_id)["outcome"]
+                assert outcome["worker"] == f"worker-{worker_index}"
