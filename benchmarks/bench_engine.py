@@ -29,6 +29,7 @@ import networkx as nx
 from bench_utils import run_once
 
 from repro.engine import Engine, ResultStore, TrialSpec
+from repro.telemetry import core as telemetry
 from repro.graphs.grid import grid_graph
 from repro.markov.builders import random_walk_on_graph
 from repro.meg.base import DynamicGraph, StaticGraphProcess
@@ -206,6 +207,52 @@ def test_engine_executor_invariance_and_startup():
     )
 
 
+def _noop_primitive_seconds(calls: int = 200_000) -> float:
+    """Per-call cost of the disabled telemetry primitives (span/count/timing)."""
+    assert telemetry.active() is None
+    started = time.perf_counter()
+    for _ in range(calls):
+        with telemetry.span("bench"):
+            pass
+        telemetry.count("bench")
+        telemetry.timing("bench", 1.0)
+    return (time.perf_counter() - started) / (3 * calls)
+
+
+def _telemetry_timings(tmp_path) -> dict[str, float]:
+    """Best engine wall-clock with telemetry disabled vs enabled (writing)."""
+    disabled, reference = _best_time(Engine(backend="vectorized"), _spec())
+    telemetry.enable(str(tmp_path), process="bench")
+    try:
+        enabled, samples = _best_time(Engine(backend="vectorized"), _spec())
+    finally:
+        telemetry.disable()
+    assert samples == reference, "telemetry changed the samples"
+    return {"disabled": disabled, "enabled": enabled}
+
+
+def test_telemetry_noop_overhead(tmp_path):
+    # The ISSUE 6 acceptance bar: instrumentation with telemetry *disabled*
+    # must cost under 2% of an engine run.  The disabled primitives are one
+    # module-global load plus a None check; even a (generous) estimate of
+    # 100 primitive calls per trial must fit the 2% budget, and enabling
+    # telemetry must not change the samples.
+    timings = _telemetry_timings(tmp_path)
+    per_call = _noop_primitive_seconds()
+    estimated = per_call * 100 * TRIALS
+    budget = 0.02 * timings["disabled"]
+    print()
+    print(f"engine run, telemetry disabled: {timings['disabled'] * 1e3:8.1f} ms")
+    print(f"engine run, telemetry enabled:  {timings['enabled'] * 1e3:8.1f} ms  "
+          f"(ratio x{timings['enabled'] / timings['disabled']:.3f})")
+    print(f"disabled primitive: {per_call * 1e9:6.0f} ns/call -> "
+          f"{estimated / timings['disabled']:.3%} of the run at 100 calls/trial")
+    assert estimated < budget, (
+        f"no-op telemetry would cost {estimated / timings['disabled']:.1%} "
+        f"of the run (budget 2%)"
+    )
+
+
 def test_engine_result_store_roundtrip(tmp_path):
     store = ResultStore(tmp_path)
     engine = Engine(store=store)
@@ -281,6 +328,20 @@ def run_benchmark_suite(quick: bool = False) -> dict:
         "num_nodes": snapshot_n,
         "milliseconds": {k: v * 1e3 for k, v in timings.items()},
         "speedup": timings["vectorized"] / timings["sparse"],
+    }
+
+    # Telemetry overhead trajectory: the enabled/disabled wall-clock ratio
+    # (≈1.0; the gate would flag enabled runs suddenly costing ~30% extra)
+    # plus the disabled primitive cost, tracked in nanoseconds.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        timings = _telemetry_timings(tmp)
+    report["benchmarks"]["telemetry_overhead"] = {
+        "num_nodes": NODES,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "noop_primitive_nanoseconds": _noop_primitive_seconds() * 1e9,
+        "speedup": timings["enabled"] / timings["disabled"],
     }
     return report
 

@@ -7,12 +7,18 @@ more than ``--max-regression`` (default 30%) below the previous value, or
 the step fails.  A missing baseline (first run, expired artifact) passes
 with a notice — the gate only ever compares real measurements.
 
+Beyond the gate, ``--history PATH`` appends the fresh report's speedups as
+one JSONL line to a perf-trajectory log (``benchmarks/BENCH_history.jsonl``
+is the tracked one), so the repo itself records how the fast paths evolve
+across pushes instead of relying on expiring CI artifacts.
+
 Usage::
 
     python benchmarks/compare_bench.py \
         --baseline previous/BENCH_engine.json \
         --current BENCH_engine.json \
-        --max-regression 0.30
+        --max-regression 0.30 \
+        --history benchmarks/BENCH_history.jsonl
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def load_report(path: str) -> dict:
@@ -52,9 +59,36 @@ def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
     return failures
 
 
+def history_entry(report: dict, now: float) -> dict:
+    """One perf-trajectory JSONL line for ``report``."""
+    return {
+        "timestamp": now,
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "commit": os.environ.get("GITHUB_SHA"),
+        "quick": bool(report.get("quick")),
+        "speedups": {
+            name: float(entry["speedup"])
+            for name, entry in sorted(report.get("benchmarks", {}).items())
+        },
+    }
+
+
+def append_history(path: str, report: dict) -> dict:
+    """Append the report's speedups to the JSONL trajectory at ``path``."""
+    entry = history_entry(report, time.time())
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="previous BENCH_engine.json")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_engine.json (omit to skip the regression gate)",
+    )
     parser.add_argument("--current", required=True, help="fresh BENCH_engine.json")
     parser.add_argument(
         "--max-regression",
@@ -62,13 +96,24 @@ def main() -> int:
         default=0.30,
         help="largest tolerated fractional speedup drop (default 0.30)",
     )
+    parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append the current report's speedups to this JSONL trajectory",
+    )
     args = parser.parse_args()
 
+    current = load_report(args.current)
+    if args.history:
+        entry = append_history(args.history, current)
+        print(f"appended {len(entry['speedups'])} speedup(s) to {args.history}")
+
+    if args.baseline is None:
+        print("no --baseline given; skipping the regression gate")
+        return 0
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; skipping the regression gate")
         return 0
     baseline = load_report(args.baseline)
-    current = load_report(args.current)
     if bool(baseline.get("quick")) != bool(current.get("quick")):
         print("baseline and current used different sizes; skipping the regression gate")
         return 0

@@ -95,7 +95,9 @@ from repro.fleet import (
     merge_fleet_stores,
     run_fleet,
     run_worker,
+    spool_metrics,
     spool_status,
+    status_as_dict,
     sweep_job_payloads,
     sweep_results_from_store,
 )
@@ -108,7 +110,13 @@ from repro.sweeps import (
     sweep_grid_walk_model as sweep_grid_walk_model,
     sweep_waypoint_model as sweep_waypoint_model,
 )
+from repro.telemetry import core as telemetry_core
+from repro.telemetry.log import configure as configure_logging
+from repro.telemetry.report import format_report, load_events, summarize_events
 from repro.util.stats import summarize
+
+#: Environment fallback for ``--telemetry`` (any command that supports it).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
 
 
 def _positive_int(text: str) -> int:
@@ -116,6 +124,11 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _telemetry_dir(args: argparse.Namespace) -> Optional[str]:
+    """The run's telemetry directory: ``--telemetry`` flag, env fallback."""
+    return getattr(args, "telemetry_dir", None) or os.environ.get(TELEMETRY_ENV) or None
 
 
 def _int_list(text: str) -> list[int]:
@@ -178,6 +191,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write machine-readable results to PATH",
     )
 
+    # Observability flags shared by every execution subcommand.  Telemetry is
+    # strictly opt-in: without --telemetry (or REPRO_TELEMETRY) the tracer is
+    # a no-op, and enabling it never changes any computed result.
+    observability_options = argparse.ArgumentParser(add_help=False)
+    observability_options.add_argument(
+        "--telemetry", dest="telemetry_dir", default=None, metavar="DIR",
+        help="write per-process telemetry event files (spans, metrics) into "
+             "DIR; merge them later with `repro telemetry report DIR` "
+             f"(default: the {TELEMETRY_ENV} environment variable)",
+    )
+    observability_options.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="stdlib logging level for the repro loggers (debug, info, "
+             "warning, ...; default: info, or the REPRO_LOG_LEVEL variable)",
+    )
+
     # Batched-source estimators apply to flood/sweep, not to the registered
     # experiments (whose estimators are part of the experiment definition).
     source_parent = argparse.ArgumentParser(add_help=False)
@@ -218,7 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     experiment = subparsers.add_parser(
-        "experiment", parents=[engine_options],
+        "experiment", parents=[engine_options, observability_options],
         help="run one registered experiment (E1-E10) through the engine "
              "pipeline (shardable across machines)",
     )
@@ -245,7 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
     flood_sub = flood.add_subparsers(dest="model", required=True)
 
     edge_meg = flood_sub.add_parser(
-        "edge-meg", parents=[engine_options, source_parent],
+        "edge-meg", parents=[engine_options, source_parent, observability_options],
         help="classic edge-MEG with birth/death rates",
     )
     edge_meg.add_argument("--nodes", type=int, default=100)
@@ -255,7 +284,7 @@ def _build_parser() -> argparse.ArgumentParser:
     edge_meg.add_argument("--seed", type=int, default=0)
 
     waypoint = flood_sub.add_parser(
-        "waypoint", parents=[engine_options, source_parent],
+        "waypoint", parents=[engine_options, source_parent, observability_options],
         help="random waypoint over a square",
     )
     waypoint.add_argument("--nodes", type=int, default=100)
@@ -266,7 +295,7 @@ def _build_parser() -> argparse.ArgumentParser:
     waypoint.add_argument("--seed", type=int, default=0)
 
     grid_walk = flood_sub.add_parser(
-        "grid-walk", parents=[engine_options, source_parent],
+        "grid-walk", parents=[engine_options, source_parent, observability_options],
         help="random walks over a grid mobility graph",
     )
     grid_walk.add_argument("--nodes", type=int, default=64)
@@ -321,7 +350,7 @@ def _build_parser() -> argparse.ArgumentParser:
         sweep_sub.add_parser(
             family,
             parents=[engine_options, source_parent, sweep_points, sweep_common,
-                     family_params[family]],
+                     observability_options, family_params[family]],
             help=family_help[family],
         )
 
@@ -339,7 +368,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     worker = subparsers.add_parser(
-        "worker",
+        "worker", parents=[observability_options],
         help="run a fleet worker daemon: lease jobs from a spool, execute, "
              "heartbeat, mark done/failed",
     )
@@ -369,6 +398,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exit-when-empty", action="store_true",
         help="exit once every job has reached a terminal state instead of "
              "polling forever",
+    )
+    worker.add_argument(
+        "--profile", action="store_true",
+        help="run each job under cProfile and write its top hotspots into "
+             "the telemetry directory (needs --telemetry)",
     )
 
     fleet = subparsers.add_parser(
@@ -406,6 +440,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-wait", type=float, default=None, metavar="S",
         help="abort (leaving the spool for inspection) after S seconds",
     )
+    fleet_options.add_argument(
+        "--profile", action="store_true",
+        help="spawned local workers run each job under cProfile, writing "
+             "hotspots into the telemetry directory (needs --telemetry)",
+    )
 
     fleet_run = fleet_sub.add_parser(
         "run", help="compile, execute and fan in one workload"
@@ -419,11 +458,11 @@ def _build_parser() -> argparse.ArgumentParser:
         fleet_sweep_sub.add_parser(
             family,
             parents=[engine_options, source_parent, sweep_points, fleet_options,
-                     family_params[family]],
+                     observability_options, family_params[family]],
             help=family_help[family],
         )
     fleet_experiment = fleet_run_sub.add_parser(
-        "experiment", parents=[engine_options, fleet_options],
+        "experiment", parents=[engine_options, fleet_options, observability_options],
         help="fleet-execute one registered experiment (E1-E10)",
     )
     fleet_experiment.add_argument(
@@ -436,9 +475,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     fleet_status = fleet_sub.add_parser(
-        "status", help="inspect a spool: progress, leases, heartbeats, failures"
+        "status",
+        help="inspect a spool: progress, leases, heartbeats, failures, "
+             "throughput metrics",
     )
     fleet_status.add_argument("spool", help="spool directory to inspect")
+    fleet_status.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the status snapshot (including jobs/s, requeue rate and "
+             "the heartbeat-age distribution) as JSON on stdout",
+    )
+
+    telemetry_cmd = subparsers.add_parser(
+        "telemetry", help="inspect telemetry directories written with --telemetry"
+    )
+    telemetry_sub = telemetry_cmd.add_subparsers(dest="telemetry_command", required=True)
+    telemetry_report_cmd = telemetry_sub.add_parser(
+        "report",
+        help="merge a telemetry directory's per-process event files into one "
+             "run summary: phase breakdown, store hit rate, worker "
+             "utilization, slowest jobs, requeue forensics",
+    )
+    telemetry_report_cmd.add_argument("directory", help="telemetry directory to merge")
+    telemetry_report_cmd.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="slowest jobs to list (default 5)",
+    )
+    telemetry_report_cmd.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the merged summary as JSON to PATH",
+    )
 
     return parser
 
@@ -731,6 +797,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_worker(args: argparse.Namespace) -> int:
+    telemetry_dir = _telemetry_dir(args)
+    if args.profile and not telemetry_dir:
+        print(
+            "error: --profile needs a telemetry directory (--telemetry DIR or "
+            f"{TELEMETRY_ENV}) to write the hotspot reports into",
+            file=sys.stderr,
+        )
+        return 2
     try:
         return run_worker(
             args.spool,
@@ -740,6 +814,7 @@ def _run_worker(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             exit_when_empty=args.exit_when_empty,
             max_jobs=args.max_jobs,
+            profile_dir=telemetry_dir if args.profile else None,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print("worker interrupted", file=sys.stderr)
@@ -791,6 +866,14 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
                 args.shards,
                 engine=_fleet_engine_config(args),
             )
+        telemetry_dir = _telemetry_dir(args)
+        if args.profile and not telemetry_dir:
+            print(
+                "error: --profile needs a telemetry directory (--telemetry DIR "
+                f"or {TELEMETRY_ENV}) to write the hotspot reports into",
+                file=sys.stderr,
+            )
+            return 2
         spool = JobSpool(args.spool, lease_ttl=args.lease_ttl, max_attempts=args.max_attempts)
         outcome = run_fleet(
             spool,
@@ -798,6 +881,9 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
             local_workers=args.local_workers,
             poll=args.poll,
             max_wait=args.max_wait,
+            telemetry_dir=telemetry_dir,
+            profile=args.profile,
+            log_level=getattr(args, "log_level", None),
         )
     except (FleetError, ValueError) as error:
         print(f"fleet run failed: {error}", file=sys.stderr)
@@ -873,7 +959,29 @@ def _run_fleet_status(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.spool):
         print(f"error: no spool directory at {args.spool}", file=sys.stderr)
         return 2
-    print(format_status(spool_status(JobSpool(args.spool))))
+    spool = JobSpool(args.spool)
+    status = spool_status(spool)
+    metrics = spool_metrics(spool, status)
+    if args.as_json:
+        print(json.dumps(status_as_dict(status, metrics), indent=2, sort_keys=True))
+    else:
+        print(format_status(status, metrics))
+    return 0
+
+
+def _run_telemetry_report(args: argparse.Namespace) -> int:
+    try:
+        events = load_events(args.directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"no telemetry events under {args.directory}", file=sys.stderr)
+        return 1
+    summary = summarize_events(events, top=args.top)
+    print(format_report(summary))
+    if args.json_path:
+        _write_json(args.json_path, summary)
     return 0
 
 
@@ -892,10 +1000,7 @@ def _run_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point used by ``python -m repro`` and the console script."""
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "experiments":
         return _run_experiments(args)
     if args.command == "experiment":
@@ -912,8 +1017,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.fleet_command == "run":
             return _run_fleet_run(args)
         return _run_fleet_status(args)
+    if args.command == "telemetry":
+        return _run_telemetry_report(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    telemetry_dir = _telemetry_dir(args) if args.command != "telemetry" else None
+    if telemetry_dir is not None:
+        telemetry_core.enable(telemetry_dir)
+    try:
+        return _dispatch(parser, args)
+    finally:
+        if telemetry_dir is not None:
+            telemetry_core.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

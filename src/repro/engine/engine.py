@@ -24,6 +24,7 @@ trials get executed.  It owns three orthogonal decisions:
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -43,6 +44,7 @@ from repro.engine.shard import ShardSpec, seed_token, shard_store_key
 from repro.engine.spec import BatchResult, TrialSpec
 from repro.engine.store import ResultStore
 from repro.meg.base import DynamicGraph
+from repro.telemetry import core as telemetry
 from repro.util.rng import spawn_seed_sequences
 
 BACKENDS = ("auto", "set", "vectorized", "sparse")
@@ -158,6 +160,8 @@ def _run_single_trial(
     """
     rng = np.random.default_rng(seed)
     resolved = resolve_backend(backend, model)
+    if telemetry.active() is not None:
+        telemetry.count(f"engine.backend.{resolved}")
     source_batch = _trial_sources(model, sources, num_sources, rng)
     if source_batch is None:
         result = _KERNELS[resolved](model, source=source, rng=rng, max_steps=max_steps)
@@ -187,20 +191,50 @@ def _run_single_trial(
     return max(times), model.num_nodes
 
 
-def _execute_chunk(payload) -> list[tuple[int, int]]:
+def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict]]:
     """Worker entry point: run a contiguous chunk of trials on one model copy.
 
     The model arrives pickled once per chunk (at most once per worker), and
     the chunk's trials reuse that copy exactly as the serial path reuses its
     single instance — every trial resets the model with its own seed.
+
+    Returns ``(outcomes, execute_seconds, metrics_snapshot)``.  When the
+    parent runs with telemetry (``collect``), a pool *process* — which cannot
+    see the parent's registry — activates an in-memory
+    :class:`~repro.telemetry.core.Telemetry` for the chunk and ships its
+    metrics back as the snapshot; a pool *thread* shares the parent's
+    registry directly and returns ``None``.
     """
-    model, seeds, source, sources, num_sources, max_steps, backend, source_chunk = payload
-    return [
-        _run_single_trial(
-            model, seed, source, sources, num_sources, max_steps, backend, source_chunk
-        )
-        for seed in seeds
-    ]
+    (
+        model,
+        seeds,
+        source,
+        sources,
+        num_sources,
+        max_steps,
+        backend,
+        source_chunk,
+        collect,
+    ) = payload
+    started = time.perf_counter()
+    child = None
+    inherited = telemetry.active()
+    # A forked pool worker inherits the parent's instance but must not write
+    # through it (its buffers die with the fork); give it a fresh registry.
+    if collect and (inherited is None or inherited.pid != os.getpid()):
+        child = telemetry.activate(telemetry.Telemetry(directory=None))
+    try:
+        outcomes = [
+            _run_single_trial(
+                model, seed, source, sources, num_sources, max_steps, backend, source_chunk
+            )
+            for seed in seeds
+        ]
+    finally:
+        if child is not None:
+            telemetry.deactivate(child)
+    snapshot = child.metrics_snapshot() if child is not None else None
+    return outcomes, time.perf_counter() - started, snapshot
 
 
 def _store_payload(result: BatchResult, spec: TrialSpec) -> dict:
@@ -317,6 +351,7 @@ class Engine:
         else:
             models = [model] * len(chunks)
             pool_type = ProcessPoolExecutor
+        tel = telemetry.active()
         payloads = [
             (
                 chunk_model,
@@ -327,15 +362,50 @@ class Engine:
                 spec.max_steps,
                 self.backend,
                 self.source_chunk,
+                tel is not None,
             )
             for chunk_model, chunk in zip(models, chunks)
         ]
-        with pool_type(max_workers=self.workers) as executor:
-            return [
-                outcome
-                for chunk_outcomes in executor.map(_execute_chunk, payloads)
-                for outcome in chunk_outcomes
-            ]
+        with pool_type(max_workers=self.workers) as pool:
+            submitted = time.perf_counter()
+            completions: dict[int, float] = {}
+            futures = []
+            for index, payload in enumerate(payloads):
+                future = pool.submit(_execute_chunk, payload)
+                if tel is not None:
+                    future.add_done_callback(
+                        lambda _f, _i=index: completions.__setitem__(_i, time.perf_counter())
+                    )
+                futures.append(future)
+            # Futures are drained in submission order, so the flattened
+            # outcomes keep seed order exactly as ``executor.map`` did.
+            results: list[tuple[int, int]] = []
+            busy = 0.0
+            for index, future in enumerate(futures):
+                outcomes, execute_seconds, snapshot = future.result()
+                results.extend(outcomes)
+                if tel is not None:
+                    tel.merge_metrics(snapshot)
+                    tel.count("engine.chunks")
+                    tel.timing("engine.chunk.execute_seconds", execute_seconds)
+                    completed = completions.get(index)
+                    if completed is not None:
+                        # perf_counter is per-process, so queue wait is the
+                        # parent-observed turnaround minus the child-reported
+                        # execute time (both are durations, hence comparable).
+                        tel.timing(
+                            "engine.chunk.queue_wait_seconds",
+                            max(0.0, (completed - submitted) - execute_seconds),
+                        )
+                    busy += execute_seconds
+        if tel is not None:
+            wall = time.perf_counter() - submitted
+            tel.count(f"engine.executor.{self.executor}")
+            if wall > 0:
+                tel.gauge(
+                    "engine.pool.utilization", min(1.0, busy / (wall * self.workers))
+                )
+        return results
 
     def _cached_result(self, record: dict, spec: TrialSpec, started: float) -> BatchResult:
         """A :class:`BatchResult` served from a stored payload."""
@@ -351,38 +421,51 @@ class Engine:
 
     def run(self, spec: TrialSpec) -> BatchResult:
         """Execute (or fetch from the store) one batch of trials."""
-        started = time.perf_counter()
-        seeds = spawn_seed_sequences(spec.seed, spec.num_trials)
-
-        key = None
-        if self.store is not None:
-            key = ResultStore.compute_key(
-                {**spec.cache_token(), "seeds": seed_token(seeds)}
-            )
-            record = self.store.get(key)
-            if record is not None:
-                return self._cached_result(record, spec, started)
-
-        # Built exactly once per run, whatever the worker count: a stochastic
-        # factory then contributes one realization shared by every trial, so
-        # serial and parallel runs sample the same process.
-        model = spec.build_model()
-        outcomes = self._execute_trials(spec, model, seeds)
-
-        flooding_times = tuple(t for t, _ in outcomes)
-        num_nodes = outcomes[0][1]
-        result = BatchResult(
+        with telemetry.span(
+            "engine.run",
             label=spec.label,
-            num_nodes=num_nodes,
-            flooding_times=flooding_times,
-            backend=self.backend,
+            trials=spec.num_trials,
             workers=self.workers,
-            from_cache=False,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-        if self.store is not None and key is not None:
-            self.store.put(key, _store_payload(result, spec))
-        return result
+            executor=self.executor,
+        ) as run_span:
+            started = time.perf_counter()
+            seeds = spawn_seed_sequences(spec.seed, spec.num_trials)
+
+            key = None
+            if self.store is not None:
+                key = ResultStore.compute_key(
+                    {**spec.cache_token(), "seeds": seed_token(seeds)}
+                )
+                record = self.store.get(key)
+                if record is not None:
+                    telemetry.count("engine.store.hit")
+                    run_span.add(cached=True)
+                    return self._cached_result(record, spec, started)
+                telemetry.count("engine.store.miss")
+
+            # Built exactly once per run, whatever the worker count: a
+            # stochastic factory then contributes one realization shared by
+            # every trial, so serial and parallel runs sample the same
+            # process.
+            model = spec.build_model()
+            outcomes = self._execute_trials(spec, model, seeds)
+
+            flooding_times = tuple(t for t, _ in outcomes)
+            num_nodes = outcomes[0][1]
+            result = BatchResult(
+                label=spec.label,
+                num_nodes=num_nodes,
+                flooding_times=flooding_times,
+                backend=self.backend,
+                workers=self.workers,
+                from_cache=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            if self.store is not None and key is not None:
+                self.store.put(key, _store_payload(result, spec))
+                telemetry.count("engine.store.put")
+            run_span.add(cached=False)
+            return result
 
     def run_shard(self, shard: ShardSpec) -> BatchResult:
         """Execute (or fetch from the store) one shard of a batch.
@@ -400,42 +483,56 @@ class Engine:
         batch record.  A stored full batch also serves any of its shards
         directly.
         """
-        started = time.perf_counter()
-        spec = shard.spec
-        all_seeds, shard_seeds = shard.spawn_seeds()
-
-        key = parent_key = None
-        if self.store is not None:
-            parent_key = ResultStore.compute_key(
-                {**spec.cache_token(), "seeds": seed_token(all_seeds)}
-            )
-            key = shard_store_key(parent_key, shard.index, shard.count)
-            record = self.store.get(key)
-            if record is not None:
-                return self._cached_result(record, spec, started)
-            full_record = self.store.get(parent_key)
-            if full_record is not None:
-                sliced = dict(full_record)
-                sliced["flooding_times"] = list(
-                    full_record["flooding_times"][shard.index :: shard.count]
-                )
-                return self._cached_result(sliced, spec, started)
-
-        model = spec.build_model()
-        outcomes = self._execute_trials(spec, model, shard_seeds) if shard_seeds else []
-        result = BatchResult(
-            label=spec.label,
-            num_nodes=outcomes[0][1] if outcomes else model.num_nodes,
-            flooding_times=tuple(t for t, _ in outcomes),
-            backend=self.backend,
+        with telemetry.span(
+            "engine.run_shard",
+            label=shard.spec.label,
+            shard=f"{shard.index}/{shard.count}",
             workers=self.workers,
-            from_cache=False,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-        if self.store is not None and key is not None and parent_key is not None:
-            payload = _store_payload(result, spec)
-            self.store.put(key, shard.store_record(payload, parent_key))
-        return result
+            executor=self.executor,
+        ) as run_span:
+            started = time.perf_counter()
+            spec = shard.spec
+            all_seeds, shard_seeds = shard.spawn_seeds()
+
+            key = parent_key = None
+            if self.store is not None:
+                parent_key = ResultStore.compute_key(
+                    {**spec.cache_token(), "seeds": seed_token(all_seeds)}
+                )
+                key = shard_store_key(parent_key, shard.index, shard.count)
+                record = self.store.get(key)
+                if record is not None:
+                    telemetry.count("engine.store.hit")
+                    run_span.add(cached=True)
+                    return self._cached_result(record, spec, started)
+                full_record = self.store.get(parent_key)
+                if full_record is not None:
+                    telemetry.count("engine.store.hit")
+                    run_span.add(cached=True)
+                    sliced = dict(full_record)
+                    sliced["flooding_times"] = list(
+                        full_record["flooding_times"][shard.index :: shard.count]
+                    )
+                    return self._cached_result(sliced, spec, started)
+                telemetry.count("engine.store.miss")
+
+            model = spec.build_model()
+            outcomes = self._execute_trials(spec, model, shard_seeds) if shard_seeds else []
+            result = BatchResult(
+                label=spec.label,
+                num_nodes=outcomes[0][1] if outcomes else model.num_nodes,
+                flooding_times=tuple(t for t, _ in outcomes),
+                backend=self.backend,
+                workers=self.workers,
+                from_cache=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            if self.store is not None and key is not None and parent_key is not None:
+                payload = _store_payload(result, spec)
+                self.store.put(key, shard.store_record(payload, parent_key))
+                telemetry.count("engine.store.put")
+            run_span.add(cached=False)
+            return result
 
     def run_many(self, specs: Sequence[TrialSpec]) -> list[BatchResult]:
         """Execute several specs in order (each with its own seed stream)."""

@@ -28,7 +28,28 @@ import scipy.sparse
 
 from repro.core.flooding import FloodingResult, default_max_steps
 from repro.meg.base import DynamicGraph
+from repro.telemetry import core as telemetry
 from repro.util.rng import RNGLike
+
+
+def _record_flood(kernel: str, history: Sequence[int]) -> None:
+    """Fold one completed flood into the active telemetry (no-op when off).
+
+    Records the kernel chosen, the number of rounds run and the peak frontier
+    (largest one-round gain of the informed-count history) — the round-level
+    raw material for analysing the spreading dynamics of a run.
+    """
+    tel = telemetry.active()
+    if tel is None:
+        return
+    tel.count(f"kernel.flood.{kernel}")
+    rounds = len(history) - 1
+    tel.timing("kernel.rounds", rounds)
+    if rounds:
+        tel.timing(
+            "kernel.frontier_peak",
+            max(later - earlier for earlier, later in zip(history, history[1:])),
+        )
 
 
 def has_fast_adjacency(process: DynamicGraph) -> bool:
@@ -99,6 +120,7 @@ def flood_vectorized(
         if count == n:
             flooding_time_value = t + 1
             break
+    _record_flood("vectorized", history)
     return FloodingResult(source, n, tuple(history), flooding_time_value)
 
 
@@ -141,6 +163,7 @@ def flood_sparse(
         if count == n:
             flooding_time_value = t + 1
             break
+    _record_flood("sparse", history)
     return FloodingResult(source, n, tuple(history), flooding_time_value)
 
 
@@ -245,4 +268,11 @@ def flood_sources_batch(
         times[newly_complete] = t + 1
         if (times >= 0).all():
             break
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count(f"kernel.flood.batch_{backend}", batch)
+        tel.timing("kernel.batch_width", batch)
+        finished = times[times >= 0]
+        if finished.size:
+            tel.timing("kernel.rounds", int(finished.max()))
     return [int(t) if t >= 0 else None for t in times]

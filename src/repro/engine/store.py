@@ -44,10 +44,13 @@ import contextlib
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 import numpy as np
+
+from repro.telemetry import core as telemetry
 
 try:
     import fcntl
@@ -193,7 +196,13 @@ class ResultStore:
             yield
             return
         with open(self._lock_path, "a", encoding="utf-8") as lock:
-            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            tel = telemetry.active()
+            if tel is None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            else:
+                waited = time.perf_counter()
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+                tel.timing("store.lock_wait_seconds", time.perf_counter() - waited)
             try:
                 yield
             finally:
@@ -358,6 +367,16 @@ class ResultStore:
             self._rewrite(merged)
         self._index = merged
         self._line_count = len(merged)
+        telemetry.count("store.merges")
+        telemetry.event(
+            "store.merge",
+            path=self._path,
+            sources=len(resolved),
+            records=len(merged),
+            adopted=adopted,
+            assembled=assembled,
+            pending_shards=pending,
+        )
         return MergeReport(
             records=len(merged),
             adopted=adopted,

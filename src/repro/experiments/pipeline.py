@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.engine import BatchResult, Engine, ResultStore, TrialSpec, batch_store_key
 from repro.experiments.report import ExperimentReport
+from repro.telemetry import core as telemetry
 
 #: The recognised experiment scales (seconds-fast vs. minutes-thorough).
 SCALES = ("small", "full")
@@ -176,19 +177,26 @@ def execute_plan(
     """
     if engine is None:
         engine = Engine()
-    if shard is None:
-        jobs = plan.jobs
-    else:
-        jobs = plan.shard_jobs(*shard)
-        if engine.store is not None:
-            engine.store.touch()
-    batches = {job.tag: engine.run(job.spec) for job in jobs}
-    report = None
-    if shard is None:
-        report = plan.assemble(
-            {tag: list(batch.flooding_times) for tag, batch in batches.items()}
-        )
-    return PipelineRun(plan=plan, batches=batches, report=report, shard=shard)
+    with telemetry.span(
+        "experiment.plan",
+        experiment=plan.experiment_id,
+        scale=plan.scale,
+        shard=None if shard is None else f"{shard[0]}/{shard[1]}",
+    ) as plan_span:
+        if shard is None:
+            jobs = plan.jobs
+        else:
+            jobs = plan.shard_jobs(*shard)
+            if engine.store is not None:
+                engine.store.touch()
+        batches = {job.tag: engine.run(job.spec) for job in jobs}
+        plan_span.add(jobs=len(batches))
+        report = None
+        if shard is None:
+            report = plan.assemble(
+                {tag: list(batch.flooding_times) for tag, batch in batches.items()}
+            )
+        return PipelineRun(plan=plan, batches=batches, report=report, shard=shard)
 
 
 def run_experiment_pipeline(

@@ -48,7 +48,14 @@ from repro.fleet.queue import (
     Job,
     JobSpool,
 )
-from repro.fleet.status import SpoolStatus, format_status, spool_status
+from repro.fleet.status import (
+    SpoolMetrics,
+    SpoolStatus,
+    format_status,
+    spool_metrics,
+    spool_status,
+    status_as_dict,
+)
 from repro.fleet.worker import default_worker_id, run_worker
 
 __all__ = [
@@ -59,6 +66,7 @@ __all__ = [
     "JOB_KINDS",
     "Job",
     "JobSpool",
+    "SpoolMetrics",
     "SpoolStatus",
     "assemble_experiment_report",
     "default_worker_id",
@@ -71,6 +79,8 @@ __all__ = [
     "run_fleet",
     "run_worker",
     "spawn_local_worker",
+    "spool_metrics",
     "spool_status",
+    "status_as_dict",
     "sweep_job_payloads",
 ]

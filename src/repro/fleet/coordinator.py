@@ -38,7 +38,11 @@ from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import SweepMeasurement
 from repro.fleet.jobs import _sweep_specs, expected_store_keys
 from repro.fleet.queue import JobSpool
+from repro.telemetry import core as telemetry
+from repro.telemetry.log import get_logger
 from repro.util.stats import summarize, whp_quantile
+
+_logger = get_logger("fleet")
 
 
 class FleetError(RuntimeError):
@@ -61,7 +65,13 @@ class FleetOutcome:
         return not self.failed
 
 
-def spawn_local_worker(spool_dir: str, poll: float = 0.2) -> subprocess.Popen:
+def spawn_local_worker(
+    spool_dir: str,
+    poll: float = 0.2,
+    telemetry_dir: Optional[str] = None,
+    profile: bool = False,
+    log_level: Optional[str] = None,
+) -> subprocess.Popen:
     """Start one drain-mode worker process against ``spool_dir``.
 
     The worker runs ``repro worker --spool … --exit-when-empty`` through the
@@ -69,6 +79,11 @@ def spawn_local_worker(spool_dir: str, poll: float = 0.2) -> subprocess.Popen:
     prepended to the child's ``PYTHONPATH``, so source checkouts (where
     ``repro`` is on ``sys.path`` but not installed) spawn working workers
     exactly like installed packages do.
+
+    The coordinator's observability settings propagate: a ``telemetry_dir``
+    becomes the child's ``--telemetry`` (each worker writes its own
+    per-process event file there), ``profile`` its ``--profile``, and
+    ``log_level`` its ``--log-level``.
     """
     command = [
         sys.executable,
@@ -81,6 +96,12 @@ def spawn_local_worker(spool_dir: str, poll: float = 0.2) -> subprocess.Popen:
         "--poll",
         str(poll),
     ]
+    if telemetry_dir is not None:
+        command.extend(["--telemetry", str(telemetry_dir)])
+    if profile:
+        command.append("--profile")
+    if log_level is not None:
+        command.extend(["--log-level", str(log_level)])
     import repro
 
     package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -98,7 +119,10 @@ def run_fleet(
     local_workers: int = 0,
     poll: float = 0.2,
     max_wait: Optional[float] = None,
-    log=print,
+    log=None,
+    telemetry_dir: Optional[str] = None,
+    profile: bool = False,
+    log_level: Optional[str] = None,
 ) -> FleetOutcome:
     """Enqueue ``payloads``, drive the spool until drained, report the outcome.
 
@@ -117,12 +141,30 @@ def run_fleet(
     max_wait:
         Optional wall-clock cap; exceeding it raises :class:`FleetError`
         (the spool is left intact for ``repro fleet status`` forensics).
+    log:
+        Progress sink; ``None`` uses the ``repro.fleet`` logger at INFO.
+    telemetry_dir / profile / log_level:
+        Observability settings forwarded to every spawned local worker (see
+        :func:`spawn_local_worker`).
     """
     if local_workers < 0:
         raise ValueError(f"local_workers must be >= 0, got {local_workers}")
-    spool.write_config()
-    for payload in payloads:
-        spool.enqueue(payload)
+    if log is None:
+        log = _logger.info
+
+    def _spawn() -> subprocess.Popen:
+        return spawn_local_worker(
+            spool.root,
+            poll=poll,
+            telemetry_dir=telemetry_dir,
+            profile=profile,
+            log_level=log_level,
+        )
+
+    with telemetry.span("fleet.enqueue", jobs=len(payloads)):
+        spool.write_config()
+        for payload in payloads:
+            spool.enqueue(payload)
     log(f"fleet: enqueued {len(payloads)} job(s) into {spool.root}")
 
     started = time.perf_counter()
@@ -133,26 +175,30 @@ def run_fleet(
     # how much work replacements can possibly redo.
     respawn_budget = max(1, len(payloads)) * spool.max_attempts
     try:
-        workers = [spawn_local_worker(spool.root, poll=poll) for _ in range(local_workers)]
-        while not spool.is_drained():
-            requeued.extend(spool.requeue_expired())
-            if local_workers:
-                alive = [proc for proc in workers if proc.poll() is None]
-                if not alive and not spool.is_drained():
-                    if respawn_budget <= 0:
-                        raise FleetError(
-                            f"all local workers exited with jobs outstanding in "
-                            f"{spool.root} and the respawn budget is exhausted"
-                        )
-                    respawn_budget -= 1
-                    log("fleet: all local workers exited early; spawning a replacement")
-                    workers.append(spawn_local_worker(spool.root, poll=poll))
-            if max_wait is not None and time.perf_counter() - started > max_wait:
-                raise FleetError(
-                    f"fleet run exceeded max_wait={max_wait}s with "
-                    f"{spool.counts()} — inspect with: repro fleet status {spool.root}"
-                )
-            time.sleep(poll)
+        with telemetry.span(
+            "fleet.drain", jobs=len(payloads), local_workers=local_workers
+        ) as drain_span:
+            workers = [_spawn() for _ in range(local_workers)]
+            while not spool.is_drained():
+                requeued.extend(spool.requeue_expired())
+                if local_workers:
+                    alive = [proc for proc in workers if proc.poll() is None]
+                    if not alive and not spool.is_drained():
+                        if respawn_budget <= 0:
+                            raise FleetError(
+                                f"all local workers exited with jobs outstanding in "
+                                f"{spool.root} and the respawn budget is exhausted"
+                            )
+                        respawn_budget -= 1
+                        log("fleet: all local workers exited early; spawning a replacement")
+                        workers.append(_spawn())
+                if max_wait is not None and time.perf_counter() - started > max_wait:
+                    raise FleetError(
+                        f"fleet run exceeded max_wait={max_wait}s with "
+                        f"{spool.counts()} — inspect with: repro fleet status {spool.root}"
+                    )
+                time.sleep(poll)
+            drain_span.add(requeued=len(requeued))
     finally:
         for proc in workers:
             if proc.poll() is None:
@@ -187,14 +233,16 @@ def merge_fleet_stores(
     incomplete fan-in fails loudly naming the missing slice instead of
     yielding a silently partial store.
     """
-    report = destination.merge(*[spool.resolve(p["store"]) for p in payloads])
-    missing = [key for key in expected_store_keys(payloads[0]) if key not in destination]
-    if missing:
-        raise FleetError(
-            f"merged store {destination.path} is missing {len(missing)} expected "
-            f"batch record(s); first missing key: {missing[0]}"
-        )
-    return report
+    with telemetry.span("fleet.merge", sources=len(payloads)) as merge_span:
+        report = destination.merge(*[spool.resolve(p["store"]) for p in payloads])
+        missing = [key for key in expected_store_keys(payloads[0]) if key not in destination]
+        if missing:
+            raise FleetError(
+                f"merged store {destination.path} is missing {len(missing)} expected "
+                f"batch record(s); first missing key: {missing[0]}"
+            )
+        merge_span.add(records=report.records, assembled=report.assembled)
+        return report
 
 
 def sweep_results_from_store(payload: dict, store: ResultStore) -> list[SweepMeasurement]:
@@ -231,7 +279,8 @@ def sweep_results_from_store(payload: dict, store: ResultStore) -> list[SweepMea
 
 def assemble_experiment_report(payload: dict, store: ResultStore) -> ExperimentReport:
     """The experiment report of a fleet workload, purely from store records."""
-    plan = compile_experiment(
-        payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
-    )
-    return assemble_from_store(plan, store)
+    with telemetry.span("fleet.assemble", experiment=payload["experiment_id"]):
+        plan = compile_experiment(
+            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+        )
+        return assemble_from_store(plan, store)

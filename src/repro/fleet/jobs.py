@@ -34,6 +34,7 @@ from repro.experiments.pipeline import compile_experiment, execute_plan, plan_st
 from repro.experiments.runner import sweep_trial_specs
 from repro.fleet.queue import JobSpool
 from repro.sweeps import resolve_family
+from repro.telemetry import core as telemetry
 
 JOB_KINDS = ("sweep", "experiment")
 
@@ -174,25 +175,26 @@ def execute_job(payload: dict, spool: JobSpool) -> dict:
     kind = payload.get("kind")
     if kind not in JOB_KINDS:
         raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
-    store = ResultStore(spool.resolve(payload["store"]))
-    store.touch()
-    engine = engine_from_config(payload.get("engine"), store=store)
-    index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
+    with telemetry.span("job.execute", job=payload.get("id"), kind=kind):
+        store = ResultStore(spool.resolve(payload["store"]))
+        store.touch()
+        engine = engine_from_config(payload.get("engine"), store=store)
+        index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
 
-    if kind == "sweep":
-        trials = cached = 0
-        for spec in _sweep_specs(payload):
-            batch = engine.run_shard(ShardSpec(spec, index, count))
-            trials += batch.num_trials
-            cached += 1 if batch.from_cache else 0
-        return {"points": len(payload["nodes"]), "trials": trials, "cached": cached}
+        if kind == "sweep":
+            trials = cached = 0
+            for spec in _sweep_specs(payload):
+                batch = engine.run_shard(ShardSpec(spec, index, count))
+                trials += batch.num_trials
+                cached += 1 if batch.from_cache else 0
+            return {"points": len(payload["nodes"]), "trials": trials, "cached": cached}
 
-    plan = compile_experiment(
-        payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
-    )
-    run = execute_plan(plan, engine=engine, shard=(index, count))
-    return {
-        "jobs": len(run.batches),
-        "trials": sum(batch.num_trials for batch in run.batches.values()),
-        "cached": run.num_cached,
-    }
+        plan = compile_experiment(
+            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
+        )
+        run = execute_plan(plan, engine=engine, shard=(index, count))
+        return {
+            "jobs": len(run.batches),
+            "trials": sum(batch.num_trials for batch in run.batches.values()),
+            "cached": run.num_cached,
+        }

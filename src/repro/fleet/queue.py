@@ -46,6 +46,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.telemetry import core as telemetry
+
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
@@ -217,6 +219,7 @@ class JobSpool:
                 raise ValueError(f"job {job_id!r} already exists in {state}/ of {self.root}")
         descriptor = {**payload, "attempts": int(payload.get("attempts", 0))}
         self._write_json(self._job_path("jobs", job_id), descriptor)
+        telemetry.event("queue.enqueue", job=job_id)
         return job_id
 
     def claim(self, worker: str) -> Optional[Job]:
@@ -243,7 +246,11 @@ class JobSpool:
                 self._meta_path(job_id),
                 {"worker": str(worker), "claimed_at": now, "heartbeat_at": now},
             )
-            return Job(id=job_id, payload=self._read_json(lease))
+            job = Job(id=job_id, payload=self._read_json(lease))
+            telemetry.event(
+                "queue.claim", job=job_id, worker=str(worker), attempts=job.attempts
+            )
+            return job
         return None
 
     def heartbeat(self, job_id: str) -> None:
@@ -262,6 +269,7 @@ class JobSpool:
             meta = {}
         meta["heartbeat_at"] = time.time()
         self._write_json(meta_path, meta)
+        telemetry.count("queue.heartbeats")
 
     def mark_done(self, job_id: str, outcome: Optional[dict] = None) -> bool:
         """Move a leased job to ``done/``, recording its outcome.
@@ -286,6 +294,7 @@ class JobSpool:
         descriptor["completed_at"] = time.time()
         self._write_json(self._job_path("done", job_id), descriptor)
         self._remove_lease(job_id)
+        telemetry.event("queue.done", job=job_id, attempts=int(descriptor.get("attempts", 0)))
         return True
 
     def mark_failed(self, job_id: str, error: str) -> bool:
@@ -322,6 +331,17 @@ class JobSpool:
                     age = now - os.path.getmtime(lease)
                 except FileNotFoundError:
                     continue  # completed or failed since listing
+                if age < 0:
+                    # The heartbeat mtime is in our future: a wall-clock step
+                    # (NTP correction, VM resume) or cross-machine skew, not
+                    # a dead worker.  Never treat it as expired — and
+                    # re-anchor the mtime to the present, because a far-future
+                    # stamp would otherwise also mask a *genuine* death for
+                    # as long as the skew lasted.
+                    with contextlib.suppress(FileNotFoundError):
+                        os.utime(lease)
+                    telemetry.event("queue.clock_skew", job=job_id, age_seconds=age)
+                    continue
                 if age <= self.lease_ttl:
                     continue
                 if self._retire_lease(job_id, f"lease expired after {age:.1f}s"):
@@ -350,9 +370,11 @@ class JobSpool:
             descriptor["failed_at"] = time.time()
             self._write_json(self._job_path("failed", job_id), descriptor)
             self._remove_lease(job_id)
+            telemetry.event("queue.failed", job=job_id, attempts=attempts, error=str(error))
             return False
         self._write_json(self._job_path("jobs", job_id), descriptor)
         self._remove_lease(job_id)
+        telemetry.event("queue.requeue", job=job_id, attempts=attempts, error=str(error))
         return True
 
     def _remove_lease(self, job_id: str) -> None:

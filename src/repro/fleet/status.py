@@ -3,11 +3,15 @@
 A read-only scan of the spool's four state directories plus the advisory
 lease metadata, rendered as a compact progress/forensics report: how far
 the run is, who holds which lease and how stale each heartbeat is, and why
-any job failed.
+any job failed — plus throughput metrics (jobs/s from the completion
+timestamps, requeue rate from the attempt counters, the heartbeat-age
+distribution of live leases), available structured via
+``repro fleet status --json``.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -58,6 +62,32 @@ class SpoolStatus:
         return not self.pending and not self.active
 
 
+@dataclass(frozen=True)
+class SpoolMetrics:
+    """Throughput metrics of one spool (the ROADMAP's ``jobs/s`` ask).
+
+    Attributes
+    ----------
+    jobs_per_second:
+        Completion throughput over the span of recorded ``completed_at``
+        stamps; ``None`` until two jobs have finished at distinct times.
+    requeues:
+        Executions beyond each job's first attempt, summed over terminal
+        jobs (a successful job's ``attempts`` counts its failed tries; a
+        failed job burned its whole budget).
+    requeue_rate:
+        ``requeues`` per terminal job (``None`` with no terminal jobs).
+    heartbeat_age_seconds:
+        ``{"min", "mean", "max"}`` over live leases' heartbeat ages, or
+        ``None`` when nothing is leased (or no lease has a heartbeat yet).
+    """
+
+    jobs_per_second: Optional[float]
+    requeues: int
+    requeue_rate: Optional[float]
+    heartbeat_age_seconds: Optional[dict]
+
+
 def spool_status(spool: JobSpool, now: Optional[float] = None) -> SpoolStatus:
     """Scan ``spool`` into a :class:`SpoolStatus` snapshot."""
     now = time.time() if now is None else now
@@ -102,7 +132,96 @@ def spool_status(spool: JobSpool, now: Optional[float] = None) -> SpoolStatus:
     )
 
 
-def format_status(status: SpoolStatus) -> str:
+def spool_metrics(spool: JobSpool, status: Optional[SpoolStatus] = None) -> SpoolMetrics:
+    """Throughput metrics computed from ``spool``'s terminal records and leases."""
+    if status is None:
+        status = spool_status(spool)
+
+    completed_at = []
+    retries = 0
+    for job_id in status.done:
+        try:
+            descriptor = spool.read_job("done", job_id)
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            continue
+        stamp = descriptor.get("completed_at")
+        if stamp is not None:
+            completed_at.append(float(stamp))
+        retries += int(descriptor.get("attempts", 0))
+    for job in status.failed:
+        retries += max(job.attempts - 1, 0)
+
+    jobs_per_second = None
+    if len(completed_at) >= 2:
+        spread = max(completed_at) - min(completed_at)
+        if spread > 0:
+            jobs_per_second = (len(completed_at) - 1) / spread
+
+    terminal = len(status.done) + len(status.failed)
+    ages = [
+        lease.heartbeat_age_seconds
+        for lease in status.active
+        if lease.heartbeat_age_seconds is not None
+    ]
+    heartbeat_age = None
+    if ages:
+        heartbeat_age = {
+            "min": min(ages),
+            "mean": sum(ages) / len(ages),
+            "max": max(ages),
+        }
+    return SpoolMetrics(
+        jobs_per_second=jobs_per_second,
+        requeues=retries,
+        requeue_rate=retries / terminal if terminal else None,
+        heartbeat_age_seconds=heartbeat_age,
+    )
+
+
+def status_as_dict(status: SpoolStatus, metrics: Optional[SpoolMetrics] = None) -> dict:
+    """The JSON form behind ``repro fleet status --json``."""
+    payload = {
+        "root": status.root,
+        "lease_ttl": status.lease_ttl,
+        "max_attempts": status.max_attempts,
+        "drained": status.drained,
+        "counts": {
+            "total": status.total,
+            "pending": len(status.pending),
+            "active": len(status.active),
+            "done": len(status.done),
+            "failed": len(status.failed),
+        },
+        "pending": list(status.pending),
+        "active": [
+            {
+                "job_id": lease.job_id,
+                "worker": lease.worker,
+                "attempts": lease.attempts,
+                "lease_age_seconds": lease.lease_age_seconds,
+                "heartbeat_age_seconds": lease.heartbeat_age_seconds,
+            }
+            for lease in status.active
+        ],
+        "done": list(status.done),
+        "failed": [
+            {"job_id": job.job_id, "attempts": job.attempts, "error": job.error}
+            for job in status.failed
+        ],
+    }
+    if metrics is not None:
+        payload["metrics"] = {
+            "jobs_per_second": metrics.jobs_per_second,
+            "requeues": metrics.requeues,
+            "requeue_rate": metrics.requeue_rate,
+            "heartbeat_age_seconds": metrics.heartbeat_age_seconds,
+        }
+    # Round-trip through json to fail fast here (not in the CLI) if a field
+    # ever stops being JSON-able.
+    return json.loads(json.dumps(payload))
+
+
+def format_status(status: SpoolStatus, metrics: Optional[SpoolMetrics] = None) -> str:
     """Human-readable rendering of a spool snapshot."""
     lines = [
         f"spool: {status.root}  (lease_ttl={status.lease_ttl:g}s, "
@@ -111,6 +230,20 @@ def format_status(status: SpoolStatus) -> str:
         f"{len(status.active)} active, {len(status.done)} done, "
         f"{len(status.failed)} failed",
     ]
+    if metrics is not None:
+        parts = []
+        if metrics.jobs_per_second is not None:
+            parts.append(f"{metrics.jobs_per_second:.2f} jobs/s")
+        parts.append(f"{metrics.requeues} requeue(s)")
+        if metrics.requeue_rate is not None:
+            parts.append(f"requeue rate {metrics.requeue_rate:.2f}/job")
+        if metrics.heartbeat_age_seconds is not None:
+            ages = metrics.heartbeat_age_seconds
+            parts.append(
+                f"heartbeat age {ages['min']:.1f}/{ages['mean']:.1f}/{ages['max']:.1f}s"
+                " (min/mean/max)"
+            )
+        lines.append("rates: " + ", ".join(parts))
     for lease in status.active:
         heartbeat = (
             f"{lease.heartbeat_age_seconds:.1f}s ago"

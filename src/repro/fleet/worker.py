@@ -21,7 +21,9 @@ workers.
 
 from __future__ import annotations
 
+import cProfile
 import os
+import pstats
 import socket
 import sys
 import threading
@@ -31,10 +33,17 @@ from typing import Optional
 
 from repro.fleet.jobs import execute_job
 from repro.fleet.queue import JobSpool
+from repro.telemetry import core as telemetry
+from repro.telemetry.log import get_logger
 
 #: Heartbeats per lease TTL — frequent enough that one missed beat (a busy
 #: filesystem, a paused VM) never looks like a death.
 HEARTBEATS_PER_TTL = 4
+
+#: Hotspot lines kept per job when ``--profile`` is on.
+PROFILE_TOP_N = 25
+
+_logger = get_logger("worker")
 
 
 def default_worker_id() -> str:
@@ -62,6 +71,21 @@ class _Heartbeat(threading.Thread):
         self.join()
 
 
+def _profiled_execute(payload: dict, spool: JobSpool, profile_dir: str, worker: str, job_id: str):
+    """Run one job under cProfile; dump its top-N hotspots into ``profile_dir``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return execute_job(payload, spool)
+    finally:
+        profiler.disable()
+        os.makedirs(profile_dir, exist_ok=True)
+        path = os.path.join(profile_dir, f"profile-{worker}-{job_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            stats = pstats.Stats(profiler, stream=handle)
+            stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+
+
 def run_worker(
     spool_dir: str,
     worker_id: Optional[str] = None,
@@ -70,7 +94,8 @@ def run_worker(
     max_attempts: Optional[int] = None,
     exit_when_empty: bool = False,
     max_jobs: Optional[int] = None,
-    log=print,
+    log=None,
+    profile_dir: Optional[str] = None,
 ) -> int:
     """The worker daemon loop; returns a process exit code.
 
@@ -90,14 +115,24 @@ def run_worker(
     max_jobs:
         Optional cap on executed jobs before exiting (useful for tests and
         for recycling long-lived workers).
+    log:
+        Progress sink; ``None`` uses the ``repro.worker`` logger at INFO.
+    profile_dir:
+        When set, each job runs under :mod:`cProfile` and its top
+        :data:`PROFILE_TOP_N` cumulative hotspots land in this directory as
+        ``profile-<worker>-<job>.txt`` (the CLI points this at the telemetry
+        directory).
     """
     if poll <= 0:
         raise ValueError(f"poll must be positive, got {poll}")
+    if log is None:
+        log = _logger.info
     spool = JobSpool(spool_dir, lease_ttl=lease_ttl, max_attempts=max_attempts)
     worker = worker_id or default_worker_id()
     heartbeat_interval = spool.lease_ttl / HEARTBEATS_PER_TTL
     executed = 0
     log(f"worker {worker}: draining spool {spool.root} (lease_ttl={spool.lease_ttl}s)")
+    telemetry.event("worker.start", worker=worker, spool=spool.root)
     while True:
         job = spool.claim(worker)
         if job is None:
@@ -113,32 +148,42 @@ def run_worker(
         heartbeat = _Heartbeat(spool, job.id, heartbeat_interval)
         heartbeat.start()
         started = time.perf_counter()
-        try:
-            outcome = execute_job(job.payload, spool)
-        except Exception as error:
-            heartbeat.stop()
-            traceback.print_exc(file=sys.stderr)
-            requeued = spool.mark_failed(job.id, f"{type(error).__name__}: {error}")
-            log(
-                f"worker {worker}: job {job.id} failed "
-                f"({'requeued' if requeued else 'retry budget exhausted'}): {error}"
-            )
-        else:
-            heartbeat.stop()
-            outcome["worker"] = worker
-            outcome["elapsed_seconds"] = time.perf_counter() - started
-            if spool.mark_done(job.id, outcome):
+        with telemetry.span(
+            "worker.job", job=job.id, worker=worker, attempts=job.attempts
+        ) as job_span:
+            try:
+                if profile_dir is not None:
+                    outcome = _profiled_execute(job.payload, spool, profile_dir, worker, job.id)
+                else:
+                    outcome = execute_job(job.payload, spool)
+            except Exception as error:
+                heartbeat.stop()
+                traceback.print_exc(file=sys.stderr)
+                requeued = spool.mark_failed(job.id, f"{type(error).__name__}: {error}")
+                job_span.add(outcome="failed")
                 log(
-                    f"worker {worker}: job {job.id} done in "
-                    f"{outcome['elapsed_seconds']:.2f}s"
+                    f"worker {worker}: job {job.id} failed "
+                    f"({'requeued' if requeued else 'retry budget exhausted'}): {error}"
                 )
             else:
-                log(
-                    f"worker {worker}: job {job.id} finished after its lease "
-                    f"expired and was requeued; discarding the late result"
-                )
+                heartbeat.stop()
+                outcome["worker"] = worker
+                outcome["elapsed_seconds"] = time.perf_counter() - started
+                if spool.mark_done(job.id, outcome):
+                    job_span.add(outcome="done")
+                    log(
+                        f"worker {worker}: job {job.id} done in "
+                        f"{outcome['elapsed_seconds']:.2f}s"
+                    )
+                else:
+                    job_span.add(outcome="late")
+                    log(
+                        f"worker {worker}: job {job.id} finished after its lease "
+                        f"expired and was requeued; discarding the late result"
+                    )
         executed += 1
         if max_jobs is not None and executed >= max_jobs:
             break
     log(f"worker {worker}: exiting after {executed} job(s)")
+    telemetry.event("worker.exit", worker=worker, executed=executed)
     return 0

@@ -1,0 +1,50 @@
+"""repro.telemetry — structured tracing, metrics, and run reporting.
+
+See :mod:`repro.telemetry.core` for the tracer/metrics registry,
+:mod:`repro.telemetry.report` for the ``repro telemetry report`` merger, and
+:mod:`repro.telemetry.log` for stdlib ``logging`` wiring.
+"""
+
+from repro.telemetry.core import (
+    Telemetry,
+    activate,
+    active,
+    count,
+    deactivate,
+    default_process_id,
+    disable,
+    enable,
+    event,
+    gauge,
+    span,
+    timing,
+)
+from repro.telemetry.log import LOG_FORMAT, configure, get_logger
+from repro.telemetry.report import (
+    format_report,
+    load_events,
+    summarize_events,
+    telemetry_report,
+)
+
+__all__ = [
+    "LOG_FORMAT",
+    "Telemetry",
+    "activate",
+    "active",
+    "configure",
+    "count",
+    "deactivate",
+    "default_process_id",
+    "disable",
+    "enable",
+    "event",
+    "format_report",
+    "gauge",
+    "get_logger",
+    "load_events",
+    "span",
+    "summarize_events",
+    "telemetry_report",
+    "timing",
+]

@@ -1,0 +1,75 @@
+"""Stdlib ``logging`` wiring for the repro daemons.
+
+The fleet worker and coordinator ran completely silent (beyond bare
+``print`` calls) before PR 6; this module gives them — and any other part of
+the package — namespaced loggers under the ``repro`` root with one
+consistent format, plus the ``--log-level`` CLI wiring.
+
+The handler writes to *the current* ``sys.stdout`` (looked up per emit, not
+captured at configuration time), so daemon output composes with shells,
+``tee``, CI log capture and pytest's stream redirection alike.  Library use
+stays quiet by design: until :func:`configure` runs, the ``repro`` logger
+has no handler and emits nothing below WARNING.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, Union
+
+__all__ = ["LOG_FORMAT", "configure", "get_logger"]
+
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_ROOT = "repro"
+#: Environment fallback for the CLI's ``--log-level``.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+
+class _CurrentStdoutHandler(logging.StreamHandler):
+    """A stream handler bound to whatever ``sys.stdout`` currently is."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ assigns it
+        pass
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child for a subsystem."""
+    return logging.getLogger(_ROOT if not name else f"{_ROOT}.{name}")
+
+
+def resolve_level(level: Union[str, int, None]) -> int:
+    """A logging level from a CLI string (``--log-level``) or the environment."""
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "info")
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure(level: Union[str, int, None] = None) -> logging.Logger:
+    """Install (once) the stdout handler on the ``repro`` logger and set the level.
+
+    Idempotent: repeated calls adjust the level but never stack handlers, so
+    in-process CLI invocations (tests, notebooks) stay single-voiced.
+    """
+    logger = get_logger()
+    logger.setLevel(resolve_level(level))
+    if not any(isinstance(handler, _CurrentStdoutHandler) for handler in logger.handlers):
+        handler = _CurrentStdoutHandler()
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -26,6 +26,8 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.experiments",
+    "repro.fleet",
+    "repro.telemetry",
 ]
 
 

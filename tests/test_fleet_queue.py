@@ -206,6 +206,50 @@ class TestLeaseExpiry:
         assert spool.active_ids() == ["job-a"]
         assert spool.read_job("active", "job-a")["attempts"] == 0
 
+    def test_future_heartbeat_is_never_expired(self, tmp_path):
+        """Clock-skew regression: a lease mtime in the *future* (NTP step,
+
+        VM resume, cross-machine skew over NFS) yields a negative age.  The
+        old arithmetic compared that age against the TTL and could requeue a
+        perfectly alive worker's job; now a negative age is never an expiry.
+        """
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("alive-worker")
+        _backdate(spool, "job-a", seconds=-3600.0)  # one hour in the future
+        assert spool.requeue_expired() == []
+        assert spool.active_ids() == ["job-a"]
+        assert spool.read_job("active", "job-a")["attempts"] == 0
+
+    def test_future_heartbeat_is_reanchored_to_now(self, tmp_path):
+        """The skew guard re-anchors a future stamp to the present, so a
+
+        far-future mtime cannot mask a genuine death for the skew's
+        duration: one TTL after the re-anchor the silent lease expires.
+        """
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        _backdate(spool, "job-a", seconds=-3600.0)
+        assert spool.requeue_expired() == []
+        lease = os.path.join(spool.root, "active", "job-a.json")
+        assert os.path.getmtime(lease) == pytest.approx(time.time(), abs=5.0)
+        # After the re-anchor the ordinary expiry clock applies again.
+        _backdate(spool, "job-a", seconds=60.0)
+        assert spool.requeue_expired() == ["job-a"]
+
+    def test_caller_supplied_past_now_never_expires(self, tmp_path):
+        """An explicit ``now`` older than every heartbeat (one host's clock
+
+        lagging the fleet's) must requeue nothing rather than judging every
+        lease by a stale clock.
+        """
+        spool = JobSpool(tmp_path / "spool", lease_ttl=10.0)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        assert spool.requeue_expired(now=time.time() - 7200.0) == []
+        assert spool.active_ids() == ["job-a"]
+
     def test_stale_lease_next_to_done_record_is_discarded(self, tmp_path):
         # A crash between mark_done's write and its lease removal leaves
         # both files; the reclaim pass must clean up, not re-run.
