@@ -1,0 +1,144 @@
+"""Bit-packed flooding kernel (word-wise boolean algebra over ``uint64``).
+
+The dense kernels of :mod:`repro.engine.kernel` spend their rounds reducing
+boolean adjacency rows — one byte per entry.  Packing the same matrix into
+``uint64`` words (64 adjacency entries per word, ``np.packbits`` with
+``bitorder="little"``) turns a flooding round into a word-wise OR over the
+packed rows of the informed nodes followed by a popcount: an ``n x
+ceil(n/64)`` pass instead of an ``n x n`` one.
+
+:func:`flood_bitset` is an exact drop-in for
+:func:`~repro.engine.kernel.flood_vectorized`: the informed-set update is the
+same boolean function and the model consumes its random stream identically,
+so flooding times and histories are bit-identical.  The kernel pulls its
+packed rows through :meth:`~repro.meg.base.DynamicGraph.packed_reach_mask`,
+whose default packs the dense adjacency on the fly — correct for every model,
+but the packing itself costs about as much as one dense reach, so the engine
+only auto-selects this kernel for models that override
+:meth:`~repro.meg.base.DynamicGraph.packed_adjacency` with a cached or
+incrementally maintained bit-matrix (e.g. static snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.flooding import FloodingResult, default_max_steps
+from repro.engine.kernel import _record_flood
+from repro.meg.base import DynamicGraph
+from repro.util.rng import RNGLike
+
+__all__ = [
+    "flood_bitset",
+    "pack_bool_matrix",
+    "pack_bool_vector",
+    "packed_width",
+    "popcount",
+    "unpack_bit_vector",
+]
+
+
+def packed_width(num_bits: int) -> int:
+    """Number of ``uint64`` words needed to hold ``num_bits`` bits."""
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+    return -(-num_bits // 64)
+
+
+def pack_bool_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(r, c)`` matrix into ``(r, ceil(c/64))`` ``uint64`` words.
+
+    Bit ``j`` of row ``i`` (little-endian within each word) is ``matrix[i, j]``;
+    the padding bits beyond column ``c`` are zero.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    pad = (-matrix.shape[1]) % 64
+    if pad:
+        matrix = np.concatenate(
+            [matrix, np.zeros((matrix.shape[0], pad), dtype=bool)], axis=1
+        )
+    return np.packbits(matrix, axis=1, bitorder="little").view(np.uint64)
+
+
+def pack_bool_vector(vector: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(c,)`` vector into ``ceil(c/64)`` ``uint64`` words."""
+    vector = np.ascontiguousarray(vector, dtype=bool)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vector.shape}")
+    pad = (-vector.size) % 64
+    if pad:
+        vector = np.concatenate([vector, np.zeros(pad, dtype=bool)])
+    return np.packbits(vector, bitorder="little").view(np.uint64)
+
+
+def unpack_bit_vector(packed: np.ndarray, num_bits: int) -> np.ndarray:
+    """The first ``num_bits`` bits of a packed ``uint64`` vector, as booleans."""
+    return np.unpackbits(
+        np.ascontiguousarray(packed).view(np.uint8), count=num_bits, bitorder="little"
+    ).view(bool)
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of an unsigned integer array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on NumPy < 2
+    _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of an unsigned integer array."""
+        counts = _POPCOUNT_TABLE[np.ascontiguousarray(words).view(np.uint8)]
+        return counts.reshape(words.shape + (-1,)).sum(axis=-1, dtype=np.intp)
+
+
+def flood_bitset(
+    process: DynamicGraph,
+    source: int = 0,
+    rng: RNGLike = None,
+    max_steps: Optional[int] = None,
+    reset: bool = True,
+) -> FloodingResult:
+    """Bit-packed drop-in replacement for :func:`repro.core.flooding.flood`.
+
+    Same contract and same results as
+    :func:`~repro.engine.kernel.flood_vectorized`; the informed set lives in
+    packed ``uint64`` words and each round ORs in the model's
+    :meth:`~repro.meg.base.DynamicGraph.packed_reach_mask`, counting informed
+    nodes with a word popcount.
+    """
+    n = process.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} nodes")
+    if max_steps is None:
+        max_steps = default_max_steps(n)
+    if max_steps < 0:
+        raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+    if reset:
+        process.reset(rng)
+
+    history = [1]
+    if n == 1:
+        return FloodingResult(source, n, tuple(history), 0)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    packed_informed = np.zeros(packed_width(n), dtype=np.uint64)
+    packed_informed[source // 64] = np.uint64(1) << np.uint64(source % 64)
+    flooding_time_value: Optional[int] = None
+    for t in range(max_steps):
+        packed_informed |= process.packed_reach_mask(informed)
+        count = int(popcount(packed_informed).sum())
+        history.append(count)
+        process.step()
+        if count == n:
+            flooding_time_value = t + 1
+            break
+        informed = unpack_bit_vector(packed_informed, n)
+    _record_flood("bitset", history)
+    return FloodingResult(source, n, tuple(history), flooding_time_value)

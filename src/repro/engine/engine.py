@@ -33,12 +33,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.flooding import flood, flood_sources_set
+from repro.engine.batch import flood_trials_batch
+from repro.engine.bitset import flood_bitset
 from repro.engine.kernel import (
     flood_sources_batch,
     flood_sparse,
     flood_vectorized,
     has_fast_adjacency,
+    has_fast_packed_adjacency,
     has_fast_reach_mask,
+    has_fast_trial_batch,
 )
 from repro.engine.shard import ShardSpec, seed_token, shard_store_key
 from repro.engine.spec import BatchResult, TrialSpec
@@ -47,7 +51,7 @@ from repro.meg.base import DynamicGraph
 from repro.telemetry import core as telemetry
 from repro.util.rng import spawn_seed_sequences
 
-BACKENDS = ("auto", "set", "vectorized", "sparse")
+BACKENDS = ("auto", "set", "vectorized", "sparse", "bitset", "batch")
 EXECUTORS = ("process", "thread")
 
 # ``backend="auto"`` upgrades from the dense to the sparse kernel when the
@@ -57,7 +61,32 @@ EXECUTORS = ("process", "thread")
 SPARSE_AUTO_MIN_NODES = 1024
 SPARSE_AUTO_MAX_DENSITY = 0.05
 
-_KERNELS = {"set": flood, "vectorized": flood_vectorized, "sparse": flood_sparse}
+# ``backend="auto"`` upgrades to the bit-packed kernel for models serving a
+# cached/incremental packed adjacency once they are at least this large:
+# below it the word-wise OR and the dense row reduction are within noise of
+# each other, from here the 64-entries-per-word pass wins (measured ~1.1x at
+# 512 nodes growing to ~7x at 2048).
+BITSET_AUTO_MIN_NODES = 512
+
+# ``backend="auto"`` switches single-source batches to the realization-batch
+# kernel when the model supplies a fast trial-batch runner, the (chunk's)
+# trial count is at least this wide and the model small enough that stacked
+# per-trial state fits comfortably — the regime where per-round Python
+# dispatch, not NumPy work, dominates per-trial execution (measured ~3-4x
+# for node-MEGs up to 256 nodes).
+BATCH_AUTO_MIN_TRIALS = 32
+BATCH_AUTO_MAX_NODES = 256
+
+# Upper bound on the number of trials one batched kernel pass advances
+# (bounds the B x n informed matrix and the stacked per-trial state).
+BATCH_TRIAL_CHUNK = 1024
+
+_KERNELS = {
+    "set": flood,
+    "vectorized": flood_vectorized,
+    "sparse": flood_sparse,
+    "bitset": flood_bitset,
+}
 
 
 def estimated_snapshot_density(model: DynamicGraph) -> Optional[float]:
@@ -84,30 +113,73 @@ def estimated_snapshot_density(model: DynamicGraph) -> Optional[float]:
     return None
 
 
-def resolve_backend(backend: str, model: DynamicGraph) -> str:
-    """Concrete kernel choice (``"set"``, ``"vectorized"`` or ``"sparse"``).
+def _bitset_eligible(model: DynamicGraph) -> bool:
+    """Whether auto should consider the bit-packed kernel for ``model``.
 
-    ``"auto"`` picks the set-based loop for models without a fast adjacency
-    override, otherwise a vectorized kernel — upgraded to the sparse CSR
-    kernel when the model is large (``>= SPARSE_AUTO_MIN_NODES`` nodes) and
-    its estimated snapshot density is small (``<= SPARSE_AUTO_MAX_DENSITY``).
-    Models with a fast :meth:`~repro.meg.base.DynamicGraph.reach_mask`
-    (node-MEGs, graph mobility models) stay on the vectorized kernel at any
-    size: their state-level update already avoids the dense matrix, so the
-    CSR detour could only add work.
+    The bitset kernel only wins when the packed rows come cached or
+    incrementally maintained — packing the dense matrix per round costs about
+    one dense reach — so eligibility requires an overridden
+    :meth:`~repro.meg.base.DynamicGraph.packed_adjacency` plus enough nodes
+    for the word-wise pass to pay off.
+    """
+    return (
+        has_fast_packed_adjacency(model)
+        and model.num_nodes >= BITSET_AUTO_MIN_NODES
+    )
+
+
+def resolve_backend(
+    backend: str,
+    model: DynamicGraph,
+    num_trials: int = 1,
+    batched_sources: bool = False,
+) -> str:
+    """Concrete kernel choice for a batch of ``num_trials`` trials on ``model``.
+
+    ``"auto"`` resolves in order:
+
+    * the realization-batch kernel when the model supplies a fast
+      trial-batch runner, the batch is wide (``>= BATCH_AUTO_MIN_TRIALS``
+      single-source trials) and the model small (``<= BATCH_AUTO_MAX_NODES``
+      nodes) — the regime where per-trial dispatch dominates;
+    * the set-based loop for models without a fast adjacency override
+      (upgraded to the bitset kernel when a fast *packed* adjacency exists
+      and the model has ``>= BITSET_AUTO_MIN_NODES`` nodes — static
+      snapshots, whose packed rows are cached);
+    * otherwise a vectorized kernel — upgraded to the sparse CSR kernel when
+      the model is large (``>= SPARSE_AUTO_MIN_NODES`` nodes) and its
+      estimated snapshot density small (``<= SPARSE_AUTO_MAX_DENSITY``), or
+      to the bitset kernel when a fast packed adjacency exists.  Models with
+      a fast :meth:`~repro.meg.base.DynamicGraph.reach_mask` (node-MEGs,
+      graph mobility models) stay on the vectorized kernel at any size:
+      their state-level update already avoids the dense matrix.
+
+    An explicit ``"batch"`` is honoured for single-source trials on any model
+    (models without a fast runner run the generic, equally-exact batched
+    loop) and falls back to ``"vectorized"`` for batched-source trials,
+    which the realization-batch kernel does not cover.
     """
     if backend == "auto":
-        if not has_fast_adjacency(model):
-            return "set"
         if (
-            not has_fast_reach_mask(model)
-            and model.num_nodes >= SPARSE_AUTO_MIN_NODES
+            not batched_sources
+            and num_trials >= BATCH_AUTO_MIN_TRIALS
+            and model.num_nodes <= BATCH_AUTO_MAX_NODES
+            and has_fast_trial_batch(model)
         ):
-            density = estimated_snapshot_density(model)
-            if density is not None and density <= SPARSE_AUTO_MAX_DENSITY:
-                return "sparse"
+            return "batch"
+        if not has_fast_adjacency(model):
+            return "bitset" if _bitset_eligible(model) else "set"
+        if not has_fast_reach_mask(model):
+            if model.num_nodes >= SPARSE_AUTO_MIN_NODES:
+                density = estimated_snapshot_density(model)
+                if density is not None and density <= SPARSE_AUTO_MAX_DENSITY:
+                    return "sparse"
+            if _bitset_eligible(model):
+                return "bitset"
         return "vectorized"
-    if backend in ("set", "vectorized", "sparse"):
+    if backend == "batch":
+        return "vectorized" if batched_sources else "batch"
+    if backend in ("set", "vectorized", "sparse", "bitset"):
         return backend
     raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
 
@@ -191,6 +263,55 @@ def _run_single_trial(
     return max(times), model.num_nodes
 
 
+def _run_trial_chunk(
+    model: DynamicGraph,
+    seeds: Sequence,
+    source: int,
+    sources,
+    num_sources: Optional[int],
+    max_steps: Optional[int],
+    backend: str,
+    source_chunk: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Run a contiguous chunk of trials, batching them when the kernel allows.
+
+    The chunk is where the realization-batch kernel plugs in: the backend is
+    resolved once against the chunk's width, and a ``"batch"`` resolution
+    floods all of the chunk's seeds in lock-step (in slices of at most
+    ``BATCH_TRIAL_CHUNK``) instead of one kernel call per trial.  Every other
+    resolution falls through to the per-trial path.  Either way the trials
+    consume their per-seed streams identically, so the outcomes do not depend
+    on the chunking (or on the worker count that produced it).
+    """
+    resolved = resolve_backend(
+        backend,
+        model,
+        num_trials=len(seeds),
+        batched_sources=sources is not None or num_sources is not None,
+    )
+    if resolved != "batch":
+        return [
+            _run_single_trial(
+                model, seed, source, sources, num_sources, max_steps, resolved, source_chunk
+            )
+            for seed in seeds
+        ]
+    if telemetry.active() is not None:
+        telemetry.count("engine.backend.batch", len(seeds))
+    outcomes: list[tuple[int, int]] = []
+    for start in range(0, len(seeds), BATCH_TRIAL_CHUNK):
+        group = list(seeds[start : start + BATCH_TRIAL_CHUNK])
+        results = flood_trials_batch(model, group, source=source, max_steps=max_steps)
+        for result in results:
+            if result.flooding_time is None:
+                raise RuntimeError(
+                    f"flooding did not complete within the step limit "
+                    f"({result.final_informed}/{result.num_nodes} nodes informed)"
+                )
+            outcomes.append((result.flooding_time, result.num_nodes))
+    return outcomes
+
+
 def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict]]:
     """Worker entry point: run a contiguous chunk of trials on one model copy.
 
@@ -224,12 +345,9 @@ def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict
     if collect and (inherited is None or inherited.pid != os.getpid()):
         child = telemetry.activate(telemetry.Telemetry(directory=None))
     try:
-        outcomes = [
-            _run_single_trial(
-                model, seed, source, sources, num_sources, max_steps, backend, source_chunk
-            )
-            for seed in seeds
-        ]
+        outcomes = _run_trial_chunk(
+            model, seeds, source, sources, num_sources, max_steps, backend, source_chunk
+        )
     finally:
         if child is not None:
             telemetry.deactivate(child)
@@ -271,7 +389,11 @@ class Engine:
     workers:
         Number of worker processes (1 = run in-process, the default).
     backend:
-        ``"auto"`` (default), ``"set"`` or ``"vectorized"``.
+        ``"auto"`` (default) or one of the concrete kernels — ``"set"``,
+        ``"vectorized"``, ``"sparse"``, ``"bitset"`` or ``"batch"`` (the
+        realization-batch kernel; single-source specs only, batched-source
+        specs fall back to the vectorized kernel).  All kernels produce
+        bit-identical samples; the choice is purely about speed.
     executor:
         Pool kind used when ``workers > 1``: ``"process"`` (default, one
         OS process per worker — true CPU parallelism) or ``"thread"``
@@ -326,19 +448,16 @@ class Engine:
     ) -> list[tuple[int, int]]:
         """Run one trial per seed (serially or on the pool), in seed order."""
         if self.workers == 1 or len(seeds) == 1:
-            return [
-                _run_single_trial(
-                    model,
-                    seed,
-                    spec.source,
-                    spec.sources,
-                    spec.num_sources,
-                    spec.max_steps,
-                    self.backend,
-                    self.source_chunk,
-                )
-                for seed in seeds
-            ]
+            return _run_trial_chunk(
+                model,
+                seeds,
+                spec.source,
+                spec.sources,
+                spec.num_sources,
+                spec.max_steps,
+                self.backend,
+                self.source_chunk,
+            )
         chunks = _chunk_evenly(seeds, min(self.workers, len(seeds)))
         if self.executor == "thread":
             # Threads share one address space, but trials mutate their model

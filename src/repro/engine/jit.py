@@ -1,0 +1,77 @@
+"""Optional Numba-JIT CSR frontier expansion (pure-NumPy fallback built in).
+
+The sparse flooding kernel advances the informed vector with a CSR matvec —
+``O(m)`` work, but every round allocates a count vector and scans *all* rows.
+When :mod:`numba` is importable (the ``repro[jit]`` extra), the same update
+compiles to a tight loop that touches only the rows of informed nodes and
+writes booleans straight into a caller-owned scratch buffer.
+
+Numba is strictly optional: the package never imports it at module scope of
+any required path, and :func:`csr_reach` falls back to the exact matvec
+formulation when it is absent (or when ``REPRO_DISABLE_NUMBA`` is set in the
+environment, the escape hatch for debugging suspected JIT issues).  Both
+implementations compute the identical boolean update — for a *symmetric*
+adjacency, the union of the informed nodes' rows equals the nonzero pattern
+of ``A @ informed`` — so kernel results do not depend on whether numba is
+installed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.sparse
+
+__all__ = ["NUMBA_AVAILABLE", "csr_reach", "numba_requested"]
+
+
+def numba_requested() -> bool:
+    """Whether the environment allows using numba (the escape hatch is unset)."""
+    return not os.environ.get("REPRO_DISABLE_NUMBA")
+
+
+try:  # pragma: no cover - exercised only when numba is installed
+    if not numba_requested():
+        raise ImportError("numba disabled via REPRO_DISABLE_NUMBA")
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only when numba is installed
+
+    @numba.njit(cache=False)
+    def _expand_rows(indptr, indices, informed, out):
+        for node in range(informed.size):
+            if informed[node]:
+                for position in range(indptr[node], indptr[node + 1]):
+                    out[indices[position]] = True
+
+    def csr_reach(
+        matrix: scipy.sparse.csr_matrix, informed: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Boolean reach of ``informed`` through a symmetric CSR adjacency.
+
+        Writes into (and returns) ``out``, a boolean scratch vector of length
+        ``n`` owned by the caller; previous contents are discarded.
+        """
+        out[:] = False
+        _expand_rows(matrix.indptr, matrix.indices, informed, out)
+        return out
+
+else:
+
+    def csr_reach(
+        matrix: scipy.sparse.csr_matrix, informed: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Boolean reach of ``informed`` through a symmetric CSR adjacency.
+
+        Pure-NumPy fallback: the matvec count formulation, bit-identical to
+        the JIT row expansion for symmetric matrices.
+        """
+        np.not_equal(matrix @ informed.astype(np.intp), 0, out=out)
+        return out

@@ -27,6 +27,7 @@ import numpy as np
 import scipy.sparse
 
 from repro.core.flooding import FloodingResult, default_max_steps
+from repro.engine.jit import NUMBA_AVAILABLE, csr_reach
 from repro.meg.base import DynamicGraph
 from repro.telemetry import core as telemetry
 from repro.util.rng import RNGLike
@@ -65,6 +66,21 @@ def has_fast_sparse_adjacency(process: DynamicGraph) -> bool:
 def has_fast_reach_mask(process: DynamicGraph) -> bool:
     """Whether ``process`` overrides the generic (adjacency-row) reach mask."""
     return type(process).reach_mask is not DynamicGraph.reach_mask
+
+
+def has_fast_packed_adjacency(process: DynamicGraph) -> bool:
+    """Whether ``process`` overrides the generic (pack-per-call) bit adjacency."""
+    return type(process).packed_adjacency is not DynamicGraph.packed_adjacency
+
+
+def has_fast_reach_mask_batch(process: DynamicGraph) -> bool:
+    """Whether ``process`` overrides the generic (dense-matmul) batched reach."""
+    return type(process).reach_mask_batch is not DynamicGraph.reach_mask_batch
+
+
+def has_fast_trial_batch(process: DynamicGraph) -> bool:
+    """Whether ``process`` provides a fast batched-trial runner."""
+    return type(process).trial_batch is not DynamicGraph.trial_batch
 
 
 def _as_count_csr(matrix) -> scipy.sparse.csr_matrix:
@@ -154,15 +170,34 @@ def flood_sparse(
     informed = np.zeros(n, dtype=bool)
     informed[source] = True
     flooding_time_value: Optional[int] = None
+    # Scratch hoisted out of the round loop: the JIT path reuses one boolean
+    # reach vector, the fallback one intp count vector (the per-round
+    # ``informed.astype`` allocations used to dominate small-model rounds).
+    # The CSR conversion is memoized by the identity of the returned matrix,
+    # so models serving a cached snapshot convert once, not once per round.
+    reach_scratch = np.empty(n, dtype=bool)
+    count_scratch = None if NUMBA_AVAILABLE else np.empty(n, dtype=np.intp)
+    raw_cached = matrix = None
     for t in range(max_steps):
-        matrix = _as_count_csr(process.sparse_adjacency())
-        informed |= (matrix @ informed.astype(np.intp)) != 0
+        raw = process.sparse_adjacency()
+        if raw is not raw_cached:
+            matrix = _as_count_csr(raw)
+            raw_cached = raw
+        if NUMBA_AVAILABLE:
+            informed |= csr_reach(matrix, informed, reach_scratch)
+        else:
+            np.copyto(count_scratch, informed)
+            informed |= (matrix @ count_scratch) != 0
         count = int(informed.sum())
         history.append(count)
         process.step()
         if count == n:
             flooding_time_value = t + 1
             break
+    if NUMBA_AVAILABLE:
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("kernel.jit.csr")
     _record_flood("sparse", history)
     return FloodingResult(source, n, tuple(history), flooding_time_value)
 
@@ -254,13 +289,32 @@ def flood_sources_batch(
     # below 2**24 exactly and rides the BLAS matmul; huge graphs fall back
     # to the (slower, unbounded) intp product.
     accumulator = np.float32 if n < 2**24 else np.intp
+    # Models with a state-level batched reach skip the dense product
+    # entirely; for the rest, every per-round buffer is hoisted here (the
+    # astype allocations used to dominate small-model rounds).
+    state_batch = backend == "dense" and has_fast_reach_mask_batch(process)
+    if backend == "sparse":
+        count_buffer = np.empty((n, batch), dtype=np.intp)
+        raw_cached = matrix = None
+    elif not state_batch:
+        matrix_buffer = np.empty((n, n), dtype=accumulator)
+        informed_buffer = np.empty((n, batch), dtype=accumulator)
+        product_buffer = np.empty((n, batch), dtype=accumulator)
     for t in range(max_steps):
         if backend == "sparse":
-            matrix = _as_count_csr(process.sparse_adjacency())
-            reached = (matrix @ informed.astype(np.intp)) != 0
+            raw = process.sparse_adjacency()
+            if raw is not raw_cached:
+                matrix = _as_count_csr(raw)
+                raw_cached = raw
+            np.copyto(count_buffer, informed)
+            reached = (matrix @ count_buffer) != 0
+        elif state_batch:
+            reached = process.reach_mask_batch(informed)
         else:
-            matrix = process.adjacency_matrix().astype(accumulator)
-            reached = (matrix @ informed.astype(accumulator)) != 0
+            np.copyto(matrix_buffer, process.adjacency_matrix())
+            np.copyto(informed_buffer, informed)
+            np.matmul(matrix_buffer, informed_buffer, out=product_buffer)
+            reached = product_buffer != 0
         informed |= reached
         process.step()
         counts = informed.sum(axis=0)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 import hashlib
 import pickle
-from typing import Iterator, Set
+from typing import Iterator, Optional, Set
 
 import networkx as nx
 import numpy as np
@@ -109,6 +109,63 @@ class DynamicGraph(abc.ABC):
         never materialises the ``n x n`` matrix.
         """
         return self.adjacency_matrix()[np.asarray(informed, dtype=bool)].any(axis=0)
+
+    def packed_adjacency(self) -> np.ndarray:
+        """Bit-packed adjacency of the current snapshot (``uint64`` words).
+
+        Row ``i`` holds the ``n`` adjacency bits of node ``i`` packed
+        little-endian into ``ceil(n/64)`` words, the form consumed by the
+        bitset flooding kernel of :mod:`repro.engine.bitset`.  The generic
+        implementation packs :meth:`adjacency_matrix` on the fly, which costs
+        about one dense reach per call; models whose snapshot is fixed or
+        incrementally maintained should override it with a cached bit-matrix
+        (the engine only auto-selects the bitset kernel for models that do).
+        Callers must treat the returned array as read-only.
+        """
+        from repro.engine.bitset import pack_bool_matrix
+
+        return pack_bool_matrix(self.adjacency_matrix())
+
+    def packed_reach_mask(self, informed: np.ndarray) -> np.ndarray:
+        """Packed mask of nodes adjacent to an informed node (``uint64`` words).
+
+        The bit-packed form of :meth:`reach_mask`: a word-wise OR over the
+        packed adjacency rows of the informed nodes.  ``informed`` is the
+        *boolean* informed vector; the result is packed.  As with
+        :meth:`reach_mask`, the result may include informed nodes themselves.
+        """
+        packed = self.packed_adjacency()
+        return np.bitwise_or.reduce(packed[np.asarray(informed, dtype=bool)], axis=0)
+
+    def reach_mask_batch(self, informed: np.ndarray) -> np.ndarray:
+        """Column-wise :meth:`reach_mask` over an ``n x B`` informed matrix.
+
+        Column ``b`` of the result is ``reach_mask(informed[:, b])`` — the
+        one-round update of ``B`` floods sharing this snapshot.  The generic
+        implementation multiplies the dense adjacency (the batched kernel in
+        :mod:`repro.engine.kernel` hoists its own scratch buffers instead of
+        calling this); the state-induced families override it with a
+        state-level update that never touches the ``n x n`` matrix.
+        """
+        informed = np.asarray(informed, dtype=bool)
+        accumulator = np.float32 if self.num_nodes < 2**24 else np.intp
+        matrix = self.adjacency_matrix().astype(accumulator)
+        return (matrix @ informed.astype(accumulator)) != 0
+
+    def trial_batch(self, count: int):
+        """Optional batched-trial runner for ``count`` independent trials.
+
+        :func:`repro.engine.batch.flood_trials_batch` floods many seeds of
+        one model family in a single tensor pass when the model provides a
+        runner here — an object advancing all ``count`` realizations at once
+        while consuming each trial's random stream exactly as ``count``
+        sequential resets/steps would (so the batched results are
+        bit-identical to per-trial runs).  The default returns ``None``:
+        families without a runner are batched generically (one model copy per
+        trial), which is correct but no faster than per-trial execution.
+        """
+        del count
+        return None
 
     def sparse_adjacency(self) -> scipy.sparse.csr_matrix:
         """CSR adjacency of the current snapshot (nonzero entry = edge).
@@ -220,6 +277,7 @@ class StaticGraphProcess(DynamicGraph):
         for a, b in self._edges:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
+        self._packed_cache: Optional[np.ndarray] = None
         self._time = 0
 
     def reset(self, rng: RNGLike = None) -> None:
@@ -237,6 +295,12 @@ class StaticGraphProcess(DynamicGraph):
         for node in nodes:
             reached |= self._adjacency[node]
         return reached
+
+    def packed_adjacency(self) -> np.ndarray:
+        """Bit-packed adjacency, packed once and cached (the snapshot is fixed)."""
+        if self._packed_cache is None:
+            self._packed_cache = super().packed_adjacency()
+        return self._packed_cache
 
 
 def edges_from_adjacency_matrix(matrix: np.ndarray) -> list[tuple[int, int]]:

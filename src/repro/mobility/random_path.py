@@ -345,6 +345,36 @@ class RandomPathModel(DynamicGraph):
         connected_points = self._point_ball_matrix[points[informed]].any(axis=0)
         return connected_points[points]
 
+    def reach_mask_batch(self, informed: np.ndarray) -> np.ndarray:
+        """Point-level batched update over an ``n x B`` informed matrix.
+
+        Column for column the same booleans as :meth:`reach_mask`, computed
+        at point level: informed agents are scattered into a point-occupancy
+        table, the (symmetric) point-ball matrix marks connected points, and
+        the result is gathered back at the agents' points — ``O(nB + P^2 B)``
+        in the number of mobility-graph points ``P`` instead of ``O(n^2 B)``.
+        """
+        if self._agent_states is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        points = self._state_point_index[self._agent_states]
+        return _point_reach_batch(points, self._point_ball_matrix, informed)
+
+
+def _point_reach_batch(
+    points: np.ndarray, ball_matrix: np.ndarray, informed: np.ndarray
+) -> np.ndarray:
+    """Batched point-level reach shared by the graph mobility models."""
+    informed = np.asarray(informed, dtype=bool)
+    num_points = ball_matrix.shape[0]
+    occupied = np.zeros((num_points, informed.shape[1]), dtype=bool)
+    nodes, columns = np.nonzero(informed)
+    occupied[points[nodes], columns] = True
+    # Exact: the float32 product counts informed point-neighbours (integers
+    # well below 2**24); nonzero count = connected, as in reach_mask.
+    accumulator = np.float32 if num_points < 2**24 else np.intp
+    connected = (ball_matrix.astype(accumulator) @ occupied.astype(accumulator)) != 0
+    return connected[points, :]
+
 
 class GraphRandomWalkMobility(DynamicGraph):
     """Independent random walks over a mobility graph ``H`` (``rho = 1``).
@@ -512,6 +542,13 @@ class GraphRandomWalkMobility(DynamicGraph):
         points = self._agent_points
         connected_points = self._ball_matrix[points[informed]].any(axis=0)
         return connected_points[points]
+
+    def reach_mask_batch(self, informed: np.ndarray) -> np.ndarray:
+        """Point-level batched update over an ``n x B`` informed matrix
+        (column for column the booleans of :meth:`reach_mask`)."""
+        if self._agent_points is None:
+            raise RuntimeError("call reset() before querying the snapshot")
+        return _point_reach_batch(self._agent_points, self._ball_matrix, informed)
 
     def edge_probability(self) -> float:
         """Stationary probability that two fixed agents are connected.

@@ -19,7 +19,10 @@ import abc
 from typing import Iterator, Optional
 
 import numpy as np
-from scipy.spatial import cKDTree
+try:
+    from scipy.spatial import cKDTree
+except ImportError:  # pragma: no cover - exercised only without scipy
+    cKDTree = None
 
 from repro.meg.base import (
     DynamicGraph,
@@ -72,6 +75,10 @@ class RandomTrip(DynamicGraph):
         paper states the resolution does not affect the flooding bound as long
         as it is fine enough; the resolution-ablation benchmark verifies this
         by sweeping ``snap_resolution``.
+    neighbor_search:
+        Neighbor-search method for snapshot edges: ``"auto"`` (default,
+        k-d tree when SciPy is available), ``"kdtree"`` or ``"grid"`` (the
+        cell-list search; identical edge sets, no SciPy dependency).
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class RandomTrip(DynamicGraph):
         sampler: TrajectorySampler,
         warmup_steps: int = 0,
         snap_resolution: Optional[int] = None,
+        neighbor_search: str = "auto",
     ) -> None:
         self._num_nodes = require_node_count(num_nodes)
         self._region = SquareRegion(side)
@@ -92,7 +100,7 @@ class RandomTrip(DynamicGraph):
             raise ValueError(
                 f"snap_resolution must be >= 1 when given, got {snap_resolution}"
             )
-        self._connection = UnitDiskConnection(radius)
+        self._connection = UnitDiskConnection(radius, method=neighbor_search)
         self._sampler = sampler
         self._warmup_steps = warmup_steps
         self._snap_resolution = snap_resolution
@@ -217,11 +225,17 @@ class RandomTrip(DynamicGraph):
             self._tree_cache = cKDTree(self._positions)
         return self._tree_cache
 
+    def _cached_tree(self) -> Optional[cKDTree]:
+        """The cached snapshot tree, or ``None`` under the grid search."""
+        if self._connection.resolved_method() != "kdtree":
+            return None
+        return self.snapshot_tree()
+
     def edge_pairs(self) -> np.ndarray:
         """Current snapshot edges as an ``(m, 2)`` index array (cached)."""
         if self._pairs_cache is None:
             self._pairs_cache = self._connection.edge_pairs(
-                self._positions, tree=self.snapshot_tree()
+                self._positions, tree=self._cached_tree()
             )
         return self._pairs_cache
 
@@ -238,7 +252,7 @@ class RandomTrip(DynamicGraph):
         if not nodes:
             return set()
         return self._connection.neighbors_of_set(
-            self._positions, nodes, tree=self.snapshot_tree()
+            self._positions, nodes, tree=self._cached_tree()
         )
 
     def adjacency_matrix(self) -> np.ndarray:

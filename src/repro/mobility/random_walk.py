@@ -19,7 +19,10 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 import numpy as np
-from scipy.spatial import cKDTree
+try:
+    from scipy.spatial import cKDTree
+except ImportError:  # pragma: no cover - exercised only without scipy
+    cKDTree = None
 
 from repro.meg.base import (
     DynamicGraph,
@@ -59,6 +62,10 @@ class RandomWalkMobility(DynamicGraph):
         stationary distribution of the lazy walk, which is proportional to
         the degree of the grid point (4 in the interior, 3 on edges, 2 at
         corners); when false they are uniform over grid points.
+    neighbor_search:
+        Neighbor-search method for snapshot edges: ``"auto"`` (default,
+        k-d tree when SciPy is available), ``"kdtree"`` or ``"grid"`` (the
+        cell-list search; identical edge sets, no SciPy dependency).
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class RandomWalkMobility(DynamicGraph):
         spacing: float = 1.0,
         holding_probability: float = 0.0,
         stationary_start: bool = True,
+        neighbor_search: str = "auto",
     ) -> None:
         self._num_nodes = require_node_count(num_nodes)
         if grid_side < 2:
@@ -82,7 +90,7 @@ class RandomWalkMobility(DynamicGraph):
         self._spacing = spacing
         self._holding_probability = holding_probability
         self._stationary_start = stationary_start
-        self._connection = UnitDiskConnection(radius)
+        self._connection = UnitDiskConnection(radius, method=neighbor_search)
         self._coords: Optional[np.ndarray] = None  # shape (n, 2), integer grid coords
         self._rng: Optional[np.random.Generator] = None
         self._edges_cache: Optional[list[tuple[int, int]]] = None
@@ -218,11 +226,17 @@ class RandomWalkMobility(DynamicGraph):
             self._tree_cache = cKDTree(self._physical_positions())
         return self._tree_cache
 
+    def _cached_tree(self) -> Optional[cKDTree]:
+        """The cached snapshot tree, or ``None`` under the grid search."""
+        if self._connection.resolved_method() != "kdtree":
+            return None
+        return self.snapshot_tree()
+
     def edge_pairs(self) -> np.ndarray:
         """Current snapshot edges as an ``(m, 2)`` index array (cached)."""
         if self._pairs_cache is None:
             self._pairs_cache = self._connection.edge_pairs(
-                self._physical_positions(), tree=self.snapshot_tree()
+                self._physical_positions(), tree=self._cached_tree()
             )
         return self._pairs_cache
 
@@ -235,7 +249,7 @@ class RandomWalkMobility(DynamicGraph):
         if not nodes:
             return set()
         return self._connection.neighbors_of_set(
-            self._physical_positions(), nodes, tree=self.snapshot_tree()
+            self._physical_positions(), nodes, tree=self._cached_tree()
         )
 
     def adjacency_matrix(self) -> np.ndarray:

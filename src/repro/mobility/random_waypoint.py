@@ -91,6 +91,9 @@ class RandomWaypoint(RandomTrip):
     snap_resolution:
         Optional grid resolution of the Section-4.1 discretisation (``None``
         keeps positions continuous).
+    neighbor_search:
+        Neighbor-search method for snapshot edges: ``"auto"`` (default,
+        k-d tree when SciPy is available), ``"kdtree"`` or ``"grid"``.
     """
 
     def __init__(
@@ -103,6 +106,7 @@ class RandomWaypoint(RandomTrip):
         pause_steps: int = 0,
         warmup_steps: int | None = None,
         snap_resolution: int | None = None,
+        neighbor_search: str = "auto",
     ) -> None:
         if v_max is None:
             v_max = v_min
@@ -116,6 +120,7 @@ class RandomWaypoint(RandomTrip):
             sampler,
             warmup_steps=warmup_steps,
             snap_resolution=snap_resolution,
+            neighbor_search=neighbor_search,
         )
 
     @property
