@@ -20,8 +20,11 @@ Usage (after ``pip install -e .``)::
         --shards 6 --local-workers 2 --spool spool --results-dir merged
     repro fleet run experiment E7 --scale small --seed 3 --shards 2 \
         --local-workers 2 --spool exp-spool --results-dir merged-exp
+    repro fleet run sweep edge-meg --nodes 64,128 --trials 30 --seed 7 \
+        --shards 6 --spool spool --results-dir merged --resume
     repro worker --spool /mnt/shared/spool
     repro fleet status spool
+    repro serve --spool spool --results-dir store --port 8080
 
 The ``flood`` subcommand reports the measured flooding-time statistics next
 to the paper's bound for the chosen model, mirroring what the examples do in
@@ -50,7 +53,18 @@ entirely (:mod:`repro.fleet`): ``repro fleet run`` compiles a sweep or
 experiment into ``K`` shard jobs in a crash-safe file spool, drives local
 and/or external ``repro worker`` processes to drain it (leases, heartbeats,
 expiry requeue, bounded retries), and fans in to a merged store and report
-byte-identical to a one-shot run.  ``repro fleet status`` inspects a spool.
+byte-identical to a one-shot run.  ``--resume`` reuses a partially drained
+spool instead of demanding a fresh one.  ``repro fleet status`` inspects a
+spool.
+
+``repro serve`` exposes the same workloads over HTTP (:mod:`repro.serve`):
+POST a JSON work request and a *warm* query — one whose content-addressed
+store keys are already present in ``--results-dir`` — is answered straight
+from the store with zero simulation, while a *cold* one is compiled into
+fleet jobs on ``--spool`` for external workers to drain, pollable by
+ticket.  Every entry point above compiles requests through one seam,
+:mod:`repro.api`, so a request means the same store keys whichever door it
+comes through.
 """
 
 from __future__ import annotations
@@ -58,16 +72,25 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from typing import Optional, Sequence
 
 from repro import __version__
+from repro.api import (
+    RequestError,
+    compile_request,
+    estimator_description,
+    experiment_plan,
+    experiment_request,
+    flood_request,
+    sweep_request,
+)
 from repro.core.bounds import (
     classic_edge_meg_bound,
     corollary6_bound,
     waypoint_flooding_bound,
 )
-from repro.core.flooding import batched_flooding_time_samples, flooding_time_samples
 from repro.engine import (
     BACKENDS,
     EXECUTORS,
@@ -80,32 +103,32 @@ from repro.engine import (
 from repro.experiments.pipeline import (
     MissingRecordError,
     assemble_from_store,
-    compile_experiment,
     execute_plan,
 )
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import format_markdown, format_table
-from repro.experiments.runner import measure_flooding_sweep, sweep_as_dicts
+from repro.experiments.runner import run_sweep_specs, sweep_as_dicts
 from repro.fleet import (
     FleetError,
     JobSpool,
     assemble_experiment_report,
-    experiment_job_payloads,
     format_status,
     merge_fleet_stores,
+    request_job_payloads,
     run_fleet,
     run_worker,
     spool_metrics,
     spool_status,
     status_as_dict,
-    sweep_job_payloads,
     sweep_results_from_store,
 )
+from repro.serve import DEFAULT_MAX_QUEUE, SimulationService, create_server
 # The family factories moved to repro.sweeps (shared with the fleet worker);
 # the redundant ``as`` aliases are explicit re-exports keeping the historical
 # ``repro.cli`` names importable.
 from repro.sweeps import (
     SWEEP_FAMILIES as SWEEP_FAMILIES,
+    SWEEP_FAMILY_DEFAULTS,
     sweep_edge_meg_model as sweep_edge_meg_model,
     sweep_grid_walk_model as sweep_grid_walk_model,
     sweep_waypoint_model as sweep_waypoint_model,
@@ -305,22 +328,22 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_walk.add_argument("--seed", type=int, default=0)
 
     # Per-family model parameters, shared between `sweep` and `fleet run sweep`.
-    family_params = {
-        "edge-meg": argparse.ArgumentParser(add_help=False),
-        "waypoint": argparse.ArgumentParser(add_help=False),
-        "grid-walk": argparse.ArgumentParser(add_help=False),
+    # Flags, types and defaults are generated from SWEEP_FAMILY_DEFAULTS — the
+    # same table the request facade canonicalizes against — so the CLI can
+    # never drift from what `repro serve` and the fleet accept.
+    param_help = {
+        "q": "edge death rate",
+        "avg_degree": "expected stationary degree",
     }
-    family_params["edge-meg"].add_argument(
-        "--q", type=float, default=0.5, help="edge death rate"
-    )
-    family_params["edge-meg"].add_argument(
-        "--avg-degree", type=float, default=4.0, help="expected stationary degree"
-    )
-    family_params["waypoint"].add_argument("--side", type=float, default=6.0)
-    family_params["waypoint"].add_argument("--radius", type=float, default=1.2)
-    family_params["waypoint"].add_argument("--speed", type=float, default=1.0)
-    family_params["grid-walk"].add_argument("--grid-side", type=int, default=6)
-    family_params["grid-walk"].add_argument("--augment-k", type=int, default=1)
+    family_params = {}
+    for family, defaults in SWEEP_FAMILY_DEFAULTS.items():
+        family_parser = argparse.ArgumentParser(add_help=False)
+        for name, default in defaults.items():
+            family_parser.add_argument(
+                "--" + name.replace("_", "-"), type=type(default), default=default,
+                help=param_help.get(name),
+            )
+        family_params[family] = family_parser
     family_help = {
         "edge-meg": "edge-MEG at constant expected degree",
         "waypoint": "random waypoint over a fixed square",
@@ -445,6 +468,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spawned local workers run each job under cProfile, writing "
              "hotspots into the telemetry directory (needs --telemetry)",
     )
+    fleet_options.add_argument(
+        "--resume", action="store_true",
+        help="reuse a partially drained spool: keep completed jobs' verified "
+             "results, re-enqueue failed or missing ones — instead of "
+             "rejecting the workload's deterministic job ids as duplicates",
+    )
 
     fleet_run = fleet_sub.add_parser(
         "run", help="compile, execute and fan in one workload"
@@ -484,6 +513,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", dest="as_json", action="store_true",
         help="emit the status snapshot (including jobs/s, requeue rate and "
              "the heartbeat-age distribution) as JSON on stdout",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", parents=[observability_options],
+        help="serve simulation results over HTTP: warm requests answered "
+             "straight from the result store, cold ones enqueued as fleet "
+             "jobs and pollable by ticket",
+    )
+    serve.add_argument(
+        "--spool", required=True,
+        help="job spool cold requests are enqueued into (drain it with "
+             "`repro worker --spool DIR` on any number of machines)",
+    )
+    serve.add_argument(
+        "--results-dir", required=True,
+        help="result store warm requests are answered from (and cold "
+             "results merged into)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 = pick a free ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=DEFAULT_MAX_QUEUE, metavar="N",
+        help="maximum in-flight spool jobs before cold requests are refused "
+             f"with 429 (default {DEFAULT_MAX_QUEUE})",
+    )
+    serve.add_argument(
+        "--default-shards", type=_positive_int, default=1, metavar="K",
+        help="shard jobs a cold request compiles into when the request "
+             "carries no 'shards' hint (default 1)",
+    )
+    serve.add_argument(
+        "--job-workers", type=_positive_int, default=1, metavar="N",
+        help="engine worker processes each fleet job runs with",
+    )
+    serve.add_argument(
+        "--job-backend", choices=BACKENDS, default="auto",
+        help="flooding kernel each fleet job runs with",
     )
 
     telemetry_cmd = subparsers.add_parser(
@@ -575,7 +644,9 @@ def _run_experiment_pipeline(args: argparse.Namespace) -> int:
         )
         return 2
     engine = _build_engine(args)
-    plan = compile_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    plan = experiment_plan(
+        experiment_request(args.experiment_id, scale=args.scale, seed=args.seed)
+    )
 
     if args.merge is not None:
         store = engine.store
@@ -644,19 +715,49 @@ def _run_experiment_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_flood(args: argparse.Namespace) -> int:
+def _flood_params(args: argparse.Namespace) -> dict:
+    """The chosen flood model's parameters as a request params mapping."""
     if args.model == "edge-meg":
-        from repro.meg.edge_meg import EdgeMEG
+        return {"nodes": args.nodes, "p": args.p, "q": args.q}
+    if args.model == "waypoint":
+        return {
+            "nodes": args.nodes, "side": args.side, "radius": args.radius,
+            "speed": args.speed,
+        }
+    return {
+        "nodes": args.nodes, "grid_side": args.grid_side,
+        "augment_k": args.augment_k,
+    }
 
-        model = EdgeMEG(args.nodes, p=args.p, q=args.q)
+
+def _source_options(args: argparse.Namespace) -> tuple[Optional[str], Optional[int]]:
+    """The (sources, num_sources) pair of the shared estimator flags."""
+    if args.all_sources:
+        return "all", None
+    if args.source_sample is not None:
+        return None, args.source_sample
+    return None, None
+
+
+def _run_flood(args: argparse.Namespace) -> int:
+    sources, num_sources = _source_options(args)
+    try:
+        plan = compile_request(
+            flood_request(
+                args.model, args.trials, seed=args.seed, sources=sources,
+                num_sources=num_sources, params=_flood_params(args),
+            )
+        )
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spec = plan.jobs[0].spec
+    model = spec.args[0]
+
+    if args.model == "edge-meg":
         bound = classic_edge_meg_bound(args.nodes, args.p, args.q)
         description = f"edge-MEG(n={args.nodes}, p={args.p}, q={args.q})"
     elif args.model == "waypoint":
-        from repro.mobility.random_waypoint import RandomWaypoint
-
-        model = RandomWaypoint(
-            args.nodes, side=args.side, radius=args.radius, v_min=args.speed
-        )
         bound = waypoint_flooding_bound(args.nodes, args.side, args.radius, args.speed)
         description = (
             f"random waypoint(n={args.nodes}, L={args.side}, r={args.radius}, v={args.speed})"
@@ -665,10 +766,8 @@ def _run_flood(args: argparse.Namespace) -> int:
         from repro.graphs.grid import augmented_grid_graph
         from repro.graphs.properties import degree_regularity
         from repro.markov.mixing import mixing_time
-        from repro.mobility.random_path import GraphRandomWalkMobility
 
         graph = augmented_grid_graph(args.grid_side, args.augment_k)
-        model = GraphRandomWalkMobility(args.nodes, graph, holding_probability=0.5)
         bound = corollary6_bound(
             args.nodes,
             mixing_time(model.to_markov_chain()),
@@ -680,24 +779,8 @@ def _run_flood(args: argparse.Namespace) -> int:
         )
 
     engine = _build_engine(args)
-    if args.all_sources or args.source_sample is not None:
-        estimator = (
-            "worst case over all sources"
-            if args.all_sources
-            else f"worst case over {args.source_sample} sampled sources"
-        )
-        samples = batched_flooding_time_samples(
-            model,
-            num_trials=args.trials,
-            sources="all" if args.all_sources else args.source_sample,
-            rng=args.seed,
-            engine=engine,
-        )
-    else:
-        estimator = "single source"
-        samples = flooding_time_samples(
-            model, num_trials=args.trials, rng=args.seed, engine=engine
-        )
+    estimator = estimator_description(sources, num_sources)
+    samples = list(engine.run(spec).flooding_times)
     summary = summarize(samples)
     print(f"model:  {description}")
     print(f"engine: workers={engine.workers}, backend={engine.backend}"
@@ -728,11 +811,7 @@ def _run_flood(args: argparse.Namespace) -> int:
 
 def _sweep_factory_kwargs(args: argparse.Namespace) -> dict:
     """The chosen family's fixed parameters, as passed to its factory."""
-    if args.family == "edge-meg":
-        return {"q": args.q, "avg_degree": args.avg_degree}
-    if args.family == "waypoint":
-        return {"side": args.side, "radius": args.radius, "speed": args.speed}
-    return {"grid_side": args.grid_side, "augment_k": args.augment_k}
+    return {name: getattr(args, name) for name in SWEEP_FAMILY_DEFAULTS[args.family]}
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -745,25 +824,20 @@ def _run_sweep(args: argparse.Namespace) -> int:
         return 2
     engine = _build_engine(args)
     factory_kwargs = _sweep_factory_kwargs(args)
-    if args.all_sources:
-        sources, num_sources = "all", None
-        estimator = "worst case over all sources"
-    elif args.source_sample is not None:
-        sources, num_sources = None, args.source_sample
-        estimator = f"worst case over {args.source_sample} sampled sources"
-    else:
-        sources, num_sources = None, None
-        estimator = "single source"
-    measurements = measure_flooding_sweep(
-        SWEEP_FAMILIES[args.family],
-        args.nodes,
-        num_trials=args.trials,
-        sources=sources,
-        num_sources=num_sources,
-        rng=args.seed,
-        engine=engine,
-        shard=args.shard,
-        factory_kwargs=factory_kwargs,
+    sources, num_sources = _source_options(args)
+    estimator = estimator_description(sources, num_sources)
+    try:
+        plan = compile_request(
+            sweep_request(
+                args.family, args.nodes, args.trials, seed=args.seed,
+                sources=sources, num_sources=num_sources, params=factory_kwargs,
+            )
+        )
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    measurements = run_sweep_specs(
+        [job.spec for job in plan.jobs], engine=engine, shard=args.shard
     )
     shard_note = f", shard {args.shard[0]}/{args.shard[1]}" if args.shard else ""
     print(f"sweep:  {args.family} over n = {args.nodes}{shard_note}")
@@ -841,31 +915,22 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.workload == "sweep":
-            if args.all_sources:
-                sources, num_sources = "all", None
-            elif args.source_sample is not None:
-                sources, num_sources = None, args.source_sample
-            else:
-                sources, num_sources = None, None
-            payloads = sweep_job_payloads(
+            request = sweep_request(
                 args.family,
                 args.nodes,
                 args.trials,
-                args.seed,
-                args.shards,
-                sources=sources,
-                num_sources=num_sources,
-                factory_kwargs=_sweep_factory_kwargs(args),
-                engine=_fleet_engine_config(args),
+                seed=args.seed,
+                sources=_source_options(args)[0],
+                num_sources=_source_options(args)[1],
+                params=_sweep_factory_kwargs(args),
             )
         else:
-            payloads = experiment_job_payloads(
-                args.experiment_id,
-                args.scale,
-                args.seed,
-                args.shards,
-                engine=_fleet_engine_config(args),
+            request = experiment_request(
+                args.experiment_id, scale=args.scale, seed=args.seed
             )
+        payloads = request_job_payloads(
+            request, args.shards, engine=_fleet_engine_config(args)
+        )
         telemetry_dir = _telemetry_dir(args)
         if args.profile and not telemetry_dir:
             print(
@@ -884,6 +949,7 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
             telemetry_dir=telemetry_dir,
             profile=args.profile,
             log_level=getattr(args, "log_level", None),
+            resume=args.resume,
         )
     except (FleetError, ValueError) as error:
         print(f"fleet run failed: {error}", file=sys.stderr)
@@ -916,12 +982,7 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
 
     if args.workload == "sweep":
         measurements = sweep_results_from_store(payloads[0], destination)
-        if args.all_sources:
-            estimator = "worst case over all sources"
-        elif args.source_sample is not None:
-            estimator = f"worst case over {args.source_sample} sampled sources"
-        else:
-            estimator = "single source"
+        estimator = estimator_description(*_source_options(args))
         print(f"sweep:  {args.family} over n = {args.nodes}  ({args.shards} fleet shards)")
         print(f"estimator: {estimator} per realization")
         for measurement in measurements:
@@ -966,6 +1027,45 @@ def _run_fleet_status(args: argparse.Namespace) -> int:
         print(json.dumps(status_as_dict(status, metrics), indent=2, sort_keys=True))
     else:
         print(format_status(status, metrics))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    store = ResultStore.at(args.results_dir)
+    spool = JobSpool(args.spool)
+    service = SimulationService(
+        store,
+        spool,
+        max_queue=args.max_queue,
+        default_shards=args.default_shards,
+        engine_config={"workers": args.job_workers, "backend": args.job_backend},
+    )
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port}", flush=True)
+    print(f"repro serve: store {store.path}  spool {spool.root}", flush=True)
+    print(
+        "repro serve: POST /v1/requests  GET /v1/requests/<ticket>  GET /v1/status",
+        flush=True,
+    )
+
+    def _graceful_shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    # Background launches (`repro serve ... &` in scripts and CI steps)
+    # inherit SIGINT as ignored; re-arm both stop signals so the server
+    # always exits through the finally (socket close, telemetry flush).
+    try:
+        signal.signal(signal.SIGINT, _graceful_shutdown)
+        signal.signal(signal.SIGTERM, _graceful_shutdown)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 
@@ -1017,6 +1117,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         if args.fleet_command == "run":
             return _run_fleet_run(args)
         return _run_fleet_status(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "telemetry":
         return _run_telemetry_report(args)
     parser.error(f"unknown command {args.command!r}")

@@ -93,6 +93,61 @@ def sweep_trial_specs(
     ]
 
 
+def run_sweep_specs(
+    specs: Sequence[TrialSpec],
+    engine: Optional[Engine] = None,
+    shard: Optional[tuple[int, int]] = None,
+) -> list[SweepMeasurement]:
+    """Execute already-built sweep specs (or one shard of each) in order.
+
+    The execution half of :func:`measure_flooding_sweep`, split out so
+    callers that compile specs elsewhere — the :mod:`repro.api` request
+    facade, and the CLI routing through it — share the exact measurement
+    loop (identical engine calls, identical summaries) instead of a copy.
+    """
+    if engine is None:
+        engine = Engine()
+    shard_pair = None if shard is None else (int(shard[0]), int(shard[1]))
+    measurements = []
+    for spec in specs:
+        if shard_pair is None:
+            batch = engine.run(spec)
+        else:
+            batch = engine.run_shard(ShardSpec(spec, *shard_pair))
+        samples = list(batch.flooding_times)
+        measurements.append(
+            SweepMeasurement(
+                parameter=spec.args[0],
+                num_nodes=batch.num_nodes,
+                summary=summarize(samples),
+                whp_value=whp_quantile(samples, batch.num_nodes),
+                samples=tuple(samples),
+                from_cache=batch.from_cache,
+            )
+        )
+    return measurements
+
+
+def measurement_from_record(spec: TrialSpec, record: dict) -> SweepMeasurement:
+    """A sweep point's measurement rebuilt from its stored batch record.
+
+    ``from_cache=True``: the samples come from a result store, not
+    execution.  The fleet fan-in and the ``repro serve`` warm path both
+    assemble through this, so store-backed measurements are identical to
+    live ones field by field.
+    """
+    samples = [int(time) for time in record["flooding_times"]]
+    num_nodes = int(record["num_nodes"])
+    return SweepMeasurement(
+        parameter=spec.args[0],
+        num_nodes=num_nodes,
+        summary=summarize(samples),
+        whp_value=whp_quantile(samples, num_nodes),
+        samples=tuple(samples),
+        from_cache=True,
+    )
+
+
 def measure_flooding_sweep(
     model_factory: Callable[[object], DynamicGraph],
     parameter_values: Sequence,
@@ -153,7 +208,7 @@ def measure_flooding_sweep(
         plain module-level function — picklable, with a stable cache token).
     """
     if shard is not None:
-        shard_index, shard_count = (int(shard[0]), int(shard[1]))
+        shard_count = int(shard[1])
         if shard_count > num_trials:
             raise ValueError(
                 f"shard count ({shard_count}) exceeds num_trials ({num_trials}): "
@@ -172,24 +227,7 @@ def measure_flooding_sweep(
         max_steps=max_steps,
         factory_kwargs=factory_kwargs,
     )
-    measurements = []
-    for spec in specs:
-        if shard is None:
-            batch = engine.run(spec)
-        else:
-            batch = engine.run_shard(ShardSpec(spec, shard_index, shard_count))
-        samples = list(batch.flooding_times)
-        measurements.append(
-            SweepMeasurement(
-                parameter=spec.args[0],
-                num_nodes=batch.num_nodes,
-                summary=summarize(samples),
-                whp_value=whp_quantile(samples, batch.num_nodes),
-                samples=tuple(samples),
-                from_cache=batch.from_cache,
-            )
-        )
-    return measurements
+    return run_sweep_specs(specs, engine=engine, shard=shard)
 
 
 def sweep_as_dicts(measurements: Iterable[SweepMeasurement]) -> list[dict]:

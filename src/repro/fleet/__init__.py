@@ -35,11 +35,16 @@ from repro.fleet.coordinator import (
     sweep_results_from_store,
 )
 from repro.fleet.jobs import (
+    DEFAULT_PRIORITY,
     JOB_KINDS,
+    PRIORITIES,
     engine_from_config,
     execute_job,
     expected_store_keys,
     experiment_job_payloads,
+    job_expected_keys,
+    request_from_payload,
+    request_job_payloads,
     sweep_job_payloads,
 )
 from repro.fleet.queue import (
@@ -53,6 +58,7 @@ from repro.fleet.status import (
     SpoolStatus,
     format_status,
     spool_metrics,
+    spool_snapshot,
     spool_status,
     status_as_dict,
 )
@@ -61,11 +67,13 @@ from repro.fleet.worker import default_worker_id, run_worker
 __all__ = [
     "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_PRIORITY",
     "FleetError",
     "FleetOutcome",
     "JOB_KINDS",
     "Job",
     "JobSpool",
+    "PRIORITIES",
     "SpoolMetrics",
     "SpoolStatus",
     "assemble_experiment_report",
@@ -75,12 +83,17 @@ __all__ = [
     "expected_store_keys",
     "experiment_job_payloads",
     "format_status",
+    "job_expected_keys",
     "merge_fleet_stores",
+    "request_from_payload",
+    "request_job_payloads",
     "run_fleet",
     "run_worker",
     "spawn_local_worker",
     "spool_metrics",
+    "spool_snapshot",
     "spool_status",
     "status_as_dict",
     "sweep_job_payloads",
+    "sweep_results_from_store",
 ]

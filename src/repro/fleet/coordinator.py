@@ -32,15 +32,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.engine import MergeReport, ResultStore, batch_store_key
-from repro.experiments.pipeline import assemble_from_store, compile_experiment
+from repro.api import compile_request, experiment_plan
+from repro.engine import MergeReport, ResultStore
+from repro.experiments.pipeline import assemble_from_store
 from repro.experiments.report import ExperimentReport
-from repro.experiments.runner import SweepMeasurement
-from repro.fleet.jobs import _sweep_specs, expected_store_keys
+from repro.experiments.runner import SweepMeasurement, measurement_from_record
+from repro.fleet.jobs import (
+    expected_store_keys,
+    job_expected_keys,
+    request_from_payload,
+)
 from repro.fleet.queue import JobSpool
 from repro.telemetry import core as telemetry
 from repro.telemetry.log import get_logger
-from repro.util.stats import summarize, whp_quantile
 
 _logger = get_logger("fleet")
 
@@ -113,6 +117,54 @@ def spawn_local_worker(
     return subprocess.Popen(command, env=env)
 
 
+def _job_store_complete(spool: JobSpool, payload: dict) -> bool:
+    """Whether a done job's own store really holds every record it owes."""
+    store_dir = spool.resolve(payload["store"])
+    if not os.path.isdir(store_dir):
+        return False
+    store = ResultStore(store_dir)
+    return all(key in store for key in job_expected_keys(payload))
+
+
+def _enqueue_payloads(
+    spool: JobSpool, payloads: Sequence[dict], resume: bool, log
+) -> None:
+    """Enqueue a workload, reusing a partially drained spool when resuming.
+
+    Without ``resume`` the spool must be fresh for this workload — a
+    duplicate deterministic id is an error.  With it, each job's current
+    state decides: ``done/`` jobs whose stores hold their expected shard
+    records are kept as-is (their results merge in at fan-in), pending and
+    active jobs are left for the workers already draining them, and failed
+    — or done-but-incomplete — jobs are resurrected with a fresh retry
+    budget.  Only genuinely missing jobs are enqueued.
+    """
+    with telemetry.span("fleet.enqueue", jobs=len(payloads), resume=resume):
+        spool.write_config()
+        if not resume:
+            for payload in payloads:
+                spool.enqueue(payload)
+            log(f"fleet: enqueued {len(payloads)} job(s) into {spool.root}")
+            return
+        enqueued = reused = resurrected = 0
+        for payload in payloads:
+            state = spool.state_of(payload["id"])
+            if state == "done" and _job_store_complete(spool, payload):
+                reused += 1
+            elif state in ("done", "failed"):
+                spool.resurrect(payload["id"], state)
+                resurrected += 1
+            elif state in ("jobs", "active"):
+                reused += 1
+            else:
+                spool.enqueue(payload)
+                enqueued += 1
+        log(
+            f"fleet: resumed {spool.root} — {reused} job(s) reused, "
+            f"{resurrected} resurrected, {enqueued} enqueued"
+        )
+
+
 def run_fleet(
     spool: JobSpool,
     payloads: Sequence[dict],
@@ -123,6 +175,7 @@ def run_fleet(
     telemetry_dir: Optional[str] = None,
     profile: bool = False,
     log_level: Optional[str] = None,
+    resume: bool = False,
 ) -> FleetOutcome:
     """Enqueue ``payloads``, drive the spool until drained, report the outcome.
 
@@ -146,6 +199,11 @@ def run_fleet(
     telemetry_dir / profile / log_level:
         Observability settings forwarded to every spawned local worker (see
         :func:`spawn_local_worker`).
+    resume:
+        Reuse a partially drained spool: completed jobs (with verified
+        stores) keep their results, failed or incomplete ones are
+        re-enqueued, and only missing jobs are added — instead of rejecting
+        the workload's deterministic ids as duplicates.
     """
     if local_workers < 0:
         raise ValueError(f"local_workers must be >= 0, got {local_workers}")
@@ -161,11 +219,7 @@ def run_fleet(
             log_level=log_level,
         )
 
-    with telemetry.span("fleet.enqueue", jobs=len(payloads)):
-        spool.write_config()
-        for payload in payloads:
-            spool.enqueue(payload)
-    log(f"fleet: enqueued {len(payloads)} job(s) into {spool.root}")
+    _enqueue_payloads(spool, payloads, resume, log)
 
     started = time.perf_counter()
     requeued: list[str] = []
@@ -254,33 +308,21 @@ def sweep_results_from_store(payload: dict, store: ResultStore) -> list[SweepMea
     execution), so the CLI renders and serialises fleet and non-fleet sweeps
     through one code path.
     """
+    plan = compile_request(request_from_payload(payload))
     results = []
-    for spec in _sweep_specs(payload):
-        record = store.get(batch_store_key(spec))
+    for job in plan.jobs:
+        record = store.get(job.store_key())
         if record is None:
             raise FleetError(
-                f"store {store.path} holds no record for {spec.label} "
+                f"store {store.path} holds no record for {job.spec.label} "
                 f"(was the fan-in merge run?)"
             )
-        samples = [int(t) for t in record["flooding_times"]]
-        num_nodes = int(record["num_nodes"])
-        results.append(
-            SweepMeasurement(
-                parameter=spec.args[0],
-                num_nodes=num_nodes,
-                summary=summarize(samples),
-                whp_value=whp_quantile(samples, num_nodes),
-                samples=tuple(samples),
-                from_cache=True,
-            )
-        )
+        results.append(measurement_from_record(job.spec, record))
     return results
 
 
 def assemble_experiment_report(payload: dict, store: ResultStore) -> ExperimentReport:
     """The experiment report of a fleet workload, purely from store records."""
-    with telemetry.span("fleet.assemble", experiment=payload["experiment_id"]):
-        plan = compile_experiment(
-            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
-        )
-        return assemble_from_store(plan, store)
+    request = request_from_payload(payload)
+    with telemetry.span("fleet.assemble", experiment=request.experiment_id):
+        return assemble_from_store(experiment_plan(request), store)

@@ -1,25 +1,32 @@
-"""Fleet job descriptors: serializable shards of sweep/experiment workloads.
+"""Fleet job descriptors: serializable shards of compiled work requests.
 
-A fleet job is one shard of a workload, described entirely by JSON-able
-values — workload kind, family or experiment id, the workload's parameters
-and integer seed, shard coordinates ``i/K``, an engine configuration and a
-spool-relative result-store path.  Any worker that reads the descriptor
-reconstructs exactly the :class:`~repro.engine.TrialSpec` batch (and
-therefore exactly the per-trial ``SeedSequence`` children and store keys)
-the equivalent local run would use:
+A fleet job is one shard of a workload.  Since the :mod:`repro.api`
+redesign, the workload itself travels as an embedded, schema-versioned
+:class:`~repro.api.WorkRequest` payload — the same JSON the ``repro
+serve`` boundary accepts — and every executor recompiles it through
+:func:`repro.api.compile_request`, the single spec-construction seam.  Any
+worker that reads a descriptor therefore reconstructs exactly the
+:class:`~repro.engine.TrialSpec` batch (and exactly the per-trial
+``SeedSequence`` children and store keys) the equivalent local run would
+use:
 
-* sweep jobs go through :func:`repro.experiments.runner.sweep_trial_specs`
-  — the same constructor the ``repro sweep`` CLI path uses — and execute
-  shard ``i/K`` of every sweep point via :meth:`Engine.run_shard
+* ``shard_mode == "trials"`` (sweeps, floods): shard ``i/K`` runs trials
+  ``i, i+K, ...`` of *every* compiled job via :meth:`Engine.run_shard
   <repro.engine.engine.Engine.run_shard>`;
-* experiment jobs go through :func:`repro.experiments.pipeline
-  .compile_experiment` / :func:`~repro.experiments.pipeline.execute_plan`
-  with ``shard=(i, K)``, persisting full batch records.
+* ``shard_mode == "jobs"`` (experiments): shard ``i/K`` runs whole jobs
+  ``i, i+K, ...`` of the plan, persisting full batch records.
 
-Job ids are deterministic: a short digest of the workload token plus the
-shard coordinates.  Re-enqueueing the same workload into the same spool is
-therefore detected (and rejected) by the spool instead of silently doubling
-the work, and per-job store directories (``stores/<id>/``) never collide.
+Job ids are deterministic — a priority prefix, the workload kind, a short
+digest of the canonical request and the shard coordinates — so
+re-enqueueing the same workload into the same spool is detected (and
+rejected) by the spool instead of silently doubling the work, per-job
+store directories (``stores/<id>/``) never collide, and the spool's
+sorted-id claim order doubles as a priority queue: ``p0-…`` (interactive)
+jobs are always claimed before ``p1-…`` (normal) before ``p2-…`` (batch).
+
+Legacy descriptors (flat top-level ``family``/``nodes``/… fields, written
+by pre-API spools) still execute: :func:`request_from_payload` lifts them
+into a :class:`~repro.api.WorkRequest` on the fly.
 """
 
 from __future__ import annotations
@@ -28,15 +35,30 @@ import hashlib
 import json
 from typing import Optional, Sequence
 
-from repro.engine import Engine, ResultStore, ShardSpec, batch_store_key
+from repro.api import (
+    WorkRequest,
+    compile_request,
+    experiment_request,
+    sweep_request,
+)
+from repro.engine import (
+    Engine,
+    ResultStore,
+    ShardSpec,
+    batch_store_key,
+    shard_store_key,
+)
 from repro.engine.store import jsonify
-from repro.experiments.pipeline import compile_experiment, execute_plan, plan_store_keys
-from repro.experiments.runner import sweep_trial_specs
 from repro.fleet.queue import JobSpool
-from repro.sweeps import resolve_family
 from repro.telemetry import core as telemetry
 
-JOB_KINDS = ("sweep", "experiment")
+JOB_KINDS = ("sweep", "experiment", "flood")
+
+#: Claim-priority classes, best first.  The prefix orders the spool's
+#: sorted-id claim scan, so priorities need no queue machinery at all.
+PRIORITIES = ("interactive", "normal", "batch")
+DEFAULT_PRIORITY = "normal"
+_PRIORITY_PREFIX = {"interactive": "p0", "normal": "p1", "batch": "p2"}
 
 
 def _engine_config(engine: Optional[dict]) -> dict:
@@ -66,18 +88,58 @@ def _workload_digest(token: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
 
 
-def _shard_payloads(kind: str, token: dict, shards: int, engine: Optional[dict]) -> list[dict]:
+def request_from_payload(payload: dict) -> WorkRequest:
+    """The work request a job descriptor carries (legacy flat form included)."""
+    if "request" in payload:
+        return WorkRequest.from_dict(payload["request"])
+    kind = payload.get("kind")
+    if kind == "sweep":
+        return sweep_request(
+            family=payload.get("family"),
+            nodes=payload.get("nodes") or (),
+            trials=payload.get("trials", 0),
+            seed=payload.get("seed", 0),
+            sources=payload.get("sources"),
+            num_sources=payload.get("num_sources"),
+            params=payload.get("factory_kwargs"),
+        )
+    if kind == "experiment":
+        return experiment_request(
+            payload.get("experiment_id"),
+            scale=payload.get("scale", "small"),
+            seed=payload.get("seed", 0),
+        )
+    raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
+
+
+def request_job_payloads(
+    request: WorkRequest,
+    shards: int,
+    engine: Optional[dict] = None,
+    priority: str = DEFAULT_PRIORITY,
+) -> list[dict]:
+    """The ``K`` job descriptors of a compiled request sharded ``K`` ways."""
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
-    digest = _workload_digest(token)
+    if priority not in PRIORITIES:
+        raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
+    plan = compile_request(request)  # validates before anything is spooled
+    if plan.shard_mode == "trials" and shards > request.trials:
+        raise ValueError(
+            f"shards ({shards}) exceeds trials ({request.trials}): "
+            f"some shards would be empty"
+        )
+    digest = _workload_digest(request.as_dict())
+    prefix = _PRIORITY_PREFIX[priority]
     payloads = []
     for index in range(shards):
-        job_id = f"{kind}-{digest}-{index:03d}of{shards:03d}"
+        job_id = f"{prefix}-{request.kind}-{digest}-{index:03d}of{shards:03d}"
         payloads.append(
             {
                 "id": job_id,
-                "kind": kind,
-                **token,
+                "kind": request.kind,
+                "priority": priority,
+                "request": request.as_dict(),
                 "shard": [index, shards],
                 "engine": _engine_config(engine),
                 "store": f"stores/{job_id}",
@@ -96,27 +158,19 @@ def sweep_job_payloads(
     num_sources: Optional[int] = None,
     factory_kwargs: Optional[dict] = None,
     engine: Optional[dict] = None,
+    priority: str = DEFAULT_PRIORITY,
 ) -> list[dict]:
     """The ``K`` job descriptors of a sweep workload sharded ``K`` ways."""
-    resolve_family(family)  # fail on a typo at compile time, not on a worker
-    if sources is not None and sources != "all":
-        raise ValueError(f"sweep job sources must be 'all' or None, got {sources!r}")
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    if shards > trials:
-        raise ValueError(
-            f"shards ({shards}) exceeds trials ({trials}): some shards would be empty"
-        )
-    token = {
-        "family": family,
-        "nodes": [int(n) for n in nodes],
-        "trials": int(trials),
-        "seed": int(seed),
-        "sources": sources,
-        "num_sources": None if num_sources is None else int(num_sources),
-        "factory_kwargs": dict(factory_kwargs or {}),
-    }
-    return _shard_payloads("sweep", token, shards, engine)
+    request = sweep_request(
+        family=family,
+        nodes=nodes,
+        trials=trials,
+        seed=seed,
+        sources=sources,
+        num_sources=num_sources,
+        params=factory_kwargs,
+    )
+    return request_job_payloads(request, shards, engine=engine, priority=priority)
 
 
 def experiment_job_payloads(
@@ -125,24 +179,11 @@ def experiment_job_payloads(
     seed: int,
     shards: int,
     engine: Optional[dict] = None,
+    priority: str = DEFAULT_PRIORITY,
 ) -> list[dict]:
     """The ``K`` job descriptors of an experiment workload sharded ``K`` ways."""
-    compile_experiment(experiment_id, scale=scale, seed=seed)  # validate early
-    token = {"experiment_id": experiment_id, "scale": scale, "seed": int(seed)}
-    return _shard_payloads("experiment", token, shards, engine)
-
-
-def _sweep_specs(payload: dict):
-    """The sweep's full (unsharded) spec batch, rebuilt from a descriptor."""
-    return sweep_trial_specs(
-        resolve_family(payload["family"]),
-        payload["nodes"],
-        payload["trials"],
-        sources=payload.get("sources"),
-        num_sources=payload.get("num_sources"),
-        rng=payload["seed"],
-        factory_kwargs=payload.get("factory_kwargs") or None,
-    )
+    request = experiment_request(experiment_id, scale=scale, seed=seed)
+    return request_job_payloads(request, shards, engine=engine, priority=priority)
 
 
 def expected_store_keys(payload: dict) -> list[str]:
@@ -152,49 +193,57 @@ def expected_store_keys(payload: dict) -> list[str]:
     present means every shard group assembled; a missing key names exactly
     which workload slice never completed.
     """
-    if payload["kind"] == "sweep":
-        return [batch_store_key(spec) for spec in _sweep_specs(payload)]
-    if payload["kind"] == "experiment":
-        plan = compile_experiment(
-            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
-        )
-        return plan_store_keys(plan)
-    raise ValueError(f"unknown job kind {payload['kind']!r}")
+    return compile_request(request_from_payload(payload)).store_keys
+
+
+def job_expected_keys(payload: dict) -> list[str]:
+    """The store keys *this one shard job's own store* holds when complete.
+
+    Unlike :func:`expected_store_keys` (the post-merge parent keys), these
+    are the per-shard record keys — what ``fleet run --resume`` verifies
+    before trusting a ``done/`` job from an earlier, interrupted run.
+    """
+    plan = compile_request(request_from_payload(payload))
+    index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
+    if plan.shard_mode == "trials":
+        return [
+            shard_store_key(batch_store_key(job.spec), index, count)
+            for job in plan.jobs
+        ]
+    return [job.store_key() for job in plan.jobs[index::count]]
 
 
 def execute_job(payload: dict, spool: JobSpool) -> dict:
     """Run one claimed job into its own result store; returns outcome stats.
 
-    This is the worker's execution hook.  Everything routes through the
-    existing shard paths — :meth:`Engine.run_shard
-    <repro.engine.engine.Engine.run_shard>` for sweeps,
-    :func:`~repro.experiments.pipeline.execute_plan` with ``shard=(i, K)``
-    for experiments — so a fleet-executed shard's store records are
+    This is the worker's execution hook.  The descriptor's request compiles
+    through :func:`repro.api.compile_request` and everything routes through
+    the engine's existing shard paths — :meth:`Engine.run_shard
+    <repro.engine.engine.Engine.run_shard>` for trial-sharded workloads,
+    :meth:`Engine.run <repro.engine.engine.Engine.run>` over the job stride
+    for job-sharded ones — so a fleet-executed shard's store records are
     byte-identical to the records the CLI's ``--shard i/K`` path writes.
     """
     kind = payload.get("kind")
     if kind not in JOB_KINDS:
         raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
     with telemetry.span("job.execute", job=payload.get("id"), kind=kind):
+        plan = compile_request(request_from_payload(payload))
         store = ResultStore(spool.resolve(payload["store"]))
         store.touch()
         engine = engine_from_config(payload.get("engine"), store=store)
         index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
 
-        if kind == "sweep":
-            trials = cached = 0
-            for spec in _sweep_specs(payload):
-                batch = engine.run_shard(ShardSpec(spec, index, count))
-                trials += batch.num_trials
-                cached += 1 if batch.from_cache else 0
-            return {"points": len(payload["nodes"]), "trials": trials, "cached": cached}
-
-        plan = compile_experiment(
-            payload["experiment_id"], scale=payload["scale"], seed=payload["seed"]
-        )
-        run = execute_plan(plan, engine=engine, shard=(index, count))
-        return {
-            "jobs": len(run.batches),
-            "trials": sum(batch.num_trials for batch in run.batches.values()),
-            "cached": run.num_cached,
-        }
+        executed = trials = cached = 0
+        if plan.shard_mode == "trials":
+            batches = (
+                engine.run_shard(ShardSpec(job.spec, index, count))
+                for job in plan.jobs
+            )
+        else:
+            batches = (engine.run(job.spec) for job in plan.jobs[index::count])
+        for batch in batches:
+            executed += 1
+            trials += batch.num_trials
+            cached += 1 if batch.from_cache else 0
+        return {"jobs": executed, "trials": trials, "cached": cached}

@@ -384,9 +384,41 @@ class JobSpool:
             except FileNotFoundError:
                 pass
 
+    def resurrect(self, job_id: str, state: str) -> None:
+        """Move a terminal job back to ``jobs/`` with a fresh attempt budget.
+
+        The resume path (``repro fleet run --resume``) uses this: a job
+        that landed in ``failed/`` on an earlier run — or sits in ``done/``
+        with its store missing expected records — is re-queued for another
+        round of executions instead of being rejected as a duplicate.
+        Stale outcome fields are dropped so the resurrected descriptor is
+        indistinguishable from a fresh enqueue.
+        """
+        if state not in ("done", "failed"):
+            raise ValueError(f"can only resurrect from done/ or failed/, got {state!r}")
+        with self._locked():
+            path = self._job_path(state, job_id)
+            try:
+                descriptor = self._read_json(path)
+            except FileNotFoundError:
+                raise ValueError(f"no {state} job {job_id!r} in {self.root}") from None
+            descriptor["attempts"] = 0
+            for stale in ("last_error", "failed_at", "outcome", "completed_at"):
+                descriptor.pop(stale, None)
+            self._write_json(self._job_path("jobs", job_id), descriptor)
+            os.remove(path)
+        telemetry.event("queue.resurrect", job=job_id, from_state=state)
+
     # ------------------------------------------------------------------ #
     # inspection
     # ------------------------------------------------------------------ #
+    def state_of(self, job_id: str) -> Optional[str]:
+        """The lifecycle state currently holding ``job_id`` (None if absent)."""
+        for state in _STATE_DIRS:
+            if os.path.exists(self._job_path(state, job_id)):
+                return state
+        return None
+
     def pending_ids(self) -> list[str]:
         """Ids waiting in ``jobs/``."""
         return self._ids("jobs")

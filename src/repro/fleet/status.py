@@ -260,3 +260,14 @@ def format_status(status: SpoolStatus, metrics: Optional[SpoolMetrics] = None) -
     if status.drained and not status.failed and status.total:
         lines.append("all jobs completed")
     return "\n".join(lines)
+
+
+def spool_snapshot(spool: JobSpool) -> dict:
+    """One-call JSON snapshot of a spool: status plus throughput metrics.
+
+    What ``repro fleet status --json`` prints and what the ``repro serve``
+    status endpoint embeds — one reading of the spool feeds both numbers,
+    so the counts and the rates always describe the same instant.
+    """
+    status = spool_status(spool)
+    return status_as_dict(status, spool_metrics(spool, status))

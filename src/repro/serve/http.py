@@ -1,0 +1,117 @@
+"""Stdlib HTTP adapter for the serve core (no frameworks, no new deps).
+
+A :class:`~http.server.ThreadingHTTPServer` whose handler translates wire
+requests into :class:`~repro.serve.service.SimulationService` calls and
+:class:`~repro.serve.service.ServeResult` values back into responses.
+Response bodies are canonical JSON (sorted keys, two-space indent, trailing
+newline) — the same serialization the CLI's ``--json`` files use — so a
+warm HTTP answer can be byte-compared against a local run's output.
+
+Endpoints::
+
+    POST /v1/requests            submit a WorkRequest (+ optional execution
+                                 hints "shards" and "priority")
+    GET  /v1/requests/<ticket>   poll a cold request to completion
+    GET  /v1/status              spool progress, store size, queue occupancy
+    GET  /healthz                liveness probe
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine import jsonify
+from repro.serve.service import ServeResult, SimulationService
+from repro.telemetry.log import get_logger
+
+_logger = get_logger("serve")
+
+_REQUESTS_PATH = "/v1/requests"
+
+
+def _not_found(path: str) -> ServeResult:
+    return ServeResult(404, {"error": {"type": "NotFound", "message": f"no route for {path}"}})
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange; all logic lives in the shared service object."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send(ServeResult(200, {"ok": True}))
+            return
+        if self.path == "/v1/status":
+            self._send(self.service.status())
+            return
+        if self.path.startswith(_REQUESTS_PATH + "/"):
+            ticket = self.path[len(_REQUESTS_PATH) + 1 :]
+            self._send(
+                self.service.poll(ticket, if_none_match=self.headers.get("If-None-Match"))
+            )
+            return
+        self._send(_not_found(self.path))
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path != _REQUESTS_PATH:
+            self._send(_not_found(self.path))
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send(
+                ServeResult(
+                    400,
+                    {
+                        "error": {
+                            "type": "SchemaError",
+                            "message": f"request body is not valid JSON: {error}",
+                        }
+                    },
+                )
+            )
+            return
+        self._send(
+            self.service.submit(body, if_none_match=self.headers.get("If-None-Match"))
+        )
+
+    def _send(self, result: ServeResult) -> None:
+        body = b""
+        if result.payload is not None:
+            body = (
+                json.dumps(jsonify(result.payload), indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8")
+        self.send_response(result.status)
+        for name, value in result.headers.items():
+            self.send_header(name, value)
+        if body:
+            self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _logger.debug("%s %s", self.address_string(), format % args)
+
+
+def create_server(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A configured (but not yet serving) threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address`` — the tests and the CI smoke job do.
+    """
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.service = service  # type: ignore[attr-defined]
+    return server

@@ -48,6 +48,17 @@ SWEEP_FAMILIES = {
     "grid-walk": sweep_grid_walk_model,
 }
 
+#: Canonical fixed parameters (and defaults) of each family's factory —
+#: mirroring the keyword defaults above.  The single source of truth shared
+#: by the CLI's per-family flags and the :mod:`repro.api` request facade,
+#: which fills omitted parameters from this table so equal workloads always
+#: canonicalize to equal factory kwargs (and therefore equal store keys).
+SWEEP_FAMILY_DEFAULTS: dict[str, dict] = {
+    "edge-meg": {"q": 0.5, "avg_degree": 4.0},
+    "waypoint": {"side": 6.0, "radius": 1.2, "speed": 1.0},
+    "grid-walk": {"grid_side": 6, "augment_k": 1},
+}
+
 
 def resolve_family(name: str):
     """The factory registered under ``name`` (clean error on a typo)."""

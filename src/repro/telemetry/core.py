@@ -57,6 +57,7 @@ __all__ = [
     "enable",
     "event",
     "gauge",
+    "metrics_snapshot",
     "span",
     "timing",
 ]
@@ -387,3 +388,14 @@ def event(name: str, **fields) -> None:
     telemetry = _active
     if telemetry is not None:
         telemetry.event(name, **fields)
+
+
+def metrics_snapshot() -> Optional[dict]:
+    """The active telemetry's aggregated metrics, or ``None`` when disabled.
+
+    Read-only and side-effect free — the ``repro serve`` status endpoint
+    surfaces it so operators can watch ``serve.cache.hit`` / ``.miss`` and
+    queue counters live without waiting for the run's event files.
+    """
+    telemetry = _active
+    return None if telemetry is None else telemetry.metrics_snapshot()

@@ -1,0 +1,301 @@
+"""Request-facade tests: round-trips, validation taxonomy, CLI equivalence.
+
+:mod:`repro.api` is the single seam where work requests become engine plans;
+these tests pin its three contracts:
+
+* serialization round-trips exactly (``from_json(to_json(r)) == r``) and
+  malformed payloads die in the :class:`~repro.api.RequestError` taxonomy;
+* compilation produces the *same* specs and content-addressed store keys as
+  the historical construction paths it replaced (sweep runner, experiment
+  pipeline, library flood helpers);
+* the CLI routed through the facade emits byte-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    FLOOD_FAMILY_DEFAULTS,
+    SCHEMA_VERSION,
+    InvalidParameterError,
+    RequestError,
+    SchemaError,
+    UnknownExperimentError,
+    UnknownFamilyError,
+    WorkRequest,
+    compile_request,
+    estimator_description,
+    experiment_plan,
+    experiment_request,
+    flood_request,
+    sweep_request,
+)
+from repro.core.flooding import flooding_time_samples
+from repro.engine import Engine, ResultStore, batch_store_key
+from repro.experiments.pipeline import compile_experiment, plan_store_keys
+from repro.experiments.runner import measure_flooding_sweep
+from repro.sweeps import SWEEP_FAMILIES, SWEEP_FAMILY_DEFAULTS
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            sweep_request("edge-meg", [16, 32], 5, seed=7),
+            sweep_request("waypoint", [10], 3, seed=1, params={"side": 4.0}),
+            sweep_request("grid-walk", [9, 16], 2, sources="all"),
+            sweep_request("edge-meg", [16], 4, num_sources=3),
+            experiment_request("E1"),
+            experiment_request("E7", scale="full", seed=9),
+            flood_request("edge-meg", 5, seed=3, params={"nodes": 32}),
+            flood_request("waypoint", 2, sources="all"),
+            flood_request("grid-walk", 2, num_sources=2),
+        ],
+        ids=lambda r: f"{r.kind}-{r.family or r.experiment_id}",
+    )
+    def test_json_round_trip_is_identity(self, request_):
+        assert WorkRequest.from_json(request_.to_json()) == request_
+
+    def test_payload_is_schema_stamped_canonical_json(self):
+        request = sweep_request("edge-meg", [16], 3, seed=2)
+        payload = json.loads(request.to_json())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["kind"] == "sweep"
+        assert payload["nodes"] == [16]
+        # Omitted params were canonicalized in from the family defaults.
+        assert payload["params"] == SWEEP_FAMILY_DEFAULTS["edge-meg"]
+
+    def test_equal_meaning_requests_are_equal(self):
+        """Defaults filled explicitly or implicitly canonicalize identically."""
+        implicit = sweep_request("waypoint", [10], 3)
+        explicit = sweep_request(
+            "waypoint", (10,), 3, params=SWEEP_FAMILY_DEFAULTS["waypoint"]
+        )
+        assert implicit == explicit
+        assert implicit.to_json() == explicit.to_json()
+
+    def test_numeric_coercion_is_type_stable(self):
+        """A float-typed integer coerces to the default's type, not its own."""
+        request = flood_request("grid-walk", 2, params={"grid_side": 4.0, "nodes": 9})
+        assert request.params["grid_side"] == 4
+        assert isinstance(request.params["grid_side"], int)
+
+
+class TestValidationTaxonomy:
+    def test_unknown_schema_version(self):
+        payload = json.loads(sweep_request("edge-meg", [16], 3).to_json())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="unsupported request schema"):
+            WorkRequest.from_dict(payload)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError, match="request kind"):
+            WorkRequest.from_dict({"kind": "tournament"})
+
+    def test_unknown_field_rejected(self):
+        payload = json.loads(flood_request("edge-meg", 3).to_json())
+        payload["shards"] = 4  # execution hint, not request identity
+        with pytest.raises(SchemaError, match="unknown flood request field"):
+            WorkRequest.from_dict(payload)
+
+    def test_non_object_body(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            WorkRequest.from_dict([1, 2, 3])
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            WorkRequest.from_json("{nope")
+
+    def test_unknown_sweep_family(self):
+        with pytest.raises(UnknownFamilyError, match="unknown sweep family"):
+            sweep_request("moebius", [16], 3)
+
+    def test_unknown_flood_family(self):
+        with pytest.raises(UnknownFamilyError, match="unknown flood family"):
+            flood_request("moebius", 3)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownExperimentError, match="unknown experiment"):
+            experiment_request("E99")
+
+    def test_bad_scale(self):
+        with pytest.raises(InvalidParameterError, match="scale"):
+            experiment_request("E1", scale="gigantic")
+
+    def test_unknown_parameter_name(self):
+        with pytest.raises(InvalidParameterError, match="unknown edge-meg parameter"):
+            sweep_request("edge-meg", [16], 3, params={"qq": 0.5})
+
+    def test_non_numeric_parameter(self):
+        with pytest.raises(InvalidParameterError, match="must be a number"):
+            sweep_request("edge-meg", [16], 3, params={"q": "high"})
+
+    def test_integer_parameter_rejects_fraction(self):
+        with pytest.raises(InvalidParameterError, match="must be an integer"):
+            flood_request("grid-walk", 2, params={"grid_side": 4.5})
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(InvalidParameterError, match="trials"):
+            sweep_request("edge-meg", [16], 0)
+
+    def test_nodes_must_be_non_empty(self):
+        with pytest.raises(InvalidParameterError, match="nodes"):
+            sweep_request("edge-meg", [], 3)
+
+    def test_bad_sources_token(self):
+        with pytest.raises(InvalidParameterError, match="sources"):
+            sweep_request("edge-meg", [16], 3, sources="some")
+
+    def test_sources_and_num_sources_exclusive(self):
+        with pytest.raises(InvalidParameterError, match="mutually exclusive"):
+            flood_request("edge-meg", 3, sources="all", num_sources=2)
+
+    def test_cross_kind_fields_forbidden(self):
+        with pytest.raises(SchemaError, match="does not apply"):
+            WorkRequest(kind="experiment", experiment_id="E1", family="edge-meg")
+
+    def test_taxonomy_is_all_value_errors(self):
+        for exc in (
+            SchemaError,
+            UnknownFamilyError,
+            UnknownExperimentError,
+            InvalidParameterError,
+        ):
+            assert issubclass(exc, RequestError)
+            assert issubclass(exc, ValueError)
+
+
+class TestCompilationEquivalence:
+    def test_sweep_plan_matches_historical_construction(self):
+        """Facade store keys == sweep_trial_specs + batch_store_key keys."""
+        from repro.experiments.runner import sweep_trial_specs
+
+        request = sweep_request("edge-meg", [16, 24], 6, seed=7)
+        plan = compile_request(request)
+        legacy = sweep_trial_specs(
+            SWEEP_FAMILIES["edge-meg"],
+            [16, 24],
+            6,
+            rng=7,
+            factory_kwargs={"q": 0.5, "avg_degree": 4.0},
+        )
+        assert plan.shard_mode == "trials"
+        assert plan.store_keys == [batch_store_key(spec) for spec in legacy]
+        assert [job.tag for job in plan.jobs] == ["n=16", "n=24"]
+
+    def test_experiment_plan_matches_pipeline_compilation(self):
+        request = experiment_request("E1", scale="small", seed=3)
+        plan = compile_request(request)
+        pipeline_plan = compile_experiment("E1", scale="small", seed=3)
+        assert plan.shard_mode == "jobs"
+        assert plan.store_keys == plan_store_keys(pipeline_plan)
+        assert [job.tag for job in plan.jobs] == [job.tag for job in pipeline_plan.jobs]
+        assert experiment_plan(request).experiment_id == "E1"
+
+    def test_flood_key_matches_library_helper(self, tmp_path):
+        """The facade's flood spec hits the cache the library path populated."""
+        store = ResultStore(str(tmp_path / "store"))
+        model_params = FLOOD_FAMILY_DEFAULTS["edge-meg"] | {"nodes": 24}
+        from repro.meg.edge_meg import EdgeMEG
+
+        model = EdgeMEG(24, p=model_params["p"], q=model_params["q"])
+        samples = flooding_time_samples(
+            model, num_trials=4, rng=5, engine=Engine(store=store)
+        )
+        plan = compile_request(flood_request("edge-meg", 4, seed=5, params={"nodes": 24}))
+        assert len(plan.jobs) == 1
+        record = store.get(plan.store_keys[0])
+        assert record is not None
+        assert [int(t) for t in record["flooding_times"]] == samples
+
+    def test_assembly_from_records_matches_live_run(self, tmp_path):
+        """Warm assembly (records only) == the payload of a live engine run."""
+        store = ResultStore(str(tmp_path / "store"))
+        request = sweep_request("edge-meg", [16, 24], 5, seed=11)
+        plan = compile_request(request)
+        engine = Engine(store=store)
+        for job in plan.jobs:
+            engine.run(job.spec)
+        records = {job.tag: store.get(job.store_key()) for job in plan.jobs}
+        payload = plan.assemble(records)
+        assert payload["kind"] == "sweep"
+        assert payload["estimator"] == estimator_description(None, None)
+        live = measure_flooding_sweep(
+            SWEEP_FAMILIES["edge-meg"],
+            [16, 24],
+            num_trials=5,
+            rng=11,
+            factory_kwargs={"q": 0.5, "avg_degree": 4.0},
+        )
+        assert [m["samples"] for m in payload["measurements"]] == [
+            list(m.samples) for m in live
+        ]
+
+    def test_compile_requires_a_request(self):
+        with pytest.raises(SchemaError, match="WorkRequest"):
+            compile_request({"kind": "sweep"})
+
+
+class TestCliEquivalence:
+    def test_cli_sweep_json_matches_facade_assembly(self, tmp_path, capsys):
+        """`repro sweep --json` samples == the facade's assembled payload."""
+        from repro.cli import main
+
+        store_dir = tmp_path / "store"
+        json_path = tmp_path / "sweep.json"
+        exit_code = main(
+            [
+                "sweep", "edge-meg", "--nodes", "16,24", "--trials", "4",
+                "--seed", "7", "--results-dir", str(store_dir),
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        cli_payload = json.loads(json_path.read_text())
+
+        plan = compile_request(sweep_request("edge-meg", [16, 24], 4, seed=7))
+        store = ResultStore(str(store_dir))
+        records = {job.tag: store.get(job.store_key()) for job in plan.jobs}
+        assert all(record is not None for record in records.values())
+        api_payload = plan.assemble(records)
+        assert [m["samples"] for m in cli_payload["measurements"]] == [
+            m["samples"] for m in api_payload["measurements"]
+        ]
+        assert cli_payload["estimator"] == api_payload["estimator"]
+
+    def test_cli_flood_json_matches_facade_assembly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = tmp_path / "store"
+        json_path = tmp_path / "flood.json"
+        exit_code = main(
+            [
+                "flood", "edge-meg", "--nodes", "24", "--trials", "3",
+                "--seed", "2", "--results-dir", str(store_dir),
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        cli_payload = json.loads(json_path.read_text())
+
+        plan = compile_request(flood_request("edge-meg", 3, seed=2, params={"nodes": 24}))
+        store = ResultStore(str(store_dir))
+        record = store.get(plan.store_keys[0])
+        assert record is not None
+        api_payload = plan.assemble({"flood": record})
+        assert cli_payload["samples"] == api_payload["samples"]
+        assert cli_payload["summary"] == api_payload["summary"]
+
+    def test_cli_rejects_bad_family_parameter(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["flood", "edge-meg", "--nodes", "0", "--trials", "2"]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

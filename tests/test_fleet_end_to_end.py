@@ -365,6 +365,109 @@ class TestFleetCli:
         assert "no spool directory" in capsys.readouterr().err
 
 
+class TestFleetResume:
+    def test_resume_reuses_done_jobs_and_finishes_the_rest(self, tmp_path):
+        """A partially drained spool resumes: done work kept, rest executed."""
+        payloads = _sweep_payloads(shards=3)
+        spool = JobSpool(tmp_path / "spool", lease_ttl=30.0)
+        spool.write_config()
+        spool.enqueue(payloads[0])
+        assert (
+            run_worker(
+                str(spool.root), worker_id="first-run", poll=0.05,
+                exit_when_empty=True, log=lambda *_: None,
+            )
+            == 0
+        )
+
+        outcome = run_fleet(
+            spool, payloads, local_workers=1, poll=0.1, max_wait=300.0,
+            log=lambda *_: None, resume=True,
+        )
+        assert outcome.ok
+        assert sorted(outcome.done) == sorted(p["id"] for p in payloads)
+        # The first run's completed job was reused, not re-executed.
+        assert spool.read_job("done", payloads[0]["id"])["outcome"]["worker"] == "first-run"
+
+        merged = ResultStore(str(tmp_path / "merged"))
+        merge_fleet_stores(spool, payloads, merged)
+        reference = _reference_store(tmp_path / "reference")
+        assert _store_bytes(merged) == _store_bytes(reference)
+
+    def test_resume_resurrects_failed_jobs(self, tmp_path):
+        """Jobs parked in failed/ get a fresh retry budget on resume."""
+        payloads = _sweep_payloads(shards=2)
+        spool = JobSpool(tmp_path / "spool", lease_ttl=30.0, max_attempts=1)
+        spool.write_config()
+        spool.enqueue(payloads[0])
+        job = spool.claim("flaky-worker")
+        spool.mark_failed(job.id, "transient infrastructure failure")
+        assert spool.failed_ids() == [payloads[0]["id"]]
+
+        outcome = run_fleet(
+            spool, payloads, local_workers=1, poll=0.1, max_wait=300.0,
+            log=lambda *_: None, resume=True,
+        )
+        assert outcome.ok
+        assert spool.failed_ids() == []
+
+        merged = ResultStore(str(tmp_path / "merged"))
+        merge_fleet_stores(spool, payloads, merged)
+        reference = _reference_store(tmp_path / "reference")
+        assert _store_bytes(merged) == _store_bytes(reference)
+
+    def test_resume_re_runs_done_job_whose_store_vanished(self, tmp_path):
+        """done/ is only trusted if the job's store still holds its records."""
+        import shutil
+
+        payloads = _sweep_payloads(shards=2)
+        spool = JobSpool(tmp_path / "spool", lease_ttl=30.0)
+        spool.write_config()
+        spool.enqueue(payloads[0])
+        assert (
+            run_worker(
+                str(spool.root), poll=0.05, exit_when_empty=True, log=lambda *_: None
+            )
+            == 0
+        )
+        shutil.rmtree(spool.resolve(payloads[0]["store"]))
+
+        outcome = run_fleet(
+            spool, payloads, local_workers=1, poll=0.1, max_wait=300.0,
+            log=lambda *_: None, resume=True,
+        )
+        assert outcome.ok
+        merged = ResultStore(str(tmp_path / "merged"))
+        merge_fleet_stores(spool, payloads, merged)
+        reference = _reference_store(tmp_path / "reference")
+        assert _store_bytes(merged) == _store_bytes(reference)
+
+    def test_fleet_run_resume_cli(self, tmp_path, capsys):
+        """`repro fleet run --resume` accepts the spool a prior run drained."""
+        argv = [
+            "fleet", "run", "sweep", FAMILY,
+            "--nodes", ",".join(str(n) for n in NODES),
+            "--trials", str(TRIALS),
+            "--seed", str(SEED),
+            "--shards", "2",
+            "--local-workers", "1",
+            "--spool", str(tmp_path / "spool"),
+            "--results-dir", str(tmp_path / "merged"),
+            "--max-wait", "300",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Without --resume the reused spool is rejected; with it, the fully
+        # drained spool satisfies the run without executing anything.
+        assert main(argv) == 1
+        assert "already exists" in capsys.readouterr().err
+        assert main(argv + ["--resume"]) == 0
+        assert "2 job(s) done" in capsys.readouterr().out
+
+        reference = _reference_store(tmp_path / "reference")
+        assert _store_bytes(ResultStore(str(tmp_path / "merged"))) == _store_bytes(reference)
+
+
 class TestStatusFormatting:
     def test_format_status_sections(self, tmp_path):
         spool = JobSpool(tmp_path / "spool", lease_ttl=10.0, max_attempts=1)

@@ -30,6 +30,58 @@ def _backdate(spool: JobSpool, job_id: str, seconds: float) -> None:
     os.utime(lease, (stale, stale))
 
 
+class TestStateInspection:
+    def test_state_of_tracks_the_lifecycle(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", max_attempts=1)
+        assert spool.state_of("job-a") is None
+        spool.enqueue(_payload("job-a"))
+        assert spool.state_of("job-a") == "jobs"
+        spool.claim("w")
+        assert spool.state_of("job-a") == "active"
+        spool.mark_done("job-a")
+        assert spool.state_of("job-a") == "done"
+
+        spool.enqueue(_payload("job-b"))
+        spool.claim("w")
+        spool.mark_failed("job-b", "boom")
+        assert spool.state_of("job-b") == "failed"
+
+    def test_resurrect_failed_job_resets_the_budget(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool", max_attempts=1)
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        spool.mark_failed("job-a", "boom")
+
+        spool.resurrect("job-a", "failed")
+        assert spool.state_of("job-a") == "jobs"
+        descriptor = spool.read_job("jobs", "job-a")
+        assert descriptor["attempts"] == 0
+        # Stale outcome fields are gone: indistinguishable from fresh.
+        assert "last_error" not in descriptor
+        assert "failed_at" not in descriptor
+        job = spool.claim("w2")
+        assert job.id == "job-a" and job.attempts == 0
+
+    def test_resurrect_done_job(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        spool.enqueue(_payload("job-a"))
+        spool.claim("w")
+        spool.mark_done("job-a", {"trials": 5})
+
+        spool.resurrect("job-a", "done")
+        assert spool.done_ids() == []
+        descriptor = spool.read_job("jobs", "job-a")
+        assert "outcome" not in descriptor
+        assert "completed_at" not in descriptor
+
+    def test_resurrect_validates_state_and_existence(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        with pytest.raises(ValueError, match="only resurrect from"):
+            spool.resurrect("job-a", "active")
+        with pytest.raises(ValueError, match="no failed job"):
+            spool.resurrect("job-a", "failed")
+
+
 class TestLifecycle:
     def test_enqueue_claim_done(self, tmp_path):
         spool = JobSpool(tmp_path / "spool")

@@ -1,0 +1,316 @@
+"""``repro serve`` tests: warm hits, ETags, cold spooling, backpressure.
+
+The serving contract under test:
+
+* a **warm** request (store keys already present) is answered by pure
+  assembly — zero simulation, zero spool writes — byte-identical to what a
+  direct engine run of the same request would produce;
+* store-key ETags answer ``If-None-Match`` with 304, even before the
+  result exists (cold), because the keys hash the full request identity;
+* a **cold** request lands as deterministic-id fleet jobs on the spool, a
+  plain ``repro worker`` drains it, and the poll endpoint fans the job
+  stores into the service store and returns the identical payload;
+* a bounded in-flight queue refuses excess cold work with 429;
+* malformed bodies surface the :mod:`repro.api` taxonomy as 400 bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import compile_request, sweep_request
+from repro.engine import Engine, ResultStore, jsonify
+from repro.fleet import JobSpool, run_worker
+from repro.serve import SimulationService, create_server, plan_etag, request_ticket
+from repro.telemetry import core as telemetry
+
+FAMILY = "edge-meg"
+NODES = [12, 16]
+TRIALS = 4
+SEED = 7
+
+
+def _request_body(**overrides) -> dict:
+    body = {
+        "kind": "sweep",
+        "family": FAMILY,
+        "nodes": list(NODES),
+        "trials": TRIALS,
+        "seed": SEED,
+    }
+    body.update(overrides)
+    return body
+
+
+def _reference_payload() -> dict:
+    """The request's result payload from a direct one-shot engine run."""
+    plan = compile_request(sweep_request(FAMILY, NODES, TRIALS, seed=SEED))
+    engine = Engine()
+    records = {}
+    for job in plan.jobs:
+        batch = engine.run(job.spec)
+        records[job.tag] = {
+            "flooding_times": list(batch.flooding_times),
+            "num_nodes": batch.num_nodes,
+        }
+    return plan.assemble(records)
+
+
+def _canonical_bytes(payload: dict) -> bytes:
+    """The exact response-body serialization of the HTTP layer."""
+    return (json.dumps(jsonify(payload), indent=2, sort_keys=True) + "\n").encode()
+
+
+def _service(tmp_path, **kwargs) -> SimulationService:
+    store = ResultStore(str(tmp_path / "store"))
+    spool = JobSpool(tmp_path / "spool")
+    return SimulationService(store, spool, **kwargs)
+
+
+def _warm(service: SimulationService) -> None:
+    """Populate the service store by running the request's specs directly."""
+    plan = compile_request(sweep_request(FAMILY, NODES, TRIALS, seed=SEED))
+    engine = Engine(store=service.store)
+    for job in plan.jobs:
+        engine.run(job.spec)
+    service.store.refresh()
+
+
+@pytest.fixture
+def metrics(tmp_path):
+    """Active telemetry whose counters the service increments."""
+    telemetry.enable(str(tmp_path / "telemetry"))
+    yield lambda: (telemetry.metrics_snapshot() or {}).get("counters", {})
+    telemetry.disable()
+
+
+class TestWarmPath:
+    def test_warm_request_is_answered_without_simulation(self, tmp_path, metrics):
+        service = _service(tmp_path)
+        _warm(service)
+        records_before = len(service.store)
+
+        result = service.submit(_request_body())
+        assert result.status == 200
+        assert result.headers["X-Cache"] == "hit"
+        # Byte-identical to a direct engine run of the same request.
+        assert _canonical_bytes(result.payload) == _canonical_bytes(_reference_payload())
+        # Zero simulation: nothing spooled, nothing new stored.
+        assert service.spool.counts() == {
+            "jobs": 0, "active": 0, "done": 0, "failed": 0
+        }
+        assert len(service.store) == records_before
+        assert metrics()["serve.cache.hit"] == 1
+        assert "serve.cache.miss" not in metrics()
+
+    def test_etag_conditional_get_304(self, tmp_path):
+        service = _service(tmp_path)
+        _warm(service)
+        first = service.submit(_request_body())
+        etag = first.headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+
+        again = service.submit(_request_body(), if_none_match=etag)
+        assert again.status == 304
+        assert again.payload is None
+        assert again.headers["ETag"] == etag
+
+    def test_cold_request_still_carries_the_etag(self, tmp_path):
+        """Store keys hash the request identity, so the ETag exists pre-run."""
+        service = _service(tmp_path)
+        plan = compile_request(sweep_request(FAMILY, NODES, TRIALS, seed=SEED))
+        cold = service.submit(_request_body())
+        assert cold.status == 202
+        assert cold.headers["ETag"] == plan_etag(plan)
+        # And a client holding that ETag can 304 without the result existing.
+        conditional = service.submit(_request_body(), if_none_match=plan_etag(plan))
+        assert conditional.status == 304
+
+    def test_execution_hints_do_not_perturb_identity(self, tmp_path):
+        service = _service(tmp_path)
+        _warm(service)
+        plain = service.submit(_request_body())
+        hinted = service.submit(_request_body(shards=2, priority="batch"))
+        assert hinted.status == 200
+        assert hinted.headers["ETag"] == plain.headers["ETag"]
+
+
+class TestColdPath:
+    def test_cold_enqueue_drain_poll_round_trip(self, tmp_path, metrics):
+        service = _service(tmp_path, default_shards=2)
+        cold = service.submit(_request_body())
+        assert cold.status == 202
+        ticket = cold.payload["ticket"]
+        assert cold.payload["location"] == f"/v1/requests/{ticket}"
+        assert ticket == request_ticket(sweep_request(FAMILY, NODES, TRIALS, seed=SEED))
+        assert metrics()["serve.cache.miss"] == 1
+        assert metrics()["serve.enqueue"] == 2  # default_shards=2 jobs
+
+        pending = service.poll(ticket)
+        assert pending.status == 202
+        assert pending.payload["status"] == "pending"
+
+        run_worker(service.spool.root, poll=0.05, exit_when_empty=True)
+
+        done = service.poll(ticket)
+        assert done.status == 200
+        assert done.headers["X-Cache"] == "fill"
+        assert _canonical_bytes(done.payload) == _canonical_bytes(_reference_payload())
+        assert metrics()["serve.cache.fill"] == 1
+
+        # The store is now warm: a re-submit is a pure cache hit.
+        warm = service.submit(_request_body())
+        assert warm.status == 200
+        assert warm.headers["X-Cache"] == "hit"
+        assert _canonical_bytes(warm.payload) == _canonical_bytes(_reference_payload())
+
+    def test_duplicate_submit_shares_the_spooled_jobs(self, tmp_path, metrics):
+        service = _service(tmp_path)
+        first = service.submit(_request_body())
+        second = service.submit(_request_body())
+        assert first.status == second.status == 202
+        assert first.payload["ticket"] == second.payload["ticket"]
+        assert service.spool.counts()["jobs"] == 1  # not doubled
+        assert metrics()["serve.enqueue.duplicate"] == 1
+
+    def test_priority_hint_orders_the_spool(self, tmp_path):
+        service = _service(tmp_path, max_queue=8)
+        service.submit(_request_body())  # normal → p1- prefix
+        service.submit(_request_body(seed=SEED + 1, priority="interactive"))
+        claimed = service.spool.claim("worker-0")
+        assert claimed is not None
+        # Sorted-id claim order: the interactive (p0-) job wins.
+        assert claimed.id.startswith("p0-sweep-")
+
+    def test_backpressure_429_when_queue_full(self, tmp_path, metrics):
+        service = _service(tmp_path, max_queue=1)
+        first = service.submit(_request_body())
+        assert first.status == 202
+        refused = service.submit(_request_body(seed=SEED + 1))
+        assert refused.status == 429
+        assert refused.headers["Retry-After"] == "1"
+        assert "queue is full" in refused.payload["error"]["message"]
+        assert metrics()["serve.backpressure"] == 1
+        # The refused request left nothing behind.
+        assert service.spool.counts()["jobs"] == 1
+
+    def test_restarted_service_still_answers_old_tickets(self, tmp_path):
+        service = _service(tmp_path)
+        ticket = service.submit(_request_body()).payload["ticket"]
+        # A new service instance over the same directories (server restart).
+        reborn = SimulationService(service.store, service.spool)
+        assert reborn.poll(ticket).status == 202
+        run_worker(service.spool.root, poll=0.05, exit_when_empty=True)
+        assert reborn.poll(ticket).status == 200
+
+
+class TestErrorSurfaces:
+    def test_unknown_ticket_404(self, tmp_path):
+        service = _service(tmp_path)
+        result = service.poll("feedfacedeadbeef")
+        assert result.status == 404
+        assert "unknown ticket" in result.payload["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "body, expected_type, fragment",
+        [
+            ({"kind": "tournament"}, "SchemaError", "request kind"),
+            (_request_body(family="moebius"), "UnknownFamilyError", "unknown sweep family"),
+            (_request_body(bogus=1), "SchemaError", "unknown sweep request field"),
+            (_request_body(trials=0), "InvalidParameterError", "trials"),
+            ({"kind": "experiment", "experiment_id": "E99"},
+             "UnknownExperimentError", "unknown experiment"),
+            (_request_body(shards=0), "InvalidParameterError", "shards"),
+            (_request_body(priority="urgent"), "InvalidParameterError", "priority"),
+            ([1, 2], "InvalidParameterError", "JSON object"),
+        ],
+        ids=["kind", "family", "field", "trials", "experiment", "shards",
+             "priority", "non-object"],
+    )
+    def test_malformed_submissions_are_structured_400s(
+        self, tmp_path, metrics, body, expected_type, fragment
+    ):
+        service = _service(tmp_path)
+        result = service.submit(body)
+        assert result.status == 400
+        assert result.payload["error"]["type"] == expected_type
+        assert fragment in result.payload["error"]["message"]
+        assert metrics()["serve.request.invalid"] == 1
+        assert service.spool.counts()["jobs"] == 0
+
+    def test_status_endpoint_snapshot(self, tmp_path, metrics):
+        service = _service(tmp_path, max_queue=5)
+        service.submit(_request_body())
+        result = service.status()
+        assert result.status == 200
+        assert result.payload["queue"] == {
+            "max_queue": 5, "in_flight": 1, "default_shards": 1
+        }
+        assert result.payload["tickets"] == 1
+        assert result.payload["metrics"]["counters"]["serve.cache.miss"] == 1
+
+
+class TestHttpServer:
+    def test_http_round_trip_warm_and_cold(self, tmp_path):
+        service = _service(tmp_path)
+        server = create_server(service, host="127.0.0.1", port=0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                assert json.load(response) == {"ok": True}
+
+            body = json.dumps(_request_body()).encode()
+            post = urllib.request.Request(
+                f"{base}/v1/requests", data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(post, timeout=30) as response:
+                assert response.status == 202
+                ticket = json.load(response)["ticket"]
+                location = response.headers["Location"]
+            assert location == f"/v1/requests/{ticket}"
+
+            run_worker(service.spool.root, poll=0.05, exit_when_empty=True)
+
+            with urllib.request.urlopen(f"{base}{location}", timeout=30) as response:
+                assert response.status == 200
+                etag = response.headers["ETag"]
+                served = response.read()
+            assert served == _canonical_bytes(_reference_payload())
+
+            conditional = urllib.request.Request(
+                f"{base}{location}", headers={"If-None-Match": etag}
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(conditional, timeout=10)
+            assert excinfo.value.code == 304
+
+            bad = urllib.request.Request(
+                f"{base}/v1/requests", data=b"{not json",
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad, timeout=10)
+            assert excinfo.value.code == 400
+            error = json.load(excinfo.value)
+            assert error["error"]["type"] == "SchemaError"
+
+            with urllib.request.urlopen(f"{base}/v1/status", timeout=10) as response:
+                status = json.load(response)
+            assert status["store"]["records"] > 0
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
