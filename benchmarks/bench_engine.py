@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import replace
 
 import networkx as nx
 
@@ -37,9 +38,11 @@ from repro.engine import (
     NUMBA_AVAILABLE,
     Engine,
     ResultStore,
+    StoppingRule,
     TrialSpec,
     resolve_backend,
 )
+from repro.util.stats import halfwidth, summarize
 from repro.telemetry import core as telemetry
 from repro.graphs.grid import grid_graph
 from repro.markov.builders import random_walk_on_graph
@@ -326,6 +329,42 @@ def test_telemetry_noop_overhead(tmp_path):
     )
 
 
+def _adaptive_specs(budget: int, target: float) -> tuple[TrialSpec, TrialSpec]:
+    """A fixed-budget spec and its adaptive twin (same model, same seed)."""
+    fixed = TrialSpec.from_model(
+        EdgeMEG(64, p=4.0 / 64, q=0.5), num_trials=budget, seed=SEED
+    )
+    rule = StoppingRule(target_halfwidth=target, min_trials=32, check_every=32)
+    adaptive = replace(fixed, stopping=rule)
+    return fixed, adaptive
+
+
+def test_adaptive_sweep_trial_savings():
+    # Sequential stopping must hit the CI target with strictly fewer trials
+    # than the fixed budget, on samples that are an exact prefix of the
+    # fixed run's — adaptivity never changes what is simulated, only how
+    # much of it.
+    budget, target = 512, 0.05
+    fixed, adaptive = _adaptive_specs(budget, target)
+    fixed_result = Engine().run(fixed)
+    adaptive_result = Engine().run(adaptive)
+    print()
+    print(f"fixed budget:    {fixed_result.num_trials:>5} trials")
+    print(f"adaptive:        {adaptive_result.num_trials:>5} trials  "
+          f"(x{fixed_result.num_trials / adaptive_result.num_trials:.2f} fewer)")
+    assert adaptive_result.stopped_early
+    assert adaptive_result.num_trials < fixed_result.num_trials
+    realized = adaptive_result.num_trials
+    assert adaptive_result.flooding_times == fixed_result.flooding_times[:realized]
+    achieved = halfwidth(
+        summarize(adaptive_result.flooding_times).std, realized, 0.95
+    )
+    assert achieved <= target
+    # Determinism of the stop point across worker counts.
+    again = Engine(workers=4).run(adaptive)
+    assert again.num_trials == realized
+
+
 def test_engine_result_store_roundtrip(tmp_path):
     store = ResultStore(tmp_path)
     engine = Engine(store=store)
@@ -443,6 +482,26 @@ def run_benchmark_suite(quick: bool = False) -> dict:
         "numba_available": NUMBA_AVAILABLE,
         "milliseconds": {k: v * 1e3 for k, v in timings.items()},
         "speedup": timings["vectorized"] / timings["sparse"],
+    }
+
+    # Adaptive-sampling trajectory: trials the stopping rule needs to hit the
+    # CI target vs the fixed budget, plus the wall-clock of each run.  The
+    # realized trial count is deterministic (seed + rule only), so the
+    # "trial_speedup" column is noise-free across CI runs.
+    budget = 256 if quick else 512
+    target = 0.08 if quick else 0.05
+    fixed_spec, adaptive_spec = _adaptive_specs(budget, target)
+    fixed_time, _ = _best_time(Engine(), fixed_spec, repeats=repeats)
+    adaptive_time, _ = _best_time(Engine(), adaptive_spec, repeats=repeats)
+    realized = Engine().run(adaptive_spec).num_trials
+    report["benchmarks"]["adaptive_sweep"] = {
+        "num_nodes": 64,
+        "budget": budget,
+        "target_halfwidth": target,
+        "realized_trials": realized,
+        "milliseconds": {"fixed": fixed_time * 1e3, "adaptive": adaptive_time * 1e3},
+        "trial_speedup": budget / realized,
+        "speedup": fixed_time / adaptive_time,
     }
 
     # Telemetry overhead trajectory: the enabled/disabled wall-clock ratio

@@ -1,4 +1,10 @@
-"""``python -m repro`` dispatches to the command-line interface."""
+"""``python -m repro`` dispatches to the command-line interface.
+
+Kept to the bare ``sys.exit(main())`` trampoline so the interpreter-level
+entry point and the ``repro`` console script (see ``pyproject.toml``) share
+one argument parser, one exit-code contract and one set of subcommands —
+:mod:`repro.cli` is the single place behaviour lives.
+"""
 
 from __future__ import annotations
 

@@ -41,6 +41,7 @@ from repro.experiments.runner import (
     sweep_as_dicts,
     sweep_trial_specs,
 )
+from repro.stats.sequential import StoppingRule
 from repro.sweeps import SWEEP_FAMILY_DEFAULTS, resolve_family
 from repro.util.stats import summarize
 
@@ -60,7 +61,10 @@ FLOOD_FAMILY_DEFAULTS: dict[str, dict] = {
 }
 
 _KIND_FIELDS = {
-    "sweep": ("family", "nodes", "trials", "seed", "sources", "num_sources", "params"),
+    "sweep": (
+        "family", "nodes", "trials", "seed", "sources", "num_sources", "params",
+        "stopping",
+    ),
     "experiment": ("experiment_id", "scale", "seed"),
     "flood": ("family", "trials", "seed", "sources", "num_sources", "params"),
 }
@@ -155,11 +159,16 @@ class WorkRequest:
     experiment_id: Optional[str] = None
     scale: str = "small"
     nodes: tuple = ()
-    trials: int = 0
+    #: One trial count for every point, or (sweeps only) a per-point tuple —
+    #: how the fleet's variance-aware pilot sizes noisy points individually.
+    trials: object = 0
     seed: int = 0
     sources: Optional[str] = None
     num_sources: Optional[int] = None
     params: dict = field(default_factory=dict)
+    #: Optional sequential stopping rule (sweeps only); ``trials`` then caps
+    #: the per-point budget.  Accepts a mapping at the JSON boundary.
+    stopping: Optional[StoppingRule] = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -205,7 +214,8 @@ class WorkRequest:
 
     def _forbid(self, *names: str) -> None:
         blank = {"family": None, "experiment_id": None, "nodes": (), "trials": 0,
-                 "sources": None, "num_sources": None, "params": {}}
+                 "sources": None, "num_sources": None, "params": {},
+                 "stopping": None}
         for name in names:
             if getattr(self, name) not in (blank[name], None):
                 raise SchemaError(
@@ -228,7 +238,36 @@ class WorkRequest:
         nodes = tuple(_require_int("nodes entry", n) for n in nodes)
         if any(n < 1 for n in nodes):
             raise InvalidParameterError(f"node counts must be >= 1, got {list(nodes)}")
-        self._normalize_trials_seed()
+        if isinstance(self.trials, (list, tuple)):
+            trials = tuple(_require_int("trials entry", t) for t in self.trials)
+            if len(trials) != len(nodes):
+                raise InvalidParameterError(
+                    f"a per-point trials list needs one count per node count: "
+                    f"got {len(trials)} counts for {len(nodes)} points"
+                )
+            if any(t < 1 for t in trials):
+                raise InvalidParameterError(
+                    f"trial counts must be >= 1, got {list(trials)}"
+                )
+            self._set(trials=trials, seed=_require_int("seed", self.seed))
+        else:
+            self._normalize_trials_seed()
+        if self.stopping is not None:
+            if isinstance(self.stopping, Mapping):
+                try:
+                    rule = StoppingRule.from_dict(dict(self.stopping))
+                except ValueError as error:
+                    raise InvalidParameterError(
+                        f"invalid stopping rule: {error}"
+                    ) from None
+            elif isinstance(self.stopping, StoppingRule):
+                rule = self.stopping
+            else:
+                raise InvalidParameterError(
+                    f"stopping must be a StoppingRule or mapping, "
+                    f"got {type(self.stopping).__name__}"
+                )
+            self._set(stopping=rule)
         self._normalize_sources()
         self._set(
             nodes=nodes,
@@ -238,7 +277,9 @@ class WorkRequest:
         )
 
     def _normalize_experiment(self) -> None:
-        self._forbid("family", "nodes", "trials", "sources", "num_sources", "params")
+        self._forbid(
+            "family", "nodes", "trials", "sources", "num_sources", "params", "stopping"
+        )
         if not self.experiment_id:
             raise SchemaError("an experiment request needs an experiment_id")
         from repro.experiments.registry import EXPERIMENTS
@@ -255,7 +296,7 @@ class WorkRequest:
         self._set(seed=_require_int("seed", self.seed))
 
     def _normalize_flood(self) -> None:
-        self._forbid("experiment_id", "nodes")
+        self._forbid("experiment_id", "nodes", "stopping")
         if not self.family:
             raise SchemaError("a flood request needs a family")
         if self.family not in FLOOD_FAMILY_DEFAULTS:
@@ -282,8 +323,9 @@ class WorkRequest:
                 experiment_id=self.experiment_id, scale=self.scale, seed=self.seed
             )
             return payload
+        trials = list(self.trials) if isinstance(self.trials, tuple) else self.trials
         payload.update(
-            family=self.family, trials=self.trials, seed=self.seed,
+            family=self.family, trials=trials, seed=self.seed,
             params=dict(self.params),
         )
         if self.kind == "sweep":
@@ -292,6 +334,8 @@ class WorkRequest:
             payload["sources"] = self.sources
         if self.num_sources is not None:
             payload["num_sources"] = self.num_sources
+        if self.stopping is not None:
+            payload["stopping"] = self.stopping.as_dict()
         return payload
 
     def to_json(self) -> str:
@@ -338,16 +382,25 @@ class WorkRequest:
 def sweep_request(
     family: str,
     nodes: Sequence[int],
-    trials: int,
+    trials: object,
     seed: int = 0,
     sources: Optional[str] = None,
     num_sources: Optional[int] = None,
     params: Optional[Mapping] = None,
+    stopping: Optional[object] = None,
 ) -> WorkRequest:
-    """A node-count sweep request (the ``repro sweep`` workload)."""
+    """A node-count sweep request (the ``repro sweep`` workload).
+
+    ``trials`` is one count for all points or a per-point sequence;
+    ``stopping`` (a :class:`~repro.stats.sequential.StoppingRule` or its
+    mapping form) makes the sweep adaptive with ``trials`` as the budget.
+    """
+    if isinstance(trials, (list, tuple)):
+        trials = tuple(trials)
     return WorkRequest(
         kind="sweep", family=family, nodes=tuple(nodes), trials=trials, seed=seed,
         sources=sources, num_sources=num_sources, params=dict(params or {}),
+        stopping=stopping,
     )
 
 
@@ -441,14 +494,18 @@ def _flood_model(family: str, params: Mapping):
 
 
 def _compile_sweep(request: WorkRequest) -> CompiledPlan:
+    trials = (
+        list(request.trials) if isinstance(request.trials, tuple) else request.trials
+    )
     specs = sweep_trial_specs(
         resolve_family(request.family),
         list(request.nodes),
-        request.trials,
+        trials,
         sources=request.sources,
         num_sources=request.num_sources,
         rng=request.seed,
         factory_kwargs=dict(request.params),
+        stopping=request.stopping,
     )
     jobs = tuple(
         RequestJob(tag=f"n={nodes}", spec=spec)
@@ -459,16 +516,20 @@ def _compile_sweep(request: WorkRequest) -> CompiledPlan:
         measurements = [
             measurement_from_record(job.spec, records[job.tag]) for job in jobs
         ]
-        return {
+        payload = {
             "kind": "sweep",
             "family": request.family,
             "nodes": list(request.nodes),
-            "trials": request.trials,
+            "trials": trials,
             "seed": request.seed,
             "estimator": estimator_description(request.sources, request.num_sources),
             "params": dict(request.params),
             "measurements": sweep_as_dicts(measurements),
         }
+        # Adaptive-only key: fixed-count payloads keep their exact shape.
+        if request.stopping is not None:
+            payload["stopping"] = request.stopping.as_dict()
+        return payload
 
     return CompiledPlan(request=request, jobs=jobs, shard_mode="trials", assemble=assemble)
 

@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
         --results-dir .repro-results --json run.json
     repro sweep edge-meg --nodes 64,128,256 --trials 30 --seed 7 \
         --shard 0/3 --results-dir shard0
+    repro sweep edge-meg --nodes 64,128,256 --trials 400 --seed 7 \
+        --target-ci 5.0 --results-dir .repro-results
     repro merge-results merged.jsonl shard0 shard1 shard2
     repro fleet run sweep edge-meg --nodes 64,128 --trials 30 --seed 7 \
         --shards 6 --local-workers 2 --spool spool --results-dir merged
@@ -22,6 +24,9 @@ Usage (after ``pip install -e .``)::
         --local-workers 2 --spool exp-spool --results-dir merged-exp
     repro fleet run sweep edge-meg --nodes 64,128 --trials 30 --seed 7 \
         --shards 6 --spool spool --results-dir merged --resume
+    repro fleet run sweep edge-meg --nodes 64,128 --trials 400 --seed 7 \
+        --target-ci 5.0 --shards 4 --local-workers 2 --spool spool \
+        --results-dir merged
     repro worker --spool /mnt/shared/spool
     repro fleet status spool
     repro serve --spool spool --results-dir store --port 8080
@@ -40,6 +45,12 @@ the sweep runner, and ``--shard i/K`` restricts the run to every ``K``-th
 trial (offset ``i``) of each sweep point *with the exact seeds the unsharded
 sweep would use* — so ``K`` shard jobs on ``K`` machines, merged afterwards
 with ``merge-results``, store results bit-identical to one unsharded run.
+``--target-ci W`` makes the sweep adaptive (:mod:`repro.stats.sequential`):
+each point stops as soon as its confidence interval is within ``±W``, with
+``--trials`` as the budget cap; the realized trial count depends only on the
+seed and the rule, never on worker count.  ``repro fleet run sweep
+--target-ci`` instead runs a local pilot round per point and shards a
+variance-sized fixed budget across the fleet.
 
 The ``experiment`` subcommand runs one registered experiment (E1-E10)
 through the engine pipeline: the experiment compiles into a batch of tagged
@@ -114,6 +125,7 @@ from repro.fleet import (
     assemble_experiment_report,
     format_status,
     merge_fleet_stores,
+    plan_variance_budgets,
     request_job_payloads,
     run_fleet,
     run_worker,
@@ -123,6 +135,7 @@ from repro.fleet import (
     sweep_results_from_store,
 )
 from repro.serve import DEFAULT_MAX_QUEUE, SimulationService, create_server
+from repro.stats.sequential import StoppingRule
 # The family factories moved to repro.sweeps (shared with the fleet worker);
 # the redundant ``as`` aliases are explicit re-exports keeping the historical
 # ``repro.cli`` names importable.
@@ -136,7 +149,7 @@ from repro.sweeps import (
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.log import configure as configure_logging
 from repro.telemetry.report import format_report, load_events, summarize_events
-from repro.util.stats import summarize
+from repro.util.stats import halfwidth, summarize
 
 #: Environment fallback for ``--telemetry`` (any command that supports it).
 TELEMETRY_ENV = "REPRO_TELEMETRY"
@@ -369,11 +382,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only shard i of K: trials i, i+K, i+2K, ... of every sweep "
              "point, with the exact seeds the unsharded sweep would use",
     )
+    adaptive_sweep = argparse.ArgumentParser(add_help=False)
+    adaptive_sweep.add_argument(
+        "--target-ci", type=float, default=None, metavar="W",
+        help="adaptive sampling: stop each sweep point once the confidence "
+             "interval around its mean is within ±W (--trials caps the "
+             "budget; same seed => same realized trial count at any worker "
+             "count)",
+    )
+    adaptive_sweep.add_argument(
+        "--ci-confidence", type=float, default=0.95, metavar="C",
+        help="confidence level of the stopping CI (default 0.95)",
+    )
+    adaptive_sweep.add_argument(
+        "--min-trials", type=_positive_int, default=16, metavar="N",
+        help="trials to run before the stopping rule may fire (default 16)",
+    )
+    adaptive_sweep.add_argument(
+        "--check-every", type=_positive_int, default=16, metavar="N",
+        help="evaluate the stopping rule every N trials (default 16)",
+    )
     for family in SWEEP_FAMILIES:
         sweep_sub.add_parser(
             family,
             parents=[engine_options, source_parent, sweep_points, sweep_common,
-                     observability_options, family_params[family]],
+                     adaptive_sweep, observability_options, family_params[family]],
             help=family_help[family],
         )
 
@@ -475,6 +508,23 @@ def _build_parser() -> argparse.ArgumentParser:
              "rejecting the workload's deterministic job ids as duplicates",
     )
 
+    fleet_adaptive = argparse.ArgumentParser(add_help=False)
+    fleet_adaptive.add_argument(
+        "--target-ci", type=float, default=None, metavar="W",
+        help="variance-aware sizing: run a local pilot round per sweep "
+             "point, then shard a derived fixed budget sized so each CI "
+             "half-width lands within ±W (--trials caps each budget)",
+    )
+    fleet_adaptive.add_argument(
+        "--ci-confidence", type=float, default=0.95, metavar="C",
+        help="confidence level of the sizing CI (default 0.95)",
+    )
+    fleet_adaptive.add_argument(
+        "--pilot-trials", type=_positive_int, default=16, metavar="N",
+        help="pilot trials per sweep point used to estimate variance "
+             "(default 16; also the per-point budget floor)",
+    )
+
     fleet_run = fleet_sub.add_parser(
         "run", help="compile, execute and fan in one workload"
     )
@@ -487,7 +537,7 @@ def _build_parser() -> argparse.ArgumentParser:
         fleet_sweep_sub.add_parser(
             family,
             parents=[engine_options, source_parent, sweep_points, fleet_options,
-                     observability_options, family_params[family]],
+                     fleet_adaptive, observability_options, family_params[family]],
             help=family_help[family],
         )
     fleet_experiment = fleet_run_sub.add_parser(
@@ -814,6 +864,18 @@ def _sweep_factory_kwargs(args: argparse.Namespace) -> dict:
     return {name: getattr(args, name) for name in SWEEP_FAMILY_DEFAULTS[args.family]}
 
 
+def _sweep_stopping(args: argparse.Namespace) -> Optional[StoppingRule]:
+    """The stopping rule a ``--target-ci`` sweep invocation asks for."""
+    if getattr(args, "target_ci", None) is None:
+        return None
+    return StoppingRule(
+        target_halfwidth=args.target_ci,
+        confidence=args.ci_confidence,
+        min_trials=args.min_trials,
+        check_every=args.check_every,
+    )
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.shard is not None and args.shard[1] > args.trials:
         print(
@@ -822,18 +884,28 @@ def _run_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.target_ci is not None and args.shard is not None:
+        print(
+            "error: --target-ci cannot be combined with --shard (the stopping "
+            "decision at trial t needs all earlier samples; use `repro fleet "
+            "run sweep --target-ci` for multi-machine adaptive sweeps)",
+            file=sys.stderr,
+        )
+        return 2
     engine = _build_engine(args)
     factory_kwargs = _sweep_factory_kwargs(args)
     sources, num_sources = _source_options(args)
     estimator = estimator_description(sources, num_sources)
     try:
+        stopping = _sweep_stopping(args)
         plan = compile_request(
             sweep_request(
                 args.family, args.nodes, args.trials, seed=args.seed,
                 sources=sources, num_sources=num_sources, params=factory_kwargs,
+                stopping=stopping,
             )
         )
-    except RequestError as error:
+    except (RequestError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     measurements = run_sweep_specs(
@@ -844,29 +916,41 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(f"engine: workers={engine.workers}, backend={engine.backend}"
           + (f", results-dir={args.results_dir}" if args.results_dir else ""))
     print(f"estimator: {estimator} per realization")
+    if stopping is not None:
+        print(
+            f"adaptive: stop at CI half-width <= {stopping.target_halfwidth:g} "
+            f"({stopping.confidence:.0%}), budget {args.trials} trials/point"
+        )
     for measurement in measurements:
         summary = measurement.summary
-        print(
+        line = (
             f"  n={measurement.parameter:>6}  trials={summary.count:>4}  "
             f"mean {summary.mean:8.1f}  median {summary.median:8.1f}  "
             f"max {summary.maximum:8.0f}"
-            + ("  [cached]" if measurement.from_cache else "")
         )
+        if stopping is not None:
+            ci = halfwidth(summary.std, summary.count, stopping.confidence)
+            line += f"  ci ±{ci:6.2f}"
+            line += "  [stopped early]" if measurement.stopped_early else ""
+        line += "  [cached]" if measurement.from_cache else ""
+        print(line)
     if args.json_path:
-        _write_json(
-            args.json_path,
-            {
-                "family": args.family,
-                "nodes": args.nodes,
-                "trials": args.trials,
-                "seed": args.seed,
-                "shard": list(args.shard) if args.shard else None,
-                "estimator": estimator,
-                "factory_kwargs": factory_kwargs,
-                "engine": {"workers": engine.workers, "backend": engine.backend},
-                "measurements": sweep_as_dicts(measurements),
-            },
-        )
+        payload = {
+            "family": args.family,
+            "nodes": args.nodes,
+            "trials": args.trials,
+            "seed": args.seed,
+            "shard": list(args.shard) if args.shard else None,
+            "estimator": estimator,
+            "factory_kwargs": factory_kwargs,
+            "engine": {"workers": engine.workers, "backend": engine.backend},
+            "measurements": sweep_as_dicts(measurements),
+        }
+        if stopping is not None:
+            # Emitted only on adaptive runs so fixed-count sweep JSON stays
+            # byte-identical to every release before adaptive sampling.
+            payload["stopping"] = stopping.as_dict()
+        _write_json(args.json_path, payload)
     return 0
 
 
@@ -914,6 +998,7 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
         )
         return 2
     try:
+        sizing_report = None
         if args.workload == "sweep":
             request = sweep_request(
                 args.family,
@@ -924,6 +1009,35 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
                 num_sources=_source_options(args)[1],
                 params=_sweep_factory_kwargs(args),
             )
+            if args.target_ci is not None:
+                # Variance-aware sizing: a store-less local pilot round per
+                # sweep point, then the fleet shards the derived fixed
+                # budgets through the normal byte-identical machinery.
+                pilot_engine = Engine(
+                    workers=args.workers,
+                    backend=args.backend,
+                    executor=args.executor,
+                    source_chunk=args.source_chunk,
+                )
+                request, sizing_report = plan_variance_budgets(
+                    request,
+                    args.target_ci,
+                    engine=pilot_engine,
+                    pilot_trials=args.pilot_trials,
+                    confidence=args.ci_confidence,
+                )
+                print(
+                    f"pilot: {args.pilot_trials} trials/point, target CI "
+                    f"±{args.target_ci:g} at {args.ci_confidence:.0%} -> "
+                    f"{sizing_report['total_budget']} trials total "
+                    f"(fixed budget would be {sizing_report['fixed_total']})"
+                )
+                for point in sizing_report["points"]:
+                    print(
+                        f"  {point['tag']:<24} pilot std {point['pilot_std']:8.2f}"
+                        f"  required {point['required_trials']:>6}"
+                        f"  budget {point['budget']:>6} (cap {point['cap']})"
+                    )
         else:
             request = experiment_request(
                 args.experiment_id, scale=args.scale, seed=args.seed
@@ -993,19 +1107,21 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
                 f"max {summary.maximum:8.0f}"
             )
         if args.json_path:
-            _write_json(
-                args.json_path,
-                {
-                    "family": args.family,
-                    "nodes": args.nodes,
-                    "trials": args.trials,
-                    "seed": args.seed,
-                    "shards": args.shards,
-                    "estimator": estimator,
-                    "factory_kwargs": _sweep_factory_kwargs(args),
-                    "measurements": sweep_as_dicts(measurements),
-                },
-            )
+            payload = {
+                "family": args.family,
+                "nodes": args.nodes,
+                "trials": args.trials,
+                "seed": args.seed,
+                "shards": args.shards,
+                "estimator": estimator,
+                "factory_kwargs": _sweep_factory_kwargs(args),
+                "measurements": sweep_as_dicts(measurements),
+            }
+            if sizing_report is not None:
+                # Only adaptive runs carry the sizing block, so fixed-count
+                # fleet JSON stays byte-identical to earlier releases.
+                payload["sizing"] = sizing_report
+            _write_json(args.json_path, payload)
         return 0
 
     report = assemble_experiment_report(payloads[0], destination)

@@ -83,6 +83,7 @@ from repro.engine.store import (
     ResultStore,
     jsonify,
 )
+from repro.stats.sequential import StoppingRule
 
 __all__ = [
     "BACKENDS",
@@ -100,6 +101,7 @@ __all__ = [
     "SPARSE_AUTO_MIN_NODES",
     "ShardSpec",
     "SnapshotReplay",
+    "StoppingRule",
     "TrialSpec",
     "batch_store_key",
     "estimated_snapshot_density",

@@ -20,6 +20,16 @@ trials get executed.  It owns three orthogonal decisions:
 * **caching** — with a :class:`~repro.engine.store.ResultStore` attached,
   a batch whose content key (model + trial parameters + seeds) is already
   stored is returned from the store without simulating.
+
+Two statistical extensions ride on the chunk loop (see
+:mod:`repro.stats.sequential`): specs carrying a
+:class:`~repro.stats.sequential.StoppingRule` are evaluated between
+rule-sized trial chunks and stop once the running confidence interval is
+narrow enough — the realized trial count depends only on the (worker-
+invariant) samples, so stopped runs stay bit-identical at any worker count
+— and engines constructed with ``sketch=True`` embed mergeable
+moment/quantile sketches in stored records so the store can aggregate
+sharded batches without materializing every sample.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.engine.shard import ShardSpec, seed_token, shard_store_key
 from repro.engine.spec import BatchResult, TrialSpec
 from repro.engine.store import ResultStore
 from repro.meg.base import DynamicGraph
+from repro.stats.sequential import MomentSketch, sketch_from_samples, sketch_salt
 from repro.telemetry import core as telemetry
 from repro.util.rng import spawn_seed_sequences
 
@@ -355,8 +366,20 @@ def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict
     return outcomes, time.perf_counter() - started, snapshot
 
 
-def _store_payload(result: BatchResult, spec: TrialSpec) -> dict:
-    """The persisted form of a batch result (plus the spec's provenance tags)."""
+def _store_payload(
+    result: BatchResult,
+    spec: TrialSpec,
+    salt: Optional[int] = None,
+    start: int = 0,
+    stride: int = 1,
+) -> dict:
+    """The persisted form of a batch result (plus the spec's provenance tags).
+
+    ``salt`` (derived from the *full* batch's seed token) switches on the
+    embedded sketch; a shard passes its ``start``/``stride`` so its entries
+    carry the exact reservoir priorities the unsharded stream assigns them,
+    making shard-merged sketches byte-identical to unsharded ones.
+    """
     payload = {
         "label": result.label,
         "num_nodes": result.num_nodes,
@@ -365,6 +388,17 @@ def _store_payload(result: BatchResult, spec: TrialSpec) -> dict:
     }
     if spec.tags:
         payload["tags"] = dict(spec.tags)
+    if salt is not None and result.flooding_times:
+        payload["sketch"] = sketch_from_samples(
+            result.flooding_times, salt, start=start, stride=stride
+        )
+    if spec.stopping is not None:
+        payload["stopping"] = {
+            "rule": spec.stopping.as_dict(),
+            "budget": spec.num_trials,
+            "realized_trials": result.num_trials,
+            "stopped_early": result.stopped_early,
+        }
     return payload
 
 
@@ -410,6 +444,13 @@ class Engine:
         realization once (:class:`~repro.engine.replay.SnapshotReplay`) and
         replay it for the remaining chunks — bit-identical results with the
         ``n x B`` informed matrix bounded at ``n x source_chunk``.
+    sketch:
+        Embed a mergeable moment/quantile sketch
+        (:func:`repro.stats.sequential.sketch_from_samples`) in every
+        stored record, letting :meth:`ResultStore.merge
+        <repro.engine.store.ResultStore.merge>` aggregate sharded batches
+        in O(1) memory per point.  Sketches never change the samples;
+        adaptive (stopping-rule) records always embed one.
     """
 
     def __init__(
@@ -419,6 +460,7 @@ class Engine:
         store: Optional[ResultStore] = None,
         source_chunk: Optional[int] = None,
         executor: str = "process",
+        sketch: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -433,6 +475,7 @@ class Engine:
         self.store = store
         self.source_chunk = source_chunk
         self.executor = executor
+        self.sketch = bool(sketch)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -528,6 +571,7 @@ class Engine:
 
     def _cached_result(self, record: dict, spec: TrialSpec, started: float) -> BatchResult:
         """A :class:`BatchResult` served from a stored payload."""
+        stopping = record.get("stopping") or {}
         return BatchResult(
             label=record.get("label", spec.label),
             num_nodes=record["num_nodes"],
@@ -536,7 +580,38 @@ class Engine:
             workers=self.workers,
             from_cache=True,
             elapsed_seconds=time.perf_counter() - started,
+            stopped_early=bool(stopping.get("stopped_early", False)),
         )
+
+    def _execute_adaptive(
+        self, spec: TrialSpec, model: DynamicGraph, seeds: Sequence
+    ) -> tuple[list[tuple[int, int]], bool]:
+        """Run trials in rule-sized chunks until the stopping rule fires.
+
+        The chunk boundary is the rule's ``check_every`` — a *statistical*
+        boundary fixed by the spec, never by the worker count (each chunk is
+        still scheduled across the pool by :meth:`_execute_trials`).  The
+        stopping decision after each chunk depends only on the samples in
+        trial order, which are worker-invariant, so the realized trial count
+        is bit-reproducible at any worker count or executor kind.
+        """
+        rule = spec.stopping
+        moments = MomentSketch()
+        outcomes: list[tuple[int, int]] = []
+        consumed = 0
+        while consumed < len(seeds):
+            chunk = seeds[consumed : consumed + rule.check_every]
+            chunk_outcomes = self._execute_trials(spec, model, chunk)
+            outcomes.extend(chunk_outcomes)
+            moments.update_many(time_ for time_, _ in chunk_outcomes)
+            consumed += len(chunk)
+            if rule.satisfied(moments):
+                break
+        stopped_early = consumed < len(seeds)
+        if stopped_early:
+            telemetry.count("stats.stop.early")
+            telemetry.count("stats.stop.trials_saved", len(seeds) - consumed)
+        return outcomes, stopped_early
 
     def run(self, spec: TrialSpec) -> BatchResult:
         """Execute (or fetch from the store) one batch of trials."""
@@ -567,7 +642,11 @@ class Engine:
             # every trial, so serial and parallel runs sample the same
             # process.
             model = spec.build_model()
-            outcomes = self._execute_trials(spec, model, seeds)
+            if spec.stopping is not None:
+                outcomes, stopped_early = self._execute_adaptive(spec, model, seeds)
+            else:
+                outcomes = self._execute_trials(spec, model, seeds)
+                stopped_early = False
 
             flooding_times = tuple(t for t, _ in outcomes)
             num_nodes = outcomes[0][1]
@@ -579,11 +658,15 @@ class Engine:
                 workers=self.workers,
                 from_cache=False,
                 elapsed_seconds=time.perf_counter() - started,
+                stopped_early=stopped_early,
             )
             if self.store is not None and key is not None:
-                self.store.put(key, _store_payload(result, spec))
+                salt = None
+                if self.sketch or spec.stopping is not None:
+                    salt = sketch_salt(seed_token(seeds))
+                self.store.put(key, _store_payload(result, spec, salt=salt))
                 telemetry.count("engine.store.put")
-            run_span.add(cached=False)
+            run_span.add(cached=False, realized_trials=result.num_trials)
             return result
 
     def run_shard(self, shard: ShardSpec) -> BatchResult:
@@ -601,7 +684,23 @@ class Engine:
         <repro.engine.store.ResultStore.merge>` can reassemble into the full
         batch record.  A stored full batch also serves any of its shards
         directly.
+
+        Sequential stopping cannot be trial-sharded — whether trial ``t``
+        runs depends on every sample before it, which no single shard sees —
+        so adaptive specs are rejected for ``count > 1`` (the fleet sizes
+        shard budgets from a pilot round instead; see
+        :func:`repro.fleet.coordinator.plan_variance_budgets`) and delegate
+        to :meth:`run` for the trivial ``count == 1`` sharding.
         """
+        if shard.spec.stopping is not None:
+            if shard.count > 1:
+                raise ValueError(
+                    "sequential stopping cannot be trial-sharded: the stopping "
+                    "decision at trial t depends on all earlier samples; run the "
+                    "spec unsharded, or derive fixed per-point budgets from a "
+                    "pilot round (fleet --target-ci)"
+                )
+            return self.run(shard.spec)
         with telemetry.span(
             "engine.run_shard",
             label=shard.spec.label,
@@ -632,6 +731,8 @@ class Engine:
                     sliced["flooding_times"] = list(
                         full_record["flooding_times"][shard.index :: shard.count]
                     )
+                    # The full batch's sketch covers all trials, not this slice.
+                    sliced.pop("sketch", None)
                     return self._cached_result(sliced, spec, started)
                 telemetry.count("engine.store.miss")
 
@@ -647,7 +748,14 @@ class Engine:
                 elapsed_seconds=time.perf_counter() - started,
             )
             if self.store is not None and key is not None and parent_key is not None:
-                payload = _store_payload(result, spec)
+                # The salt comes from the *parent* seed token and the shard's
+                # (start, stride) are its interleave coordinates, so the
+                # shard's sketch entries are exactly the ones the unsharded
+                # run would assign those trials — merge is byte-identical.
+                salt = sketch_salt(seed_token(all_seeds)) if self.sketch else None
+                payload = _store_payload(
+                    result, spec, salt=salt, start=shard.index, stride=shard.count
+                )
                 self.store.put(key, shard.store_record(payload, parent_key))
                 telemetry.count("engine.store.put")
             run_span.add(cached=False)

@@ -1,8 +1,11 @@
 """Declarative trial specifications for the Monte-Carlo engine.
 
 A :class:`TrialSpec` pins down everything one batch of independent flooding
-trials needs — how to build the model, how many trials, which source, the
-step cap and the seed material — without executing anything.  The
+trials needs — how to build the model, how many trials (a hard count, or a
+budget governed by an optional sequential
+:class:`~repro.stats.sequential.StoppingRule`), which source or source
+batch, the step cap, provenance tags and the seed material — without
+executing anything.  The
 :class:`repro.engine.Engine` turns a spec into a :class:`BatchResult`, either
 serially or on a worker pool, and the spec's :meth:`TrialSpec.cache_token`
 is what keys the batch in the persistent result store.
@@ -20,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.meg.base import DynamicGraph
+from repro.stats.sequential import StoppingRule
 from repro.util.rng import RNGLike
 
 
@@ -61,6 +65,16 @@ class TrialSpec:
         Seed material (``None``, int, ``SeedSequence`` or ``Generator``).
         Per-trial seeds are spawned from it through one ``SeedSequence``, so
         results are bit-identical regardless of worker count.
+    stopping:
+        Optional :class:`~repro.stats.sequential.StoppingRule`.  When set,
+        ``num_trials`` becomes the *maximum* budget: the engine evaluates
+        the rule between trial chunks and stops as soon as the running
+        confidence interval is narrow enough, recording the realized trial
+        count in the stored record.  The realized count depends only on
+        the per-trial samples — which are worker-invariant — so stopped
+        runs are bit-identical at any worker count and fully reproducible
+        from their stored records.  Enters the cache token (a stopped
+        batch and a fixed-count batch are different records).
     label:
         Free-form tag carried into results and logs.
     tags:
@@ -82,6 +96,7 @@ class TrialSpec:
     num_sources: Optional[int] = None
     max_steps: Optional[int] = None
     seed: RNGLike = None
+    stopping: Optional[StoppingRule] = None
     label: str = ""
     tags: tuple = ()
 
@@ -107,6 +122,14 @@ class TrialSpec:
             raise ValueError(f"num_sources must be >= 1, got {self.num_sources}")
         if self.max_steps is not None and self.max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {self.max_steps}")
+        if self.stopping is not None:
+            if isinstance(self.stopping, dict):
+                object.__setattr__(self, "stopping", StoppingRule.from_dict(self.stopping))
+            elif not isinstance(self.stopping, StoppingRule):
+                raise TypeError(
+                    f"stopping must be a StoppingRule or mapping, "
+                    f"got {type(self.stopping).__name__}"
+                )
         object.__setattr__(self, "args", tuple(self.args))
         pairs = self.tags.items() if isinstance(self.tags, dict) else self.tags
         normalized = tuple((str(k), str(v)) for k, v in pairs)
@@ -124,6 +147,7 @@ class TrialSpec:
         num_sources: Optional[int] = None,
         max_steps: Optional[int] = None,
         seed: RNGLike = None,
+        stopping: Optional[StoppingRule] = None,
         label: str = "",
         tags: tuple = (),
     ) -> "TrialSpec":
@@ -141,6 +165,7 @@ class TrialSpec:
             num_sources=num_sources,
             max_steps=max_steps,
             seed=seed,
+            stopping=stopping,
             label=label or type(model).__name__,
             tags=tags,
         )
@@ -189,6 +214,11 @@ class TrialSpec:
         # never collide); untagged specs keep their pre-tags keys.
         if self.tags:
             token["tags"] = dict(self.tags)
+        # An adaptive batch answers a different question than a fixed-count
+        # one (its realized count is data-dependent), so the rule scopes the
+        # key; rule-less specs keep their pre-stopping keys.
+        if self.stopping is not None:
+            token["stopping"] = self.stopping.cache_token()
         return token
 
 
@@ -197,7 +227,10 @@ class BatchResult:
     """Outcome of running one :class:`TrialSpec`.
 
     ``flooding_times`` is ordered by trial index, so two runs of the same
-    spec (at any worker count) can be compared element-wise.
+    spec (at any worker count) can be compared element-wise.  For adaptive
+    specs, ``flooding_times`` holds only the realized trials and
+    ``stopped_early`` records whether the stopping rule fired before the
+    ``num_trials`` budget was exhausted.
     """
 
     label: str
@@ -207,6 +240,7 @@ class BatchResult:
     workers: int
     from_cache: bool
     elapsed_seconds: float
+    stopped_early: bool = False
 
     @property
     def num_trials(self) -> int:
@@ -228,4 +262,5 @@ class BatchResult:
             "workers": self.workers,
             "from_cache": self.from_cache,
             "elapsed_seconds": self.elapsed_seconds,
+            "stopped_early": self.stopped_early,
         }

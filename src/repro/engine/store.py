@@ -50,6 +50,7 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from repro.stats.sequential import merge_sketch_payloads
 from repro.telemetry import core as telemetry
 
 try:
@@ -460,6 +461,14 @@ def _assemble_shard_groups(merged: dict[str, dict]) -> tuple[int, int]:
         }
         if tags is not None:
             parent_record["tags"] = tags
+        # Sketch fan-in: when every shard embeds a sketch, the parent gets
+        # their merge — byte-identical to the sketch an unsharded run embeds,
+        # because shard reservoirs share the parent's salt and priorities
+        # (see repro.stats.sequential).  A group with partial sketch coverage
+        # assembles without one rather than publishing a sketch of a subset.
+        sketches = [rec.get("sketch") for _, (_, rec) in sorted(members.items())]
+        if all(s is not None for s in sketches):
+            parent_record["sketch"] = merge_sketch_payloads(sketches)
         if parent_key in merged and merged[parent_key] != parent_record:
             raise MergeConflictError(
                 f"assembled batch for parent {parent_key} conflicts with an "

@@ -1,4 +1,12 @@
-"""Rendering of experiment results as plain-text and markdown tables."""
+"""Rendering of experiment results as plain-text and markdown tables.
+
+:class:`ExperimentReport` is the presentation-layer contract between the
+execution pipeline and every consumer (CLI tables, ``EXPERIMENTS.md``, JSON
+artifacts): an ordered list of row dicts plus column metadata, with no
+simulation state attached.  Renderers here are pure functions of the report
+— the same report object always formats to the same bytes, which is what
+lets CI diff regenerated markdown against the committed file.
+"""
 
 from __future__ import annotations
 

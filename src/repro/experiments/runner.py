@@ -6,15 +6,20 @@ several independent trials, and report the summary next to the relevant bound
 formula.  :func:`measure_flooding_sweep` factors out that loop and routes all
 trial execution through the :class:`repro.engine.Engine`, so sweeps pick up
 worker pools, the vectorized kernel and persistent result caching for free.
+Sweep points may carry per-point trial budgets (variance-aware fleet sizing)
+and a sequential :class:`~repro.stats.sequential.StoppingRule`; fixed-count
+sweeps produce byte-identical output to what they produced before either
+feature existed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.engine import Engine, ShardSpec, TrialSpec
 from repro.meg.base import DynamicGraph
+from repro.stats.sequential import StoppingRule, summary_from_sketch, whp_from_sketch
 from repro.util.rng import RNGLike, spawn_seed_sequences
 from repro.util.stats import TrialSummary, summarize, whp_quantile
 
@@ -29,6 +34,7 @@ class SweepMeasurement:
     whp_value: float
     samples: tuple[int, ...] = ()
     from_cache: bool = False
+    stopped_early: bool = False
 
     @property
     def mean(self) -> float:
@@ -41,8 +47,12 @@ class SweepMeasurement:
         return self.summary.median
 
     def as_dict(self) -> dict:
-        """Plain-dict form (what the CLI's ``--json`` output emits)."""
-        return {
+        """Plain-dict form (what the CLI's ``--json`` output emits).
+
+        ``stopped_early`` is emitted only when true, so fixed-count sweeps
+        keep the exact JSON shape they had before adaptive sampling existed.
+        """
+        payload = {
             "parameter": self.parameter,
             "num_nodes": self.num_nodes,
             "summary": self.summary.as_dict(),
@@ -50,18 +60,22 @@ class SweepMeasurement:
             "samples": list(self.samples),
             "from_cache": self.from_cache,
         }
+        if self.stopped_early:
+            payload["stopped_early"] = True
+        return payload
 
 
 def sweep_trial_specs(
     model_factory: Callable[[object], DynamicGraph],
     parameter_values: Sequence,
-    num_trials: int,
+    num_trials: Union[int, Sequence[int]],
     source: int = 0,
     sources: Optional[object] = None,
     num_sources: Optional[int] = None,
     rng: RNGLike = None,
     max_steps: Optional[int] = None,
     factory_kwargs: Optional[dict] = None,
+    stopping: Optional[StoppingRule] = None,
 ) -> list[TrialSpec]:
     """The :class:`TrialSpec` batch of one sweep, one spec per sweep point.
 
@@ -70,26 +84,47 @@ def sweep_trial_specs(
     fleet job descriptor that names the same family, points, trial count and
     seed material reproduces exactly the specs — and therefore exactly the
     per-trial ``SeedSequence`` children and store keys — of a local run.
+
+    ``num_trials`` is one count for every point, or a per-point sequence of
+    counts (how the fleet's variance-aware pilot sizes noisy points; see
+    :func:`repro.fleet.coordinator.plan_variance_budgets`).  Because each
+    point's trial seeds are ``SeedSequence`` children of that point's own
+    child sequence, trials at one point are a *prefix-stable* stream: budget
+    changes at one point never reseed any other point, and a smaller budget
+    runs an exact prefix of a larger one.  ``stopping`` attaches a sequential
+    stopping rule to every point (``num_trials`` then caps the budget).
     """
     values = list(parameter_values)
     if not values:
         raise ValueError("the sweep needs at least one parameter value")
-    if num_trials < 1:
-        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    if isinstance(num_trials, int):
+        per_point = [num_trials] * len(values)
+    else:
+        per_point = [int(count) for count in num_trials]
+        if len(per_point) != len(values):
+            raise ValueError(
+                f"num_trials lists one count per sweep point: got {len(per_point)} "
+                f"counts for {len(values)} points"
+            )
+    if min(per_point) < 1:
+        raise ValueError(f"num_trials must be >= 1, got {min(per_point)}")
     return [
         TrialSpec(
             factory=model_factory,
             args=(value,),
             kwargs=dict(factory_kwargs) if factory_kwargs else {},
-            num_trials=num_trials,
+            num_trials=count,
             source=source,
             sources=sources,
             num_sources=num_sources,
             max_steps=max_steps,
             seed=seed,
+            stopping=stopping,
             label=f"sweep[{value!r}]",
         )
-        for value, seed in zip(values, spawn_seed_sequences(rng, len(values)))
+        for value, count, seed in zip(
+            values, per_point, spawn_seed_sequences(rng, len(values))
+        )
     ]
 
 
@@ -123,6 +158,7 @@ def run_sweep_specs(
                 whp_value=whp_quantile(samples, batch.num_nodes),
                 samples=tuple(samples),
                 from_cache=batch.from_cache,
+                stopped_early=batch.stopped_early,
             )
         )
     return measurements
@@ -135,9 +171,29 @@ def measurement_from_record(spec: TrialSpec, record: dict) -> SweepMeasurement:
     execution.  The fleet fan-in and the ``repro serve`` warm path both
     assemble through this, so store-backed measurements are identical to
     live ones field by field.
+
+    Records holding full samples take the exact path (identical to a live
+    run).  A record carrying only an embedded sketch — how million-trial
+    aggregates travel without materializing every sample — yields a
+    measurement whose summary and whp value come from the sketch (exact
+    moments for integer streams, DKW-bounded quantiles; see
+    :mod:`repro.stats.sequential`) with ``samples`` left empty.
     """
-    samples = [int(time) for time in record["flooding_times"]]
     num_nodes = int(record["num_nodes"])
+    stopping = record.get("stopping") or {}
+    stopped_early = bool(stopping.get("stopped_early", False))
+    times = record.get("flooding_times")
+    if not times and record.get("sketch") is not None:
+        return SweepMeasurement(
+            parameter=spec.args[0],
+            num_nodes=num_nodes,
+            summary=summary_from_sketch(record["sketch"]),
+            whp_value=whp_from_sketch(record["sketch"], num_nodes),
+            samples=(),
+            from_cache=True,
+            stopped_early=stopped_early,
+        )
+    samples = [int(time) for time in times]
     return SweepMeasurement(
         parameter=spec.args[0],
         num_nodes=num_nodes,
@@ -145,13 +201,14 @@ def measurement_from_record(spec: TrialSpec, record: dict) -> SweepMeasurement:
         whp_value=whp_quantile(samples, num_nodes),
         samples=tuple(samples),
         from_cache=True,
+        stopped_early=stopped_early,
     )
 
 
 def measure_flooding_sweep(
     model_factory: Callable[[object], DynamicGraph],
     parameter_values: Sequence,
-    num_trials: int,
+    num_trials: Union[int, Sequence[int]],
     source: int = 0,
     sources: Optional[object] = None,
     num_sources: Optional[int] = None,
@@ -162,6 +219,7 @@ def measure_flooding_sweep(
     backend: str = "auto",
     shard: Optional[tuple[int, int]] = None,
     factory_kwargs: Optional[dict] = None,
+    stopping: Optional[StoppingRule] = None,
 ) -> list[SweepMeasurement]:
     """Measure flooding times across a one-dimensional parameter sweep.
 
@@ -206,12 +264,18 @@ def measure_flooding_sweep(
         Extra keyword arguments passed to ``model_factory`` after the sweep
         value (kept out of the sweep parameter so the factory can stay a
         plain module-level function — picklable, with a stable cache token).
+    stopping:
+        Optional :class:`~repro.stats.sequential.StoppingRule` applied to
+        every sweep point (``num_trials`` then caps the per-point budget).
+        Incompatible with ``shard`` (the stopping decision needs the full
+        sample stream; the engine enforces this).
     """
     if shard is not None:
         shard_count = int(shard[1])
-        if shard_count > num_trials:
+        min_trials = num_trials if isinstance(num_trials, int) else min(num_trials)
+        if shard_count > min_trials:
             raise ValueError(
-                f"shard count ({shard_count}) exceeds num_trials ({num_trials}): "
+                f"shard count ({shard_count}) exceeds num_trials ({min_trials}): "
                 f"some shards would be empty"
             )
     if engine is None:
@@ -226,6 +290,7 @@ def measure_flooding_sweep(
         rng=rng,
         max_steps=max_steps,
         factory_kwargs=factory_kwargs,
+        stopping=stopping,
     )
     return run_sweep_specs(specs, engine=engine, shard=shard)
 

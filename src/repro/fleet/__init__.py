@@ -30,6 +30,7 @@ from repro.fleet.coordinator import (
     FleetOutcome,
     assemble_experiment_report,
     merge_fleet_stores,
+    plan_variance_budgets,
     run_fleet,
     spawn_local_worker,
     sweep_results_from_store,
@@ -85,6 +86,7 @@ __all__ = [
     "format_status",
     "job_expected_keys",
     "merge_fleet_stores",
+    "plan_variance_budgets",
     "request_from_payload",
     "request_job_payloads",
     "run_fleet",

@@ -21,19 +21,28 @@ requeues along the way.
 With ``local_workers=0`` the coordinator drives an *external* fleet: start
 ``repro worker --spool DIR`` on any number of machines sharing the spool
 directory, and the coordinator only enqueues, monitors and merges.
+
+Variance-aware sizing (:func:`plan_variance_budgets`) runs a small pilot
+round per sweep point, estimates each point's sample variance, and derives
+a *fixed-count* request whose per-point trial budgets hit a target CI
+half-width — spending fleet hours where the estimator is noisiest while
+keeping every downstream path (sharding, merging, byte-identity) exactly
+the machinery above.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import subprocess
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
-from repro.api import compile_request, experiment_plan
-from repro.engine import MergeReport, ResultStore
+from repro.api import WorkRequest, compile_request, experiment_plan
+from repro.engine import Engine, MergeReport, ResultStore
+from repro.util.stats import z_score
 from repro.experiments.pipeline import assemble_from_store
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import SweepMeasurement, measurement_from_record
@@ -326,3 +335,106 @@ def assemble_experiment_report(payload: dict, store: ResultStore) -> ExperimentR
     request = request_from_payload(payload)
     with telemetry.span("fleet.assemble", experiment=request.experiment_id):
         return assemble_from_store(experiment_plan(request), store)
+
+
+def plan_variance_budgets(
+    request: WorkRequest,
+    target_halfwidth: float,
+    engine: Optional[Engine] = None,
+    pilot_trials: int = 16,
+    confidence: float = 0.95,
+    min_trials: Optional[int] = None,
+) -> tuple[WorkRequest, dict]:
+    """Size per-point trial budgets from a pilot round's variance estimates.
+
+    Runs ``pilot_trials`` trials at every point of a sweep ``request``
+    (store-less, so destination stores never see pilot records), estimates
+    each point's sample variance, and returns a *derived request* whose
+    per-point trials list is ``ceil((z * std / target_halfwidth)^2)`` —
+    the fixed count at which the normal-approximation CI half-width meets
+    the target — clamped to ``[min_trials, budget]`` where ``budget`` is
+    the original request's (possibly per-point) trial count.
+
+    Because each point's trial seeds are ``SeedSequence`` children of that
+    point's own child sequence (prefix-stable in the trial count), the
+    pilot's trials are exactly the first ``pilot_trials`` trials of the
+    sized run — the pilot measures the very stream it budgets.  The derived
+    request is an ordinary fixed-count request: it shards, merges and
+    byte-reproduces through the unchanged fleet machinery, which is how the
+    fleet delivers adaptivity without trial-sharding a stopping rule.
+
+    Returns ``(derived_request, pilot_report)``; the report records the
+    per-point pilot statistics and budgets for rendering and telemetry.
+    """
+    if request.kind != "sweep":
+        raise ValueError(
+            f"variance-aware sizing applies to sweep requests, got {request.kind!r}"
+        )
+    if request.stopping is not None:
+        raise ValueError(
+            "variance-aware sizing replaces the stopping rule for fleet runs; "
+            "pass a fixed-budget request plus target_halfwidth"
+        )
+    if not target_halfwidth > 0:
+        raise ValueError(f"target_halfwidth must be > 0, got {target_halfwidth}")
+    if pilot_trials < 2:
+        raise ValueError(f"pilot_trials must be >= 2, got {pilot_trials}")
+    floor = pilot_trials if min_trials is None else max(int(min_trials), 2)
+    if engine is None:
+        engine = Engine()
+    if engine.store is not None:
+        raise ValueError(
+            "the pilot engine must be store-less: pilot records would pollute "
+            "the destination store with short-budget batches"
+        )
+    plan = compile_request(request)
+    caps = (
+        list(request.trials)
+        if isinstance(request.trials, tuple)
+        else [request.trials] * len(plan.jobs)
+    )
+    z = z_score(confidence)
+    budgets: list[int] = []
+    points: list[dict] = []
+    with telemetry.span(
+        "fleet.pilot", points=len(plan.jobs), pilot_trials=pilot_trials
+    ) as pilot_span:
+        for job, cap in zip(plan.jobs, caps):
+            pilot_spec = replace(job.spec, num_trials=min(pilot_trials, cap))
+            batch = engine.run(pilot_spec)
+            samples = batch.flooding_times
+            mean = sum(samples) / len(samples)
+            variance = (
+                sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+                if len(samples) > 1
+                else 0.0
+            )
+            std = math.sqrt(variance)
+            required = (
+                floor if std == 0.0 else math.ceil((z * std / target_halfwidth) ** 2)
+            )
+            budget = max(floor, min(required, cap))
+            budgets.append(budget)
+            points.append(
+                {
+                    "tag": job.tag,
+                    "pilot_trials": len(samples),
+                    "pilot_mean": mean,
+                    "pilot_std": std,
+                    "required_trials": required,
+                    "budget": budget,
+                    "cap": cap,
+                }
+            )
+            telemetry.count("fleet.pilot.trials", len(samples))
+        pilot_span.add(total_budget=sum(budgets))
+    derived = replace(request, trials=tuple(budgets))
+    report = {
+        "target_halfwidth": float(target_halfwidth),
+        "confidence": float(confidence),
+        "pilot_trials": pilot_trials,
+        "points": points,
+        "total_budget": sum(budgets),
+        "fixed_total": sum(caps),
+    }
+    return derived, report

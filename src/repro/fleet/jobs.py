@@ -36,6 +36,7 @@ import json
 from typing import Optional, Sequence
 
 from repro.api import (
+    InvalidParameterError,
     WorkRequest,
     compile_request,
     experiment_request,
@@ -64,7 +65,7 @@ _PRIORITY_PREFIX = {"interactive": "p0", "normal": "p1", "batch": "p2"}
 def _engine_config(engine: Optional[dict]) -> dict:
     """Normalised engine configuration carried in a job descriptor."""
     config = dict(engine or {})
-    unknown = set(config) - {"workers", "backend", "executor", "source_chunk"}
+    unknown = set(config) - {"workers", "backend", "executor", "source_chunk", "sketch"}
     if unknown:
         raise ValueError(f"unknown engine config keys: {sorted(unknown)}")
     return config
@@ -78,6 +79,7 @@ def engine_from_config(config: Optional[dict], store: ResultStore) -> Engine:
         backend=config.get("backend", "auto"),
         executor=config.get("executor", "process"),
         source_chunk=config.get("source_chunk"),
+        sketch=bool(config.get("sketch", False)),
         store=store,
     )
 
@@ -124,9 +126,19 @@ def request_job_payloads(
     if priority not in PRIORITIES:
         raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
     plan = compile_request(request)  # validates before anything is spooled
-    if plan.shard_mode == "trials" and shards > request.trials:
+    if request.stopping is not None and shards > 1:
+        raise InvalidParameterError(
+            "a stopping-rule request cannot be trial-sharded (the stopping "
+            "decision at trial t needs all earlier samples); submit it with "
+            "shards=1, or derive fixed per-point budgets from a pilot round "
+            "(plan_variance_budgets / fleet run --target-ci)"
+        )
+    min_trials = (
+        min(request.trials) if isinstance(request.trials, tuple) else request.trials
+    )
+    if plan.shard_mode == "trials" and shards > min_trials:
         raise ValueError(
-            f"shards ({shards}) exceeds trials ({request.trials}): "
+            f"shards ({shards}) exceeds trials ({min_trials}): "
             f"some shards would be empty"
         )
     digest = _workload_digest(request.as_dict())
@@ -206,6 +218,11 @@ def job_expected_keys(payload: dict) -> list[str]:
     plan = compile_request(request_from_payload(payload))
     index, count = (int(payload["shard"][0]), int(payload["shard"][1]))
     if plan.shard_mode == "trials":
+        # A stopping-rule job only ever ships as the trivial 1-way shard,
+        # and the engine's run_shard delegation stores it under the parent
+        # batch key directly (no shard wrapper to reassemble).
+        if plan.request.stopping is not None:
+            return [job.store_key() for job in plan.jobs]
         return [
             shard_store_key(batch_store_key(job.spec), index, count)
             for job in plan.jobs

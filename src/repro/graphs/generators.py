@@ -1,4 +1,12 @@
-"""Additional mobility-graph generators used in tests and experiments."""
+"""Additional mobility-graph generators used in tests and experiments.
+
+Deterministic topology builders (torus, cycle, complete) that back the
+analytically tractable cases: their spectral gaps and diameters are known in
+closed form, so tests can pin flooding/mixing bounds against exact values
+instead of sampled estimates.  All generators return plain ``networkx``
+graphs with integer-tuple or integer node labels and take no RNG — any
+randomness belongs to the mobility layer, never the topology.
+"""
 
 from __future__ import annotations
 

@@ -10,7 +10,9 @@ logical store.
 Both the CLI (``repro sweep``) and the fleet worker
 (:mod:`repro.fleet.worker`) resolve families through :data:`SWEEP_FAMILIES`,
 so a fleet job descriptor can name a family by its short string and every
-executor rebuilds exactly the same :class:`~repro.engine.TrialSpec`.
+executor rebuilds exactly the same :class:`~repro.engine.TrialSpec` —
+including adaptive sweeps, whose :class:`~repro.stats.sequential.StoppingRule`
+rides on the spec while the family factory stays oblivious to it.
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Small mathematical helpers shared by the bound formulas and experiments."""
+"""Small mathematical helpers shared by the bound formulas and experiments.
+
+The paper's Theta-bounds divide by ``log`` terms that vanish at small ``n``,
+so the helpers here (safe logarithms, geometric means, ratio fitting) clamp
+their domains explicitly rather than propagating ``-inf``/``nan`` into bound
+comparisons.  Everything is a pure function of its arguments with no state
+and no RNG, so callers may use them inside worker processes freely.
+"""
 
 from __future__ import annotations
 

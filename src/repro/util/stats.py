@@ -3,7 +3,12 @@
 The experiments measure flooding times over many independent trials; these
 helpers summarise those samples (mean, quantiles, confidence intervals) and
 provide the "with high probability" style quantile estimates used when
-comparing to the paper's w.h.p. bounds.
+comparing to the paper's w.h.p. bounds.  Everything here operates on fully
+materialized sample sequences; the streaming/mergeable analogues — sketches
+batch records can embed and the sequential stopping rules built on them —
+live in :mod:`repro.stats.sequential`, which derives its z-values from the
+same normal quantile as :func:`mean_confidence_interval` so both paths
+report identical intervals for identical samples.
 """
 
 from __future__ import annotations
@@ -74,6 +79,24 @@ def whp_quantile(samples: Sequence[float], n: int) -> float:
     return float(np.quantile(arr, level))
 
 
+def z_score(confidence: float) -> float:
+    """The two-sided normal critical value at ``confidence``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    from scipy import stats as scipy_stats
+
+    return float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+def halfwidth(std: float, count: int, confidence: float = 0.95) -> float:
+    """Normal-approximation CI half-width for a sample of ``count`` values."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count == 1:
+        return 0.0
+    return z_score(confidence) * std / float(np.sqrt(count))
+
+
 def mean_confidence_interval(
     samples: Sequence[float], confidence: float = 0.95
 ) -> tuple[float, float, float]:
@@ -86,10 +109,8 @@ def mean_confidence_interval(
     mean = float(arr.mean())
     if arr.size == 1:
         return mean, mean, mean
-    from scipy import stats as scipy_stats
-
     sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
-    z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    z = z_score(confidence)
     return mean, mean - z * sem, mean + z * sem
 
 
