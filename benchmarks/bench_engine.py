@@ -44,6 +44,7 @@ from repro.engine import (
 )
 from repro.util.stats import halfwidth, summarize
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
 from repro.graphs.grid import grid_graph
 from repro.markov.builders import random_walk_on_graph
 from repro.meg.base import DynamicGraph, StaticGraphProcess
@@ -329,6 +330,52 @@ def test_telemetry_noop_overhead(tmp_path):
     )
 
 
+def _stamp_call_seconds(calls: int = 200_000) -> float:
+    """Per-record cost of the trace stamp inside an active scope."""
+    with tracectx.attach_trace(tracectx.mint_trace_id()):
+        started = time.perf_counter()
+        for _ in range(calls):
+            tracectx.stamp({"kind": "event", "name": "bench"})
+        return (time.perf_counter() - started) / calls
+
+
+def _trace_timings(tmp_path) -> dict[str, float]:
+    """Best telemetry-enabled engine wall-clock, untraced vs inside a trace."""
+    telemetry.enable(str(tmp_path), process="bench")
+    try:
+        untraced, reference = _best_time(Engine(backend="vectorized"), _spec())
+        with tracectx.attach_trace(tracectx.mint_trace_id()):
+            traced, samples = _best_time(Engine(backend="vectorized"), _spec())
+    finally:
+        telemetry.disable()
+    assert samples == reference, "the trace scope changed the samples"
+    return {"untraced": untraced, "traced": traced}
+
+
+def test_trace_overhead(tmp_path):
+    # The ISSUE 10 acceptance bar: trace propagation must cost under 2% of a
+    # telemetry-enabled engine run.  The stamp is one thread-local lookup
+    # plus a setdefault per *written record*, and records are per span/event
+    # (a handful per chunk), not per trial — an estimate of 10 stamped
+    # records per trial is an order of magnitude above the real rate and
+    # must still fit the 2% budget; attaching a trace must not change the
+    # samples.
+    timings = _trace_timings(tmp_path)
+    per_call = _stamp_call_seconds()
+    estimated = per_call * 10 * TRIALS
+    budget = 0.02 * timings["untraced"]
+    print()
+    print(f"engine run, telemetry on, untraced: {timings['untraced'] * 1e3:8.1f} ms")
+    print(f"engine run, telemetry on, traced:   {timings['traced'] * 1e3:8.1f} ms  "
+          f"(ratio x{timings['traced'] / timings['untraced']:.3f})")
+    print(f"trace stamp: {per_call * 1e9:6.0f} ns/record -> "
+          f"{estimated / timings['untraced']:.3%} of the run at 10 records/trial")
+    assert estimated < budget, (
+        f"trace stamping would cost {estimated / timings['untraced']:.1%} "
+        f"of the run (budget 2%)"
+    )
+
+
 def _adaptive_specs(budget: int, target: float) -> tuple[TrialSpec, TrialSpec]:
     """A fixed-budget spec and its adaptive twin (same model, same seed)."""
     fixed = TrialSpec.from_model(
@@ -516,6 +563,17 @@ def run_benchmark_suite(quick: bool = False) -> dict:
         "milliseconds": {k: v * 1e3 for k, v in timings.items()},
         "noop_primitive_nanoseconds": _noop_primitive_seconds() * 1e9,
         "speedup": timings["enabled"] / timings["disabled"],
+    }
+
+    # Trace-propagation trajectory: the traced/untraced wall-clock ratio of
+    # a telemetry-enabled run (≈1.0) plus the per-record stamp cost.
+    with tempfile.TemporaryDirectory() as tmp:
+        timings = _trace_timings(tmp)
+    report["benchmarks"]["trace_overhead"] = {
+        "num_nodes": NODES,
+        "milliseconds": {k: v * 1e3 for k, v in timings.items()},
+        "stamp_nanoseconds": _stamp_call_seconds() * 1e9,
+        "speedup": timings["traced"] / timings["untraced"],
     }
     return report
 

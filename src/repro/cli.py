@@ -124,16 +124,19 @@ from repro.fleet import (
     JobSpool,
     assemble_experiment_report,
     format_status,
+    gather_frame,
     merge_fleet_stores,
     plan_variance_budgets,
     request_job_payloads,
     run_fleet,
+    run_top,
     run_worker,
     spool_metrics,
     spool_status,
     status_as_dict,
     sweep_results_from_store,
 )
+from repro.fleet.top import DEFAULT_INTERVAL as TOP_DEFAULT_INTERVAL
 from repro.serve import DEFAULT_MAX_QUEUE, SimulationService, create_server
 from repro.stats.sequential import StoppingRule
 # The family factories moved to repro.sweeps (shared with the fleet worker);
@@ -149,6 +152,12 @@ from repro.sweeps import (
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.log import configure as configure_logging
 from repro.telemetry.report import format_report, load_events, summarize_events
+from repro.telemetry.timeseries import (
+    DEFAULT_WINDOW_SECONDS,
+    TelemetryTailer,
+    validate_exposition,
+)
+from repro.telemetry.trace import format_trace, list_traces, summarize_trace
 from repro.util.stats import halfwidth, summarize
 
 #: Environment fallback for ``--telemetry`` (any command that supports it).
@@ -565,6 +574,40 @@ def _build_parser() -> argparse.ArgumentParser:
              "the heartbeat-age distribution) as JSON on stdout",
     )
 
+    fleet_top = fleet_sub.add_parser(
+        "top",
+        help="live dashboard over a draining spool: queue depths, per-worker "
+             "utilization and heartbeat age, throughput, drain ETA, slowest "
+             "in-flight jobs (refreshes until Ctrl-C)",
+    )
+    fleet_top.add_argument("spool", help="spool directory to watch")
+    fleet_top.add_argument(
+        "--telemetry", dest="telemetry_dir", default=None, metavar="DIR",
+        help="the fleet's shared telemetry directory: adds windowed "
+             "throughput, latency quantiles, worker utilization and the "
+             f"in-flight panel (default: the {TELEMETRY_ENV} variable)",
+    )
+    fleet_top.add_argument(
+        "--interval", type=float, default=TOP_DEFAULT_INTERVAL, metavar="S",
+        help=f"seconds between refreshes (default {TOP_DEFAULT_INTERVAL:g})",
+    )
+    fleet_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    fleet_top.add_argument(
+        "--until-drained", action="store_true",
+        help="exit once every job has reached a terminal state",
+    )
+    fleet_top.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="with --once: print the frame's data as JSON instead of text",
+    )
+    fleet_top.add_argument(
+        "--width", type=_positive_int, default=80, metavar="COLS",
+        help="frame width in columns (default 80)",
+    )
+
     serve = subparsers.add_parser(
         "serve", parents=[observability_options],
         help="serve simulation results over HTTP: warm requests answered "
@@ -623,6 +666,58 @@ def _build_parser() -> argparse.ArgumentParser:
     telemetry_report_cmd.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
         help="write the merged summary as JSON to PATH",
+    )
+    telemetry_trace_cmd = telemetry_sub.add_parser(
+        "trace",
+        help="reconstruct one propagated trace across processes: the span "
+             "tree (serve request -> spool wait -> worker lease -> engine "
+             "chunks) with critical-path timing; omit the id to list the "
+             "traces a directory holds",
+    )
+    telemetry_trace_cmd.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id (from an X-Trace-Id response header, a ticket "
+             "record, or `repro telemetry trace` with no id)",
+    )
+    telemetry_trace_cmd.add_argument(
+        "--telemetry", dest="telemetry_dir", default=None, metavar="DIR",
+        help="telemetry directory holding the run's event files "
+             f"(default: the {TELEMETRY_ENV} environment variable)",
+    )
+    telemetry_trace_cmd.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the reconstructed trace (or the trace list) as JSON",
+    )
+    telemetry_export_cmd = telemetry_sub.add_parser(
+        "export",
+        help="render a telemetry directory as Prometheus text exposition "
+             "(counters, gauges, timing summaries, windowed jobs/s + "
+             "latency quantiles + requeue rate, cache hit ratio)",
+    )
+    telemetry_export_cmd.add_argument(
+        "--telemetry", dest="telemetry_dir", default=None, metavar="DIR",
+        help="telemetry directory holding the run's event files "
+             f"(default: the {TELEMETRY_ENV} environment variable)",
+    )
+    telemetry_export_cmd.add_argument(
+        "--window", type=float, default=DEFAULT_WINDOW_SECONDS, metavar="S",
+        help="sliding window for rates and latency quantiles "
+             f"(default {DEFAULT_WINDOW_SECONDS:g}s)",
+    )
+    telemetry_export_cmd.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="byte-offset checkpoint file: resume tailing where the last "
+             "export stopped instead of re-reading history, and save the "
+             "new position on exit",
+    )
+    telemetry_export_cmd.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the exposition to PATH instead of stdout",
+    )
+    telemetry_export_cmd.add_argument(
+        "--check", action="store_true",
+        help="strictly validate the exposition before emitting it "
+             "(exit 1 on malformed output; what CI's metrics smoke runs)",
     )
 
     return parser
@@ -1089,6 +1184,11 @@ def _run_fleet_run(args: argparse.Namespace) -> int:
         f"fleet: {len(outcome.done)} job(s) done in "
         f"{outcome.elapsed_seconds:.1f}s{requeued}"
     )
+    if telemetry_dir and outcome.trace:
+        print(
+            f"trace: {outcome.trace}  (inspect with: repro telemetry trace "
+            f"{outcome.trace} --telemetry {telemetry_dir})"
+        )
     print(
         f"merged {len(payloads)} job store(s) into {destination.path} "
         f"({merge_report.records} records, {merge_report.assembled} batches assembled)"
@@ -1161,7 +1261,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"repro serve: listening on http://{host}:{port}", flush=True)
     print(f"repro serve: store {store.path}  spool {spool.root}", flush=True)
     print(
-        "repro serve: POST /v1/requests  GET /v1/requests/<ticket>  GET /v1/status",
+        "repro serve: POST /v1/requests  GET /v1/requests/<ticket>  "
+        "GET /v1/status  GET /metrics  GET /healthz",
         flush=True,
     )
 
@@ -1187,18 +1288,132 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_telemetry_report(args: argparse.Namespace) -> int:
     try:
-        events = load_events(args.directory)
+        events, skipped = load_events(args.directory, with_skipped=True)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if not events:
         print(f"no telemetry events under {args.directory}", file=sys.stderr)
         return 1
-    summary = summarize_events(events, top=args.top)
+    summary = summarize_events(events, top=args.top, skipped_lines=skipped)
     print(format_report(summary))
     if args.json_path:
         _write_json(args.json_path, summary)
     return 0
+
+
+def _telemetry_events_or_error(args: argparse.Namespace):
+    """Shared loader of the trace subcommand: (directory, events) or None."""
+    directory = _telemetry_dir(args)
+    if not directory:
+        print(
+            "error: no telemetry directory (pass --telemetry DIR or set "
+            f"{TELEMETRY_ENV})",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        events, _ = load_events(directory, with_skipped=True)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    return directory, events
+
+
+def _run_telemetry_trace(args: argparse.Namespace) -> int:
+    loaded = _telemetry_events_or_error(args)
+    if loaded is None:
+        return 2
+    directory, events = loaded
+    if args.trace_id is None:
+        entries = list_traces(events)
+        if not entries:
+            print(f"no traced events under {directory}", file=sys.stderr)
+            return 1
+        print(f"{len(entries)} trace(s) under {directory} (newest first):")
+        for entry in entries:
+            print(
+                f"  {entry['trace']}  {entry['root'] or '?':<16} "
+                f"{entry['spans']:>3} span(s)  "
+                f"{entry['processes']} process(es)  "
+                f"{entry['wall_seconds']:.3f}s"
+            )
+        if args.json_path:
+            _write_json(args.json_path, entries)
+        return 0
+    summary = summarize_trace(events, args.trace_id)
+    if not summary["spans"] and not summary["events"]:
+        print(
+            f"no events for trace {args.trace_id} under {directory} "
+            "(list traces with: repro telemetry trace --telemetry DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_trace(summary), end="")
+    if args.json_path:
+        _write_json(args.json_path, summary)
+    return 0
+
+
+def _run_telemetry_export(args: argparse.Namespace) -> int:
+    directory = _telemetry_dir(args)
+    if not directory:
+        print(
+            "error: no telemetry directory (pass --telemetry DIR or set "
+            f"{TELEMETRY_ENV})",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.isdir(directory):
+        print(f"error: no telemetry directory at {directory}", file=sys.stderr)
+        return 2
+    tailer = TelemetryTailer(directory, window=args.window)
+    if args.checkpoint:
+        tailer.load_checkpoint(args.checkpoint)
+    text = tailer.exposition(version=__version__)
+    if args.check:
+        try:
+            validate_exposition(text)
+        except ValueError as error:
+            print(f"error: invalid exposition: {error}", file=sys.stderr)
+            return 1
+    if args.checkpoint:
+        tailer.save_checkpoint(args.checkpoint)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _run_fleet_top(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.spool):
+        print(f"error: no spool directory at {args.spool}", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval:g}",
+              file=sys.stderr)
+        return 2
+    telemetry_dir = _telemetry_dir(args)
+    if args.as_json:
+        if not args.once:
+            print("error: --json needs --once (one frame, machine-readable)",
+                  file=sys.stderr)
+            return 2
+        tailer = TelemetryTailer(telemetry_dir) if telemetry_dir else None
+        frame = gather_frame(JobSpool(args.spool), tailer)
+        print(json.dumps(jsonify(frame), indent=2, sort_keys=True))
+        return 0
+    return run_top(
+        args.spool,
+        telemetry_dir=telemetry_dir,
+        interval=args.interval,
+        once=args.once,
+        follow_until_drained=args.until_drained,
+        width=args.width,
+    )
 
 
 def _run_merge(args: argparse.Namespace) -> int:
@@ -1232,10 +1447,16 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "fleet":
         if args.fleet_command == "run":
             return _run_fleet_run(args)
+        if args.fleet_command == "top":
+            return _run_fleet_top(args)
         return _run_fleet_status(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "telemetry":
+        if args.telemetry_command == "trace":
+            return _run_telemetry_trace(args)
+        if args.telemetry_command == "export":
+            return _run_telemetry_export(args)
         return _run_telemetry_report(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

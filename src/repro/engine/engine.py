@@ -60,6 +60,7 @@ from repro.engine.store import ResultStore
 from repro.meg.base import DynamicGraph
 from repro.stats.sequential import MomentSketch, sketch_from_samples, sketch_salt
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
 from repro.util.rng import spawn_seed_sequences
 
 BACKENDS = ("auto", "set", "vectorized", "sparse", "bitset", "batch")
@@ -336,6 +337,13 @@ def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict
     :class:`~repro.telemetry.core.Telemetry` for the chunk and ships its
     metrics back as the snapshot; a pool *thread* shares the parent's
     registry directly and returns ``None``.
+
+    ``context`` (the payload's last element) carries the parent's telemetry
+    directory and trace carrier: when present, the chunk also records one
+    ``engine.chunk`` span — through a per-process file-backed writer in a
+    pool process (its own ``events-*.jsonl``: the third process of a traced
+    serve request's tree), or through the shared registry in a pool thread
+    — stamped with the trace id and parented on the engine's run span.
     """
     (
         model,
@@ -347,13 +355,15 @@ def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict
         backend,
         source_chunk,
         collect,
+        context,
     ) = payload
     started = time.perf_counter()
     child = None
     inherited = telemetry.active()
+    foreign = inherited is None or inherited.pid != os.getpid()
     # A forked pool worker inherits the parent's instance but must not write
     # through it (its buffers die with the fork); give it a fresh registry.
-    if collect and (inherited is None or inherited.pid != os.getpid()):
+    if collect and foreign:
         child = telemetry.activate(telemetry.Telemetry(directory=None))
     try:
         outcomes = _run_trial_chunk(
@@ -363,7 +373,32 @@ def _execute_chunk(payload) -> tuple[list[tuple[int, int]], float, Optional[dict
         if child is not None:
             telemetry.deactivate(child)
     snapshot = child.metrics_snapshot() if child is not None else None
-    return outcomes, time.perf_counter() - started, snapshot
+    execute_seconds = time.perf_counter() - started
+    if context is not None:
+        writer = _chunk_writer(context["directory"]) if foreign else inherited
+        if writer is not None:
+            with tracectx.attach_carrier(context.get("trace")):
+                writer.record_span(
+                    "engine.chunk", execute_seconds, trials=len(seeds)
+                )
+    return outcomes, execute_seconds, snapshot
+
+
+#: Per-(directory, pid) file-backed writers for pool-child chunk spans.  The
+#: writer is deliberately never closed: it has no metrics to flush (chunk
+#: metrics ship back to the parent as snapshots) and every span line is
+#: flushed on write, so a pool child can simply exit.
+_chunk_writers: dict = {}
+
+
+def _chunk_writer(directory: Optional[str]):
+    if directory is None:
+        return None
+    key = (str(directory), os.getpid())
+    writer = _chunk_writers.get(key)
+    if writer is None:
+        writer = _chunk_writers[key] = telemetry.Telemetry(directory)
+    return writer
 
 
 def _store_payload(
@@ -514,6 +549,12 @@ class Engine:
             models = [model] * len(chunks)
             pool_type = ProcessPoolExecutor
         tel = telemetry.active()
+        context = None
+        if tel is not None and tel.directory is not None:
+            context = {"directory": tel.directory}
+            carrier = telemetry.trace_carrier()
+            if carrier is not None:
+                context["trace"] = carrier
         payloads = [
             (
                 chunk_model,
@@ -525,6 +566,7 @@ class Engine:
                 self.backend,
                 self.source_chunk,
                 tel is not None,
+                context,
             )
             for chunk_model, chunk in zip(models, chunks)
         ]

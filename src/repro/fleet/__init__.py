@@ -23,6 +23,10 @@ those shards onto a fleet of workers automatically:
     one-shot run.
 ``repro.fleet.status``
     ``repro fleet status``: progress and failure inspection of a spool.
+``repro.fleet.top``
+    ``repro fleet top``: a live refreshing dashboard over the same data —
+    queue depths, per-worker utilization, throughput, drain ETA, slowest
+    in-flight jobs.
 """
 
 from repro.fleet.coordinator import (
@@ -63,6 +67,7 @@ from repro.fleet.status import (
     spool_status,
     status_as_dict,
 )
+from repro.fleet.top import gather_frame, render_frame, run_top
 from repro.fleet.worker import default_worker_id, run_worker
 
 __all__ = [
@@ -84,12 +89,15 @@ __all__ = [
     "expected_store_keys",
     "experiment_job_payloads",
     "format_status",
+    "gather_frame",
     "job_expected_keys",
     "merge_fleet_stores",
     "plan_variance_budgets",
+    "render_frame",
     "request_from_payload",
     "request_job_payloads",
     "run_fleet",
+    "run_top",
     "run_worker",
     "spawn_local_worker",
     "spool_metrics",

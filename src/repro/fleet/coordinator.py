@@ -53,6 +53,7 @@ from repro.fleet.jobs import (
 )
 from repro.fleet.queue import JobSpool
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
 from repro.telemetry.log import get_logger
 
 _logger = get_logger("fleet")
@@ -71,6 +72,8 @@ class FleetOutcome:
     requeued: tuple[str, ...]
     elapsed_seconds: float
     errors: dict[str, str] = field(default_factory=dict)
+    #: Trace id the run executed under (``repro telemetry trace <id>``).
+    trace: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -149,6 +152,12 @@ def _enqueue_payloads(
     budget.  Only genuinely missing jobs are enqueued.
     """
     with telemetry.span("fleet.enqueue", jobs=len(payloads), resume=resume):
+        # Stamp the run's trace carrier onto every descriptor here, inside
+        # the enqueue span, so worker.job spans parent on it cross-process.
+        carrier = telemetry.trace_carrier()
+        if carrier is not None:
+            for payload in payloads:
+                payload.setdefault("trace", dict(carrier))
         spool.write_config()
         if not resume:
             for payload in payloads:
@@ -185,6 +194,7 @@ def run_fleet(
     profile: bool = False,
     log_level: Optional[str] = None,
     resume: bool = False,
+    trace: Optional[str] = None,
 ) -> FleetOutcome:
     """Enqueue ``payloads``, drive the spool until drained, report the outcome.
 
@@ -213,12 +223,37 @@ def run_fleet(
         stores) keep their results, failed or incomplete ones are
         re-enqueued, and only missing jobs are added — instead of rejecting
         the workload's deterministic ids as duplicates.
+    trace:
+        Optional trace id for the run; ``None`` adopts the thread's already
+        attached scope or mints a fresh id.  Every fleet span, stamped job
+        descriptor and therefore every worker/engine span downstream
+        carries it — ``repro telemetry trace <id>`` reconstructs the run.
     """
     if local_workers < 0:
         raise ValueError(f"local_workers must be >= 0, got {local_workers}")
     if log is None:
         log = _logger.info
+    trace_id = trace or tracectx.current_trace_id() or tracectx.mint_trace_id()
+    with tracectx.attach_trace(trace_id):
+        return _run_fleet_traced(
+            spool, payloads, local_workers, poll, max_wait, log,
+            telemetry_dir, profile, log_level, resume, trace_id,
+        )
 
+
+def _run_fleet_traced(
+    spool: JobSpool,
+    payloads: Sequence[dict],
+    local_workers: int,
+    poll: float,
+    max_wait: Optional[float],
+    log,
+    telemetry_dir: Optional[str],
+    profile: bool,
+    log_level: Optional[str],
+    resume: bool,
+    trace_id: str,
+) -> FleetOutcome:
     def _spawn() -> subprocess.Popen:
         return spawn_local_worker(
             spool.root,
@@ -283,6 +318,7 @@ def run_fleet(
         requeued=tuple(requeued),
         elapsed_seconds=time.perf_counter() - started,
         errors=errors,
+        trace=trace_id,
     )
 
 

@@ -52,6 +52,7 @@ from repro.engine import (
 from repro.engine.store import jsonify
 from repro.fleet.queue import JobSpool
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
 
 JOB_KINDS = ("sweep", "experiment", "flood")
 
@@ -119,8 +120,16 @@ def request_job_payloads(
     shards: int,
     engine: Optional[dict] = None,
     priority: str = DEFAULT_PRIORITY,
+    trace: Optional[dict] = None,
 ) -> list[dict]:
-    """The ``K`` job descriptors of a compiled request sharded ``K`` ways."""
+    """The ``K`` job descriptors of a compiled request sharded ``K`` ways.
+
+    ``trace`` is an optional propagation carrier (``{"id", "parent"}``,
+    see :func:`repro.telemetry.core.trace_carrier`) stamped onto each
+    descriptor.  It is execution metadata only: job ids digest just the
+    request, so traced and untraced enqueues of the same workload collide
+    on the same deterministic ids.
+    """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if priority not in PRIORITIES:
@@ -146,17 +155,18 @@ def request_job_payloads(
     payloads = []
     for index in range(shards):
         job_id = f"{prefix}-{request.kind}-{digest}-{index:03d}of{shards:03d}"
-        payloads.append(
-            {
-                "id": job_id,
-                "kind": request.kind,
-                "priority": priority,
-                "request": request.as_dict(),
-                "shard": [index, shards],
-                "engine": _engine_config(engine),
-                "store": f"stores/{job_id}",
-            }
-        )
+        payload = {
+            "id": job_id,
+            "kind": request.kind,
+            "priority": priority,
+            "request": request.as_dict(),
+            "shard": [index, shards],
+            "engine": _engine_config(engine),
+            "store": f"stores/{job_id}",
+        }
+        if trace:
+            payload["trace"] = dict(trace) if isinstance(trace, dict) else {"id": str(trace)}
+        payloads.append(payload)
     return payloads
 
 
@@ -244,7 +254,14 @@ def execute_job(payload: dict, spool: JobSpool) -> dict:
     kind = payload.get("kind")
     if kind not in JOB_KINDS:
         raise ValueError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
-    with telemetry.span("job.execute", job=payload.get("id"), kind=kind):
+    # Adopt the descriptor's trace carrier (a no-op scope when untraced or
+    # when the worker loop already attached it around the lease).
+    # The field is named ``workload`` (not ``kind``): span fields merge into
+    # the record, and a ``kind`` field would clobber the ``"kind": "span"``
+    # discriminator every telemetry reader filters on.
+    with tracectx.attach_carrier(payload.get("trace")), telemetry.span(
+        "job.execute", job=payload.get("id"), workload=kind
+    ):
         plan = compile_request(request_from_payload(payload))
         store = ResultStore(spool.resolve(payload["store"]))
         store.touch()

@@ -34,6 +34,7 @@ from typing import Optional
 from repro.fleet.jobs import execute_job
 from repro.fleet.queue import JobSpool
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
 from repro.telemetry.log import get_logger
 
 #: Heartbeats per lease TTL — frequent enough that one missed beat (a busy
@@ -148,7 +149,11 @@ def run_worker(
         heartbeat = _Heartbeat(spool, job.id, heartbeat_interval)
         heartbeat.start()
         started = time.perf_counter()
-        with telemetry.span(
+        # The descriptor's trace carrier scopes the whole job: the
+        # worker.job span becomes the trace's cross-process child of the
+        # enqueuing request span, and everything the engine records below
+        # inherits the id.
+        with tracectx.attach_carrier(job.payload.get("trace")), telemetry.span(
             "worker.job", job=job.id, worker=worker, attempts=job.attempts
         ) as job_span:
             try:

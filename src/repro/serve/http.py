@@ -10,10 +10,11 @@ warm HTTP answer can be byte-compared against a local run's output.
 Endpoints::
 
     POST /v1/requests            submit a WorkRequest (+ optional execution
-                                 hints "shards" and "priority")
+                                 hints "shards", "priority" and "trace")
     GET  /v1/requests/<ticket>   poll a cold request to completion
     GET  /v1/status              spool progress, store size, queue occupancy
-    GET  /healthz                liveness probe
+    GET  /healthz                liveness + version/spool/store probes
+    GET  /metrics                Prometheus text exposition (live tail)
 """
 
 from __future__ import annotations
@@ -46,7 +47,10 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path == "/healthz":
-            self._send(ServeResult(200, {"ok": True}))
+            self._send(self.service.health())
+            return
+        if self.path == "/metrics":
+            self._send_text(self.service.metrics_text())
             return
         if self.path == "/v1/status":
             self._send(self.service.status())
@@ -99,6 +103,14 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         if body:
             self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         _logger.debug("%s %s", self.address_string(), format % args)

@@ -48,11 +48,33 @@ from repro.fleet.jobs import DEFAULT_PRIORITY, PRIORITIES, request_job_payloads
 from repro.fleet.queue import JobSpool
 from repro.fleet.status import spool_snapshot
 from repro.telemetry import core as telemetry
+from repro.telemetry import trace as tracectx
+from repro.telemetry.timeseries import TelemetryTailer
 
 #: Default bound on pending+active spool jobs before cold requests get 429.
 DEFAULT_MAX_QUEUE = 64
 
 _TICKETS_DIR = "tickets"
+
+#: Shape accepted for a client-supplied trace id (hint field ``"trace"``).
+_TRACE_ID_MAX_LENGTH = 64
+
+
+def _validated_trace(value: object) -> Optional[str]:
+    """A client trace id, validated; ``None`` when absent (server mints one)."""
+    if value is None:
+        return None
+    if (
+        not isinstance(value, str)
+        or not value
+        or len(value) > _TRACE_ID_MAX_LENGTH
+        or not all(ch.isalnum() or ch in "-_" for ch in value)
+    ):
+        raise InvalidParameterError(
+            f"trace must be a short alphanumeric id "
+            f"(max {_TRACE_ID_MAX_LENGTH} chars), got {value!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -116,6 +138,7 @@ class SimulationService:
         self.default_shards = int(default_shards)
         self.engine_config = dict(engine_config or {})
         self._lock = threading.Lock()
+        self._tailer: Optional[TelemetryTailer] = None
         self._tickets_dir = os.path.join(spool.root, _TICKETS_DIR)
         os.makedirs(self._tickets_dir, exist_ok=True)
         spool.write_config()
@@ -124,7 +147,35 @@ class SimulationService:
     # endpoints
     # -------------------------------------------------------------- #
     def submit(self, body: object, if_none_match: Optional[str] = None) -> ServeResult:
-        """POST /v1/requests — warm 200/304, cold 202, full 429, bad 400."""
+        """POST /v1/requests — warm 200/304, cold 202, full 429, bad 400.
+
+        Every submission runs under a trace scope: the client may carry its
+        own id in the ``"trace"`` hint field (popped with the other
+        execution hints, so it never perturbs tickets/ETags/store keys),
+        otherwise the service mints one.  The id is echoed in the
+        ``X-Trace-Id`` response header and stamped into any spool jobs the
+        request fans out to.
+        """
+        data = body
+        try:
+            if isinstance(body, dict):
+                data = dict(body)
+                trace_id = _validated_trace(data.pop("trace", None))
+            else:
+                trace_id = None
+        except RequestError as error:
+            telemetry.count("serve.requests")
+            telemetry.count("serve.request.invalid")
+            return _error(400, error)
+        trace_id = trace_id or tracectx.mint_trace_id()
+        with tracectx.attach_trace(trace_id):
+            result = self._submit_traced(data, if_none_match, trace_id)
+        result.headers.setdefault("X-Trace-Id", trace_id)
+        return result
+
+    def _submit_traced(
+        self, body: object, if_none_match: Optional[str], trace_id: str
+    ) -> ServeResult:
         with telemetry.span("serve.request", endpoint="submit"):
             telemetry.count("serve.requests")
             try:
@@ -142,12 +193,22 @@ class SimulationService:
                 telemetry.count("serve.cache.hit")
                 return ServeResult(200, payload, {"ETag": etag, "X-Cache": "hit"})
             telemetry.count("serve.cache.miss")
-            return self._enqueue_cold(request, shards, priority, etag)
+            return self._enqueue_cold(request, shards, priority, etag, trace_id)
 
     def poll(self, ticket: str, if_none_match: Optional[str] = None) -> ServeResult:
         """GET /v1/requests/<ticket> — 200 done, 202 pending, 500 failed."""
+        record = self._read_ticket(ticket)
+        trace_id = (record or {}).get("trace")
+        with tracectx.attach_trace(trace_id):
+            result = self._poll_traced(ticket, record, if_none_match)
+        if trace_id:
+            result.headers.setdefault("X-Trace-Id", trace_id)
+        return result
+
+    def _poll_traced(
+        self, ticket: str, record: Optional[dict], if_none_match: Optional[str]
+    ) -> ServeResult:
         with telemetry.span("serve.request", endpoint="poll"):
-            record = self._read_ticket(ticket)
             if record is None:
                 return _error(404, f"unknown ticket {ticket!r}")
             plan = compile_request(WorkRequest.from_dict(record["request"]))
@@ -211,6 +272,61 @@ class SimulationService:
                 },
             )
 
+    def health(self) -> ServeResult:
+        """GET /healthz — liveness plus the cheap dependency probes.
+
+        Reports the package version, whether the spool directory is
+        reachable (exists and is listable) and whether the store directory
+        is writable — enough for a dashboard or external monitor to tell
+        "the process is up" from "the process is up but cannot take work".
+        Degraded probes turn the status into a 503 so plain HTTP checks
+        need no body parsing.
+        """
+        from repro import __version__
+
+        spool_root = self.spool.root
+        spool_reachable = os.path.isdir(spool_root) and os.access(
+            spool_root, os.R_OK | os.X_OK
+        )
+        store_dir = os.path.dirname(self.store.path) or "."
+        store_writable = os.path.isdir(store_dir) and os.access(store_dir, os.W_OK)
+        ok = spool_reachable and store_writable
+        return ServeResult(
+            200 if ok else 503,
+            {
+                "ok": ok,
+                "version": __version__,
+                "spool": {"path": spool_root, "reachable": spool_reachable},
+                "store": {"path": self.store.path, "writable": store_writable},
+            },
+        )
+
+    def metrics_text(self) -> str:
+        """GET /metrics — Prometheus text exposition of live platform state.
+
+        Combines two sources: the service process's own in-memory metrics
+        registry (``serve.*`` counters, which are only flushed to disk at
+        shutdown) and an incremental tail of the shared telemetry
+        directory, which carries the fleet side — worker job spans, queue
+        transitions, closed processes' flushed registries.  Without an
+        active ``--telemetry`` directory the exposition still renders the
+        live in-process registry.
+        """
+        from repro import __version__
+
+        active = telemetry.active()
+        directory = getattr(active, "directory", None)
+        if directory is None:
+            # No shared directory: tail a path that never exists so the
+            # exposition is purely the live snapshot.
+            directory = os.path.join(self.spool.root, "_no-telemetry")
+        with self._lock:
+            if self._tailer is None or self._tailer.directory != directory:
+                self._tailer = TelemetryTailer(directory)
+            return self._tailer.exposition(
+                extra=telemetry.metrics_snapshot(), version=__version__
+            )
+
     # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
@@ -246,10 +362,13 @@ class SimulationService:
             records[job.tag] = record
         return plan.assemble(records)
 
-    def _enqueue_cold(self, request, shards: int, priority: str, etag: str) -> ServeResult:
+    def _enqueue_cold(
+        self, request, shards: int, priority: str, etag: str, trace_id: str
+    ) -> ServeResult:
         try:
             payloads = request_job_payloads(
-                request, shards, engine=self.engine_config, priority=priority
+                request, shards, engine=self.engine_config, priority=priority,
+                trace=telemetry.trace_carrier(),
             )
         except ValueError as error:
             telemetry.count("serve.request.invalid")
@@ -282,6 +401,7 @@ class SimulationService:
                     "jobs": [payload["id"] for payload in payloads],
                     "shards": shards,
                     "priority": priority,
+                    "trace": trace_id,
                 }
             )
         if enqueued:
@@ -289,7 +409,12 @@ class SimulationService:
         location = f"/v1/requests/{ticket}"
         return ServeResult(
             202,
-            {"status": "pending", "ticket": ticket, "location": location},
+            {
+                "status": "pending",
+                "ticket": ticket,
+                "location": location,
+                "trace": trace_id,
+            },
             {"Location": location, "ETag": etag},
         )
 

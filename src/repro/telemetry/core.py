@@ -46,11 +46,14 @@ import threading
 import time
 from typing import Optional
 
+from repro.telemetry import trace as _trace
+
 __all__ = [
     "Telemetry",
     "activate",
     "active",
     "count",
+    "current_span_id",
     "deactivate",
     "default_process_id",
     "disable",
@@ -60,6 +63,7 @@ __all__ = [
     "metrics_snapshot",
     "span",
     "timing",
+    "trace_carrier",
 ]
 
 
@@ -228,6 +232,27 @@ class Telemetry:
         """A context manager timing ``name``; records one ``span`` event."""
         return _Span(self, name, fields)
 
+    def record_span(self, name: str, duration_seconds: float, **fields) -> None:
+        """Record an already-timed span (work that was measured out of band).
+
+        The engine's pool children use this: the chunk is timed around the
+        kernel call itself, then recorded in one write — no open span held
+        across the chunk, so a child killed mid-chunk loses only its own
+        record, never a half-open parent stack.
+        """
+        span_id, parent_id = self._enter_span()
+        self._exit_span()
+        self._write(
+            {
+                "kind": "span",
+                "name": name,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "duration_seconds": float(duration_seconds),
+                **fields,
+            }
+        )
+
     # ------------------------------------------------------------------ #
     # metrics
     # ------------------------------------------------------------------ #
@@ -296,6 +321,7 @@ class Telemetry:
         if self.path is None or self._closed:
             return
         record = {"ts": time.time(), "process": self.process, **record}
+        _trace.stamp(record)
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
         with self._lock:
             if self._handle is None:
@@ -303,11 +329,17 @@ class Telemetry:
             self._handle.write(line)
             self._handle.flush()
 
-    def close(self) -> None:
-        """Flush the metrics registry and close the event file."""
+    def close(self, flush: bool = True) -> None:
+        """Flush the metrics registry (unless ``flush=False``) and close the file.
+
+        ``flush=False`` is for pool children that already ship their
+        registry back to the parent as a snapshot: closing without the
+        final ``metrics`` event keeps fleet-wide counters single-counted.
+        """
         if self._closed:
             return
-        self.flush_metrics()
+        if flush:
+            self.flush_metrics()
         with self._lock:
             self._closed = True
             if self._handle is not None:
@@ -388,6 +420,39 @@ def event(name: str, **fields) -> None:
     telemetry = _active
     if telemetry is not None:
         telemetry.event(name, **fields)
+
+
+def current_span_id() -> Optional[str]:
+    """The calling thread's innermost open span id, or ``None``.
+
+    The hook trace propagation uses to name a remote parent: a process
+    about to hand work to another process (serve enqueuing spool jobs, the
+    engine shipping chunk payloads to pool children) captures this id into
+    the carrier so the receiver's top-level spans can point back at it.
+    """
+    telemetry = _active
+    if telemetry is None:
+        return None
+    stack = telemetry._stack()
+    return stack[-1] if stack else None
+
+
+def trace_carrier() -> Optional[dict]:
+    """The thread's trace context as a JSON-able propagation carrier.
+
+    ``{"id": <trace id>, "parent": <current span id>}`` — the form stamped
+    into fleet job descriptors and engine chunk payloads — or ``None``
+    when no trace scope is attached (the carrier then simply stays off the
+    payload, keeping untraced runs byte-identical to pre-trace builds).
+    """
+    trace_id = _trace.current_trace_id()
+    if trace_id is None:
+        return None
+    carrier = {"id": trace_id}
+    parent = current_span_id()
+    if parent is not None:
+        carrier["parent"] = parent
+    return carrier
 
 
 def metrics_snapshot() -> Optional[dict]:

@@ -30,15 +30,20 @@ __all__ = ["format_report", "load_events", "summarize_events", "telemetry_report
 JOB_SPANS = ("worker.job", "engine.run", "engine.run_shard")
 
 
-def load_events(directory: str) -> list[dict]:
+def load_events(directory: str, with_skipped: bool = False):
     """Every parseable event in ``directory``'s ``events-*.jsonl`` files.
 
     Events are returned in wall-clock order (the per-process files are
-    already ordered; the merge sorts by the ``ts`` stamp).
+    already ordered; the merge sorts by the ``ts`` stamp).  With
+    ``with_skipped=True`` the return value is ``(events, skipped)`` where
+    ``skipped`` counts the corrupt or truncated lines that were dropped —
+    forensics on a crashed run should say how much evidence went missing
+    rather than silently reading past it.
     """
     if not os.path.isdir(directory):
         raise FileNotFoundError(f"no telemetry directory at {directory}")
     events: list[dict] = []
+    skipped = 0
     for path in sorted(glob.glob(os.path.join(directory, "events-*.jsonl"))):
         with open(path, encoding="utf-8") as handle:
             for line in handle:
@@ -48,10 +53,15 @@ def load_events(directory: str) -> list[dict]:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # truncated tail of a crashed process
+                    skipped += 1  # truncated tail of a crashed process
+                    continue
                 if isinstance(record, dict):
                     events.append(record)
+                else:
+                    skipped += 1  # parseable but not an event object
     events.sort(key=lambda record: record.get("ts", 0.0))
+    if with_skipped:
+        return events, skipped
     return events
 
 
@@ -67,8 +77,13 @@ def _merge_timing(into: dict, name: str, serialized: dict) -> None:
     aggregate["mean"] = aggregate["total"] / aggregate["count"] if aggregate["count"] else 0.0
 
 
-def summarize_events(events: list[dict], top: int = 5) -> dict:
-    """Fold a merged event list into the report dict (see module docstring)."""
+def summarize_events(events: list[dict], top: int = 5, skipped_lines: int = 0) -> dict:
+    """Fold a merged event list into the report dict (see module docstring).
+
+    ``skipped_lines`` is the unparseable-line count from
+    :func:`load_events`; it is surfaced verbatim in the summary so both the
+    text and ``--json`` report forms show how lossy the read was.
+    """
     processes: dict[str, dict] = {}
     phases: dict[str, dict] = {}
     counters: dict[str, float] = {}
@@ -157,6 +172,7 @@ def summarize_events(events: list[dict], top: int = 5) -> dict:
 
     return {
         "events": len(events),
+        "skipped_lines": int(skipped_lines),
         "processes": processes,
         "phases": phases,
         "metrics": {"counters": counters, "gauges": gauges, "timings": timings},
@@ -178,7 +194,8 @@ def summarize_events(events: list[dict], top: int = 5) -> dict:
 
 def telemetry_report(directory: str, top: int = 5) -> dict:
     """Load and summarize a telemetry directory in one call."""
-    return summarize_events(load_events(directory), top=top)
+    events, skipped = load_events(directory, with_skipped=True)
+    return summarize_events(events, top=top, skipped_lines=skipped)
 
 
 def format_report(summary: dict) -> str:
@@ -187,6 +204,11 @@ def format_report(summary: dict) -> str:
         f"telemetry: {summary['events']} event(s) from "
         f"{len(summary['processes'])} process(es)"
     ]
+    if summary.get("skipped_lines"):
+        lines.append(
+            f"warning: skipped {summary['skipped_lines']} corrupt/truncated "
+            f"line(s) while reading event files"
+        )
 
     if summary["phases"]:
         lines.append("phase wall-clock breakdown:")

@@ -1,0 +1,371 @@
+"""Trace-context propagation and cross-process trace reconstruction.
+
+A *trace* follows one unit of platform work — an HTTP request accepted by
+``repro serve``, or one ``repro fleet run`` invocation — across every
+process that touches it.  The model is deliberately small:
+
+* a **trace id** is 16 hex characters minted from :func:`os.urandom` (no
+  simulation RNG stream is ever touched, preserving the telemetry
+  invisibility contract);
+* the id travels *in band* as execution metadata — stamped into fleet job
+  descriptors and engine chunk payloads, never into a
+  :class:`~repro.api.WorkRequest` — so tickets, ETags and store keys are
+  byte-identical with tracing on or off;
+* inside a process the id lives in a thread-local **trace scope**
+  (:func:`attach` / :func:`attach_carrier`); while a scope is active,
+  every record the process's :class:`~repro.telemetry.core.Telemetry`
+  writes is stamped with ``"trace"``, and top-level spans additionally
+  record the remote parent span id as ``"trace_parent"`` — the
+  cross-process edge.
+
+Reconstruction reads the merged event files back
+(:func:`~repro.telemetry.report.load_events`) and rebuilds the tree:
+:func:`summarize_trace` links spans by in-process ``parent_id`` first and
+``trace_parent`` across processes, synthesises per-job spool-wait times
+from traced ``queue.enqueue`` events, and computes the critical path (the
+chain of spans that determines the trace's wall time).  ``repro telemetry
+trace <id>`` renders the result via :func:`format_trace`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "TRACE_FIELD",
+    "attach_carrier",
+    "attach_trace",
+    "current_parent",
+    "current_trace_id",
+    "format_trace",
+    "list_traces",
+    "mint_trace_id",
+    "stamp",
+    "summarize_trace",
+]
+
+#: Field name stamped on telemetry records (and carried by job payloads).
+TRACE_FIELD = "trace"
+
+_local = threading.local()
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (entropy from the OS, not any sim RNG)."""
+    return os.urandom(8).hex()
+
+
+def _scopes() -> list:
+    scopes = getattr(_local, "scopes", None)
+    if scopes is None:
+        scopes = _local.scopes = []
+    return scopes
+
+
+def current_trace_id() -> Optional[str]:
+    """The innermost attached trace id, or ``None`` outside any scope."""
+    scopes = getattr(_local, "scopes", None)
+    return scopes[-1][0] if scopes else None
+
+
+def current_parent() -> Optional[str]:
+    """The innermost scope's remote parent span id (``None`` when absent)."""
+    scopes = getattr(_local, "scopes", None)
+    return scopes[-1][1] if scopes else None
+
+
+class _NullScope:
+    """No-op scope returned for an empty carrier (keeps call sites branchless)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _TraceScope:
+    """Thread-local activation of one trace id (+ optional remote parent)."""
+
+    __slots__ = ("trace_id", "parent")
+
+    def __init__(self, trace_id: str, parent: Optional[str]) -> None:
+        self.trace_id = trace_id
+        self.parent = parent
+
+    def __enter__(self) -> "_TraceScope":
+        _scopes().append((self.trace_id, self.parent))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        scopes = _scopes()
+        if scopes:
+            scopes.pop()
+        return False
+
+
+def attach_trace(trace_id: Optional[str], parent: Optional[str] = None):
+    """A context manager activating ``trace_id`` for the current thread.
+
+    ``parent`` is the span id (in another process) that logically invoked
+    this work; top-level spans recorded inside the scope are stamped with
+    it as ``trace_parent``.  A falsy ``trace_id`` yields a no-op scope.
+    """
+    if not trace_id:
+        return _NULL_SCOPE
+    return _TraceScope(str(trace_id), parent)
+
+
+def attach_carrier(carrier):
+    """Activate a propagated carrier: a trace id string or ``{"id", "parent"}``."""
+    if not carrier:
+        return _NULL_SCOPE
+    if isinstance(carrier, str):
+        return attach_trace(carrier)
+    try:
+        return attach_trace(carrier.get("id"), carrier.get("parent"))
+    except AttributeError:
+        return _NULL_SCOPE
+
+
+def stamp(record: dict) -> None:
+    """Stamp the active scope onto one telemetry record (in place).
+
+    Called from :meth:`Telemetry._write <repro.telemetry.core.Telemetry>`
+    on the already-enabled path only, so the disabled fast path never pays
+    for it.  Spans with no in-process parent get the scope's remote parent
+    as ``trace_parent`` — the edge :func:`summarize_trace` follows across
+    process boundaries.
+    """
+    scopes = getattr(_local, "scopes", None)
+    if not scopes:
+        return
+    trace_id, parent = scopes[-1]
+    record.setdefault(TRACE_FIELD, trace_id)
+    if (
+        parent is not None
+        and record.get("kind") == "span"
+        and record.get("parent_id") is None
+        and "trace_parent" not in record
+    ):
+        record["trace_parent"] = parent
+
+
+# --------------------------------------------------------------------- #
+# reconstruction
+# --------------------------------------------------------------------- #
+def list_traces(events: Sequence[dict]) -> list[dict]:
+    """Every trace id seen in ``events``, newest first, with a one-line shape.
+
+    Each entry: ``trace``, ``root`` (name of the earliest-starting root
+    span, or ``None``), ``spans``, ``processes``, ``started`` (epoch
+    seconds) and ``wall_seconds``.
+    """
+    by_trace: dict[str, list[dict]] = {}
+    for event in events:
+        trace_id = event.get(TRACE_FIELD)
+        if trace_id:
+            by_trace.setdefault(str(trace_id), []).append(event)
+    entries = []
+    for trace_id, records in by_trace.items():
+        summary = summarize_trace(records, trace_id)
+        entries.append(
+            {
+                "trace": trace_id,
+                "root": summary["roots"][0]["name"] if summary["roots"] else None,
+                "spans": summary["spans"],
+                "processes": len(summary["processes"]),
+                "started": summary["started"],
+                "wall_seconds": summary["wall_seconds"],
+            }
+        )
+    entries.sort(key=lambda entry: -(entry["started"] or 0.0))
+    return entries
+
+
+def _span_nodes(events: Iterable[dict], trace_id: str) -> list[dict]:
+    """Span records of one trace as mutable tree nodes (children unset)."""
+    nodes = []
+    for event in events:
+        if event.get("kind") != "span" or event.get(TRACE_FIELD) != trace_id:
+            continue
+        end = float(event.get("ts", 0.0))
+        duration = float(event.get("duration_seconds", 0.0))
+        node = {
+            "name": event.get("name", "?"),
+            "span_id": event.get("span_id"),
+            "parent_id": event.get("parent_id"),
+            "trace_parent": event.get("trace_parent"),
+            "process": event.get("process", "?"),
+            "start": end - duration,
+            "end": end,
+            "duration_seconds": duration,
+            "children": [],
+        }
+        for key, value in event.items():
+            if key not in node and key not in (
+                "kind", "ts", TRACE_FIELD, "duration_seconds",
+            ):
+                node[key] = value
+        nodes.append(node)
+    return nodes
+
+
+def _link(nodes: list[dict]) -> list[dict]:
+    """Wire parent/child edges; returns the roots sorted by start time."""
+    by_id = {}
+    for node in nodes:
+        span_id = node["span_id"]
+        if span_id is not None and span_id not in by_id:
+            by_id[span_id] = node
+    roots = []
+    for node in nodes:
+        parent = by_id.get(node["parent_id"]) or by_id.get(node["trace_parent"])
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes:
+        node["children"].sort(key=lambda child: child["start"])
+    roots.sort(key=lambda node: node["start"])
+    return roots
+
+
+def _attach_queue_waits(events: Iterable[dict], trace_id: str, nodes: list[dict]) -> dict:
+    """Fold traced ``queue.enqueue`` events into per-job spool-wait times."""
+    enqueued: dict[str, float] = {}
+    for event in events:
+        if (
+            event.get("kind") == "event"
+            and event.get("name") == "queue.enqueue"
+            and event.get(TRACE_FIELD) == trace_id
+            and event.get("job")
+        ):
+            enqueued[str(event["job"])] = float(event.get("ts", 0.0))
+    waits = []
+    for node in nodes:
+        job = node.get("job")
+        if node["name"] == "worker.job" and job in enqueued:
+            wait = max(0.0, node["start"] - enqueued[job])
+            node["queue_wait_seconds"] = wait
+            waits.append(wait)
+    summary = {"jobs_enqueued": len(enqueued), "jobs_executed": len(waits)}
+    if waits:
+        summary["mean_wait_seconds"] = sum(waits) / len(waits)
+        summary["max_wait_seconds"] = max(waits)
+    return summary
+
+
+def _critical_path(roots: list[dict]) -> list[dict]:
+    """The chain of spans that determines the trace's end time.
+
+    Starting from the root that finishes last, repeatedly descend into the
+    child that finishes last: the resulting spine is the sequence of spans
+    on which the trace's wall-clock completion actually waited.
+    """
+    if not roots:
+        return []
+    path = []
+    node = max(roots, key=lambda candidate: candidate["end"])
+    while node is not None:
+        path.append(
+            {
+                "name": node["name"],
+                "process": node["process"],
+                "span_id": node["span_id"],
+                "duration_seconds": node["duration_seconds"],
+            }
+        )
+        children = node["children"]
+        node = max(children, key=lambda child: child["end"]) if children else None
+    return path
+
+
+def summarize_trace(events: Sequence[dict], trace_id: str) -> dict:
+    """Reconstruct one trace from merged telemetry events.
+
+    Returns a JSON-able dict: ``trace``, ``spans``, ``events`` (non-span
+    records carrying the trace), ``processes`` (sorted), ``started`` /
+    ``wall_seconds`` (earliest span start / overall extent), ``roots``
+    (the span forest, children nested), ``critical_path`` and ``queue``
+    (spool-wait statistics for the trace's jobs).
+    """
+    trace_id = str(trace_id)
+    nodes = _span_nodes(events, trace_id)
+    plain = [
+        event
+        for event in events
+        if event.get(TRACE_FIELD) == trace_id and event.get("kind") != "span"
+    ]
+    roots = _link(nodes)
+    queue = _attach_queue_waits(events, trace_id, nodes)
+    processes = sorted({node["process"] for node in nodes})
+    started = min((node["start"] for node in nodes), default=None)
+    finished = max((node["end"] for node in nodes), default=None)
+    return {
+        "trace": trace_id,
+        "spans": len(nodes),
+        "events": len(plain),
+        "processes": processes,
+        "started": started,
+        "wall_seconds": (finished - started) if nodes else 0.0,
+        "roots": roots,
+        "critical_path": _critical_path(roots),
+        "queue": queue,
+    }
+
+
+def _format_node(node: dict, origin: float, depth: int, lines: list[str]) -> None:
+    offset = node["start"] - origin
+    detail = [f"+{offset:.3f}s", f"{node['duration_seconds']:.3f}s"]
+    for key in ("job", "worker", "label", "shard", "outcome", "error"):
+        if node.get(key) is not None:
+            detail.append(f"{key}={node[key]}")
+    if node.get("queue_wait_seconds") is not None:
+        detail.append(f"queue_wait={node['queue_wait_seconds']:.3f}s")
+    lines.append(
+        f"{'  ' * depth}{node['name']} [{node['process']}]  " + "  ".join(detail)
+    )
+    for child in node["children"]:
+        _format_node(child, origin, depth + 1, lines)
+
+
+def format_trace(summary: dict) -> str:
+    """Human-readable rendering of a :func:`summarize_trace` summary."""
+    lines = [
+        f"trace {summary['trace']}: {summary['spans']} spans across "
+        f"{len(summary['processes'])} process(es), "
+        f"{summary['wall_seconds']:.3f}s wall"
+    ]
+    if summary["processes"]:
+        lines.append("processes: " + ", ".join(summary["processes"]))
+    queue = summary.get("queue") or {}
+    if queue.get("jobs_executed"):
+        lines.append(
+            f"spool: {queue['jobs_executed']}/{queue['jobs_enqueued']} traced "
+            f"job(s) executed, mean wait {queue.get('mean_wait_seconds', 0.0):.3f}s, "
+            f"max {queue.get('max_wait_seconds', 0.0):.3f}s"
+        )
+    if not summary["roots"]:
+        lines.append("no spans recorded for this trace")
+        return "\n".join(lines) + "\n"
+    origin = summary["started"] or 0.0
+    lines.append("")
+    for root in summary["roots"]:
+        _format_node(root, origin, 0, lines)
+    path = summary["critical_path"]
+    if path:
+        lines.append("")
+        total = sum(step["duration_seconds"] for step in path)
+        steps = " -> ".join(
+            f"{step['name']}({step['duration_seconds']:.3f}s)" for step in path
+        )
+        lines.append(f"critical path ({total:.3f}s): {steps}")
+    return "\n".join(lines) + "\n"

@@ -265,7 +265,12 @@ class TestHttpServer:
         thread.start()
         try:
             with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
-                assert json.load(response) == {"ok": True}
+                health = json.load(response)
+                assert health["ok"] is True
+                assert health["spool"]["reachable"] is True
+                assert health["store"]["writable"] is True
+                from repro import __version__
+                assert health["version"] == __version__
 
             body = json.dumps(_request_body()).encode()
             post = urllib.request.Request(

@@ -465,6 +465,23 @@ class TestLogging:
         out = capsys.readouterr().out
         assert "exiting after 0 job(s)" in out
 
+    def test_env_level_applies_when_flag_absent(self, tmp_path, capsys, monkeypatch):
+        # REPRO_LOG_LEVEL alone silences the daemon's INFO progress lines.
+        monkeypatch.setenv(LOG_LEVEL_ENV, "error")
+        spool = JobSpool(str(tmp_path / "spool"))
+        spool.write_config()
+        assert main(["worker", "--spool", str(spool.root), "--exit-when-empty"]) == 0
+        assert "exiting after" not in capsys.readouterr().out
+
+    def test_cli_flag_beats_environment(self, tmp_path, capsys, monkeypatch):
+        # An explicit --log-level always wins over REPRO_LOG_LEVEL.
+        monkeypatch.setenv(LOG_LEVEL_ENV, "error")
+        spool = JobSpool(str(tmp_path / "spool"))
+        spool.write_config()
+        assert main(["worker", "--spool", str(spool.root), "--exit-when-empty",
+                     "--log-level", "info"]) == 0
+        assert "exiting after 0 job(s)" in capsys.readouterr().out
+
 
 class TestTelemetryCli:
     def test_report_command(self, tmp_path, capsys):
